@@ -1,0 +1,122 @@
+// Ablation A1 (DESIGN.md): piece-selection strategies compared on the
+// same torrent — local rarest first (the paper's subject), uniform
+// random, sequential, and the global-rarest oracle (network-coding-like
+// ideal knowledge; §IV-A.4 discussion).
+//
+// Expected shape: rarest first achieves entropy close to the oracle's;
+// random is noticeably worse; sequential collapses diversity. The
+// transient-state duration (torrent 8 variant) is insensitive to the
+// picker — it is bounded by the initial seed's upload capacity.
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+#include "swarm/entropy.h"
+
+namespace {
+
+struct Row {
+  const char* name;
+  swarmlab::core::PickerKind kind;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const Row rows[] = {
+      {"rarest-first", core::PickerKind::kRarestFirst},
+      {"random", core::PickerKind::kRandom},
+      {"sequential", core::PickerKind::kSequential},
+      {"global-oracle", core::PickerKind::kGlobalRarest},
+  };
+
+  std::printf("=== Ablation A1: piece-selection strategy ===\n");
+  std::printf("seed=%llu — every peer in the swarm runs the listed "
+              "picker\n\n", static_cast<unsigned long long>(seed));
+
+  // Part 1: steady-state entropy (torrent-7-like swarm).
+  std::printf("steady state (torrent 7 scaled): entropy and download "
+              "time\n");
+  std::printf("%-14s %8s %8s %8s %10s %10s %10s\n", "picker", "a/b p20",
+              "a/b med", "c/d med", "dl time", "min copies",
+              "global ent");
+  for (const Row& row : rows) {
+    swarm::ScaleLimits limits = bench::sweep_limits();
+    auto cfg = swarm::scenario_from_table1(7, limits);
+    cfg.remote_params.picker = row.kind;
+    cfg.local_params.picker = row.kind;
+    instrument::LocalPeerLog log(cfg.num_pieces);
+    swarm::ScenarioRunner runner(std::move(cfg), seed, &log);
+    instrument::AvailabilitySampler sampler(runner.simulation(),
+                                            runner.local_peer(), 20.0);
+    swarm::SwarmEntropySampler global(runner.simulation(), runner.swarm(),
+                                      120.0);
+    const double end = runner.run_until_local_complete(1000.0);
+    log.finalize(end);
+    const auto entropy = instrument::analyze_entropy(log);
+    // Time-averaged swarm-wide entropy over the local leecher phase.
+    double global_sum = 0.0;
+    std::size_t global_n = 0;
+    for (const auto& smp : global.entropy().samples()) {
+      if (smp.time > end) break;
+      global_sum += smp.value;
+      ++global_n;
+    }
+    const double global_mean =
+        global_n > 0 ? global_sum / static_cast<double>(global_n) : 0.0;
+    const double ls_end = log.seed_time() >= 0 ? log.seed_time() : end;
+    double min_copies = 1e18;
+    for (const auto& s : sampler.min_copies().samples()) {
+      if (s.time > 30.0 && s.time <= ls_end) {
+        min_copies = std::min(min_copies, s.value);
+      }
+    }
+    const double dl = runner.local_peer().completion_time();
+    std::printf("%-14s %8.2f %8.2f %8.2f %9.0fs %10.0f %10.2f\n",
+                row.name, entropy.p20_local, entropy.median_local,
+                entropy.median_remote, dl, min_copies, global_mean);
+  }
+
+  // Part 2: transient-state duration (torrent-8-like swarm). The time for
+  // the rarest set to drain is seed-upload-bound for every picker that
+  // avoids duplicate fetches from the seed.
+  std::printf("\ntransient state (torrent 8 scaled): time for the initial "
+              "seed to place one full copy\n");
+  std::printf("%-14s %14s %12s\n", "picker", "transient end", "dl time");
+  for (const Row& row : rows) {
+    swarm::ScaleLimits limits = bench::sweep_limits();
+    limits.max_peers = 100;
+    auto cfg = swarm::scenario_from_table1(8, limits);
+    cfg.remote_params.picker = row.kind;
+    cfg.local_params.picker = row.kind;
+    const double expected_floor =
+        static_cast<double>(cfg.num_pieces) * cfg.piece_size /
+        cfg.initial_seed_upload;
+    instrument::LocalPeerLog log(cfg.num_pieces);
+    swarm::ScenarioRunner runner(std::move(cfg), seed, &log);
+    // Transient ends when the global min copies (excluding the initial
+    // seed's own copy) reaches 1, i.e. global availability min >= 2.
+    double transient_end = -1.0;
+    std::function<void()> watch = [&] {
+      if (transient_end < 0 &&
+          runner.swarm().global_availability().min_copies() >= 2) {
+        transient_end = runner.simulation().now();
+      }
+      if (transient_end < 0) runner.simulation().schedule_in(20.0, watch);
+    };
+    runner.simulation().schedule_in(20.0, watch);
+    const double end = runner.run_until_local_complete(0.0);
+    log.finalize(end);
+    std::printf("%-14s %13.0fs %11.0fs   (seed-capacity floor %.0fs)\n",
+                row.name, transient_end,
+                runner.local_peer().completion_time(), expected_floor);
+  }
+  std::printf("\npaper check — rarest first ~ oracle on entropy; the "
+              "transient duration is bounded below by content/seed-upload "
+              "for all pickers (the piece strategy cannot shorten it, "
+              "§IV-A.2.a), but poor pickers lengthen it via duplicate "
+              "fetches from the seed.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Ablation A2 (DESIGN.md): new vs old seed-state choke algorithm under a
+// fast free rider (paper §IV-B.3).
+//
+// Setup: the local peer is a SEED from the start (it plays the paper's
+// "initial seed" role); the swarm contains ordinary leechers plus one
+// free rider with a very fast access link. With the OLD algorithm
+// (upload-rate ordering) the fast free rider camps in the seed's regular
+// unchoke slots and monopolizes it; with the NEW algorithm (SKU/SRU
+// rotation) every interested leecher gets a similar service time and the
+// free rider's intake is bounded by its rotation share.
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+struct Outcome {
+  double free_rider_share = 0.0;
+  double top5_share = 0.0;
+  std::size_t peers_served = 0;
+  double spearman_service = 0.0;
+};
+
+Outcome run_variant(swarmlab::core::SeedChokerKind kind,
+                    std::uint64_t seed) {
+  using namespace swarmlab;
+  swarm::ScenarioConfig cfg;
+  cfg.name = "seed-choke-ablation";
+  cfg.num_pieces = 64;
+  cfg.initial_seeds = 0;         // the peer under test is the only seed
+  cfg.initial_leechers = 40;
+  cfg.leechers_warm = true;      // leechers always have something to want
+  cfg.warm_min = 0.1;
+  cfg.warm_max = 0.6;
+  cfg.seed_linger_mean = 0.0;    // nobody leaves
+  cfg.arrival_rate = 0.0;
+  cfg.duration = 12000.0;
+  cfg.local_params.seed_choker = kind;
+  cfg.local_upload = 40.0 * 1024;
+  cfg.local_download = net::kUnlimited;
+  // Rate differentiation: in the fluid model the seed's pipe is split
+  // equally across its active uploads, so a peer is "fast" only if the
+  // others are download-capped below their share. Ordinary leechers get
+  // slow receive links; the free rider's is unlimited — mirroring the
+  // fast free rider of §IV-B.3 that the old algorithm rewards.
+  cfg.leecher_classes = {
+      {1.0, 12.0 * 1024, 8.0 * 1024},
+  };
+
+  instrument::LocalPeerLog log(cfg.num_pieces);
+  swarm::ScenarioRunner runner(cfg, seed, &log);
+  // Make the local peer a seed: we cannot set start_complete through the
+  // ScenarioConfig (the local peer is always a leecher there), so rebuild
+  // its role by... (see below) — instead we exploit PeerConfig directly.
+  // The runner spawned the local peer as an empty leecher; replace the
+  // scenario by giving the swarm one more peer we control:
+  peer::PeerConfig sc;
+  sc.start_complete = true;
+  sc.params = cfg.local_params;
+  sc.upload_capacity = cfg.local_upload;
+  sc.download_capacity = cfg.local_download;
+  instrument::LocalPeerLog seed_log(cfg.num_pieces);
+  const peer::PeerId seed_id = runner.swarm().add_peer(sc, &seed_log);
+  runner.swarm().start_peer(seed_id);
+
+  // One fast free rider: downloads at 8x everyone, uploads nothing.
+  peer::PeerConfig fr;
+  fr.free_rider = true;
+  fr.upload_capacity = 1.0;  // irrelevant: never unchokes anyone
+  fr.download_capacity = net::kUnlimited;
+  const peer::PeerId fr_id = runner.swarm().add_peer(fr);
+  runner.swarm().start_peer(fr_id);
+
+  runner.simulation().run_until(cfg.duration);
+  seed_log.finalize(cfg.duration);
+
+  Outcome out;
+  std::uint64_t total = 0, to_fr = 0;
+  std::vector<double> service, unchokes;
+  std::vector<std::uint64_t> per_peer;
+  for (const auto& [pid, r] : seed_log.records()) {
+    total += r.up_bytes_seed;
+    if (pid == fr_id) to_fr = r.up_bytes_seed;
+    if (r.up_bytes_seed > 0) {
+      per_peer.push_back(r.up_bytes_seed);
+      ++out.peers_served;
+    }
+    if (r.time_in_set_seed > 0) {
+      service.push_back(r.remote_interested_seed);
+      unchokes.push_back(static_cast<double>(r.unchokes_seed));
+    }
+  }
+  std::sort(per_peer.rbegin(), per_peer.rend());
+  std::uint64_t top5 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, per_peer.size());
+       ++i) {
+    top5 += per_peer[i];
+  }
+  out.free_rider_share =
+      total > 0 ? static_cast<double>(to_fr) / static_cast<double>(total)
+                : 0.0;
+  out.top5_share =
+      total > 0 ? static_cast<double>(top5) / static_cast<double>(total)
+                : 0.0;
+  out.spearman_service = stats::spearman(service, unchokes);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  const std::uint64_t seed = bench::bench_seed(argc, argv);
+
+  std::printf("=== Ablation A2: seed-state choke algorithm vs a fast free "
+              "rider ===\n");
+  std::printf("seed=%llu  setup: local seed @40kB/s, 40 leechers, 1 free "
+              "rider with unlimited download\n\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%-22s %16s %12s %14s %20s\n", "seed choke algorithm",
+              "free-rider share", "top-5 share", "peers served",
+              "unchokes~interested");
+
+  const Outcome new_out = run_variant(core::SeedChokerKind::kNewSeed, seed);
+  const Outcome old_out = run_variant(core::SeedChokerKind::kOldSeed, seed);
+  std::printf("%-22s %15.1f%% %11.1f%% %14zu %20.2f\n",
+              "new (SKU/SRU rotation)", 100 * new_out.free_rider_share,
+              100 * new_out.top5_share, new_out.peers_served,
+              new_out.spearman_service);
+  std::printf("%-22s %15.1f%% %11.1f%% %14zu %20.2f\n",
+              "old (upload-rate)", 100 * old_out.free_rider_share,
+              100 * old_out.top5_share, old_out.peers_served,
+              old_out.spearman_service);
+
+  std::printf("\npaper check (§IV-B.3) — the old algorithm lets the fast "
+              "free rider take a disproportionate share of the seed "
+              "(paper: 'a fast free rider can monopolize a seed'); the "
+              "new algorithm rotates, serving more peers with a bounded "
+              "free-rider share and a strong unchoke/interested-time "
+              "correlation.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Extension E2: active-set-size sweep.
+//
+// Biersack, Rodriguez & Felber (paper §V) show analytically that the
+// number of simultaneous uploads should be between 3 and 5: too few
+// serializes the distribution, too many splits each upload so thin that
+// reciprocation signals drown and pieces trickle. This bench sweeps the
+// active set size (regular slots + 1 optimistic) on a fixed flash-crowd
+// scenario and reports the mean download time and swarm finish time.
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+struct Outcome {
+  double mean_dl = 0.0;
+  double last_finish = 0.0;
+  double local_dl = 0.0;
+};
+
+Outcome run(std::uint32_t active_set, std::uint64_t seed) {
+  using namespace swarmlab;
+  swarm::ScenarioConfig cfg;
+  cfg.name = "active-set-sweep";
+  cfg.num_pieces = 48;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 40;
+  cfg.leechers_warm = false;
+  cfg.seed_linger_mean = 0.0;
+  cfg.duration = 30000.0;
+  for (core::ProtocolParams* p :
+       {&cfg.remote_params, &cfg.local_params}) {
+    p->active_set_size = active_set;
+    p->regular_unchoke_slots = active_set > 1 ? active_set - 1 : 1;
+  }
+  cfg.initial_seed_upload = 40.0 * 1024;
+
+  swarm::ScenarioRunner runner(cfg, seed);
+  runner.run();
+  Outcome out;
+  double sum = 0;
+  int n = 0;
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    if (p->config().start_complete) continue;
+    if (p->completion_time() < 0) {
+      out.last_finish = cfg.duration;  // someone never finished
+      continue;
+    }
+    sum += p->completion_time() - p->start_time();
+    ++n;
+    out.last_finish = std::max(out.last_finish, p->completion_time());
+  }
+  out.mean_dl = n > 0 ? sum / n : -1;
+  out.local_dl = runner.local_peer().completion_time();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  const std::uint64_t seed = bench::bench_seed(argc, argv);
+
+  std::printf("=== Extension E2: active-set-size sweep (flash crowd, 41 "
+              "leechers, 1 seed) ===\n");
+  std::printf("seed=%llu — active set = regular unchoke slots + 1 "
+              "optimistic\n\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%12s %14s %14s %14s\n", "active set", "mean dl (s)",
+              "last finish", "local peer dl");
+  double best = 1e18;
+  std::uint32_t best_k = 0;
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 12u}) {
+    const Outcome o = run(k, seed);
+    std::printf("%12u %14.0f %14.0f %14.0f\n", k, o.mean_dl,
+                o.last_finish, o.local_dl);
+    if (o.mean_dl > 0 && o.mean_dl < best) {
+      best = o.mean_dl;
+      best_k = k;
+    }
+  }
+  std::printf("\npaper check (§V, Biersack et al.: 3-5 simultaneous "
+              "uploads) — measured optimum here: active set = %u. The "
+              "upper half of the recommendation reproduces sharply: "
+              "large active sets split each upload so thin that pieces "
+              "complete slowly everywhere. The lower half does not bind "
+              "in this substrate: the fluid model has no per-connection "
+              "overhead, no TCP slow start, and departures stall a "
+              "single-slot downloader for at most one 10 s choke round, "
+              "so the robustness cost that makes 1-2 slots risky on real "
+              "networks is deliberately absent (see DESIGN.md "
+              "substitutions).\n",
+              best_k);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 1 reproduction: entropy characterization over all 26 torrents.
+//
+// Top graph: ratio a/b per remote leecher (a = time the local peer in
+// leecher state is interested in the remote peer, b = time the remote
+// spent in the peer set while the local peer was a leecher).
+// Bottom graph: ratio c/d (c = time the remote is interested in the local
+// peer). The paper reports 20th percentile, median, 80th percentile per
+// torrent; ideal entropy puts all three at 1.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const auto limits = bench::sweep_limits();
+
+  std::printf("=== Fig. 1: entropy characterization ===\n");
+  std::printf("seed=%llu  scale: max_peers=%u max_pieces=%u  "
+              "residency filter=10s\n\n",
+              static_cast<unsigned long long>(seed), limits.max_peers,
+              limits.max_pieces);
+  std::printf("%3s %5s | %-28s | %-28s | %s\n", "ID", "n",
+              "local->remote  p20  med  p80", "remote->local  p20  med  p80",
+              "median bar (top graph)");
+  std::printf("---------------------------------------------------------"
+              "--------------------------------------\n");
+
+  double steady_medians = 0.0;
+  int steady_count = 0;
+  double transient_medians = 0.0;
+  int transient_count = 0;
+
+  for (int id = 1; id <= 26; ++id) {
+    auto cfg = swarm::scenario_from_table1(id, limits);
+    const bool transient = !cfg.leechers_warm || cfg.initial_seeds == 0;
+    auto run = bench::run_scenario(std::move(cfg), seed + id, 1000.0);
+    const auto entropy = instrument::analyze_entropy(*run.log);
+    std::printf("%3d %5zu |            %5.2f %5.2f %5.2f |            "
+                "%5.2f %5.2f %5.2f | %s%s\n",
+                id, entropy.local_interest_ratios.size(), entropy.p20_local,
+                entropy.median_local, entropy.p80_local, entropy.p20_remote,
+                entropy.median_remote, entropy.p80_remote,
+                bench::bar(entropy.median_local).c_str(),
+                transient ? "  (transient)" : "");
+    if (transient) {
+      transient_medians += entropy.median_local;
+      ++transient_count;
+    } else {
+      steady_medians += entropy.median_local;
+      ++steady_count;
+    }
+  }
+
+  std::printf("\nsummary: mean median a/b — steady-state torrents %.2f "
+              "(paper: ~1), transient torrents %.2f (paper: depressed "
+              "during startup; rarest first is not the cause)\n",
+              steady_count > 0 ? steady_medians / steady_count : 0.0,
+              transient_count > 0 ? transient_medians / transient_count
+                                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 10 reproduction: correlation between the number of times the local
+// peer unchokes a remote peer and the time that remote peer spent
+// interested in the local peer — torrent 7, leecher state (top) and seed
+// state (bottom). Paper shape: in leecher state there is no correlation
+// (a few peers are unchoked many times — the regular unchokes — while
+// optimistic unchokes spread thinly with interested time); in seed state
+// the new choke algorithm produces a strong correlation (equal service
+// time per interested peer).
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+void print_scatter(const char* title,
+                   const swarmlab::instrument::UnchokeCorrelation& c) {
+  std::printf("%s: n=%zu, spearman=%.2f, pearson=%.2f\n", title,
+              c.unchokes.size(), c.spearman, c.pearson);
+  // Compact scatter: bucket interested time into deciles and report the
+  // unchoke-count range per bucket.
+  if (c.unchokes.empty()) return;
+  double max_t = 0;
+  for (const double t : c.interested_time) max_t = std::max(max_t, t);
+  if (max_t <= 0) return;
+  constexpr int kBuckets = 8;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double lo = max_t * b / kBuckets;
+    const double hi = max_t * (b + 1) / kBuckets;
+    double min_u = 1e18, max_u = -1, sum_u = 0;
+    int n = 0;
+    for (std::size_t i = 0; i < c.unchokes.size(); ++i) {
+      if (c.interested_time[i] >= lo &&
+          (c.interested_time[i] < hi || b == kBuckets - 1)) {
+        min_u = std::min(min_u, c.unchokes[i]);
+        max_u = std::max(max_u, c.unchokes[i]);
+        sum_u += c.unchokes[i];
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    std::printf("  interested %6.0f..%6.0f s: n=%3d  unchokes min=%3.0f "
+                "mean=%6.1f max=%3.0f\n", lo, hi, n, min_u, sum_u / n,
+                max_u);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  auto cfg = swarm::scenario_from_table1(7, bench::deep_dive_limits());
+
+  std::printf("=== Fig. 10: unchokes vs interested time, torrent 7 ===\n");
+  bench::print_scale(cfg, seed);
+  std::printf("\n");
+
+  // Long seed-state tail so the rotation statistics accumulate.
+  auto run = bench::run_scenario(std::move(cfg), seed, 8000.0);
+  const auto ls = instrument::analyze_unchoke_correlation_leecher(*run.log);
+  const auto ss = instrument::analyze_unchoke_correlation_seed(*run.log);
+
+  print_scatter("leecher state (top graph)", ls);
+  std::printf("\n");
+  print_scatter("seed state (bottom graph)", ss);
+
+  // Leecher-state concentration: the paper's signature is that most peers
+  // are unchoked a few times (optimistic unchokes) while a small set is
+  // unchoked frequently (regular unchokes).
+  double total = 0;
+  std::vector<double> sorted = ls.unchokes;
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (const double u : sorted) total += u;
+  double top5 = 0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, sorted.size()); ++i) {
+    top5 += sorted[i];
+  }
+  std::printf("\npaper check — leecher state: top-5 peers take %.0f%% of "
+              "all unchoke events (few peers unchoked frequently); seed "
+              "state: strong unchoke/interested-time correlation "
+              "(spearman=%.2f, paper shows a clear linear band)\n",
+              total > 0 ? 100.0 * top5 / total : 0.0, ss.spearman);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 11 reproduction: contribution of remote peers to the bytes the
+// local peer uploads in SEED state, all 26 torrents, sets of 5 remote
+// peers (best first). Paper shape: with the new seed-state choke
+// algorithm every interested peer receives roughly the same service time,
+// so the per-set shares are far more uniform than in leecher state —
+// except for torrents where fewer than ~10 peers ever downloaded from the
+// local seed.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const auto limits = bench::sweep_limits();
+
+  std::printf("=== Fig. 11: seed-state contribution per sets of 5 remote "
+              "peers ===\n");
+  std::printf("seed=%llu  scale: max_peers=%u max_pieces=%u  (new seed "
+              "choke algorithm, mainline >= 4.0.0)\n\n",
+              static_cast<unsigned long long>(seed), limits.max_peers,
+              limits.max_pieces);
+  std::printf("%3s %6s | %-30s | %s\n", "ID", "peers",
+              "upload share  s0   s1   s2   s3   s4",
+              "service gini + top-5 bar");
+  std::printf("-----------------------------------------------------------"
+              "--------------\n");
+
+  double top_share_sum = 0.0;
+  int counted = 0;
+  for (int id = 1; id <= 26; ++id) {
+    auto cfg = swarm::scenario_from_table1(id, limits);
+    // Long seeding tail so the rotation serves many peers.
+    auto run = bench::run_scenario(std::move(cfg), seed + id, 6000.0);
+    const auto sets = instrument::analyze_seed_fairness(*run.log, 5, 6);
+    std::size_t served = 0;
+    std::vector<double> per_peer;
+    for (const auto& [pid, r] : run.log->records()) {
+      if (r.up_bytes_seed > 0) {
+        ++served;
+        per_peer.push_back(static_cast<double>(r.up_bytes_seed));
+      }
+    }
+    const double g = stats::gini(per_peer);
+    std::printf("%3d %6zu |          ", id, served);
+    for (int s = 0; s < 5; ++s) {
+      std::printf(" %4.2f", sets.upload_fraction[s]);
+    }
+    std::printf(" | gini=%.2f %s\n", g,
+                bench::bar(sets.upload_fraction[0]).c_str());
+    if (served >= 10) {
+      top_share_sum += sets.upload_fraction[0];
+      ++counted;
+    }
+  }
+  std::printf("\npaper check — equal service: across torrents where >= 10 "
+              "peers were served, the top-5 set averages %.2f of the "
+              "seed-state upload (the paper's Fig. 11 shows roughly "
+              "even shares across sets, vs ~0.7+ for the top set in "
+              "leecher state; torrents with < 10 served peers "
+              "concentrate trivially, as the paper notes for torrents 6 "
+              "and 15)\n",
+              counted > 0 ? top_share_sum / counted : 0.0);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared helpers for the experiment benches (one binary per paper
+// table/figure; see DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "swarmlab/swarmlab.h"
+
+namespace swarmlab::bench {
+
+/// Seed used by every bench unless overridden with argv[1]; printed so a
+/// run can be reproduced exactly.
+inline std::uint64_t bench_seed(int argc, char** argv,
+                                std::uint64_t fallback = 20061025) {
+  // Default commemorates the paper's IMC 2006 presentation date.
+  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : fallback;
+}
+
+/// Scale used by the 26-torrent sweep benches (Figs. 1, 9, 11; Table I):
+/// small enough that a full sweep stays in the tens of seconds.
+inline swarm::ScaleLimits sweep_limits() {
+  swarm::ScaleLimits limits;
+  limits.max_peers = 120;
+  limits.max_pieces = 96;
+  limits.min_pieces = 16;
+  limits.duration = 30000.0;
+  return limits;
+}
+
+/// Scale used by the single-torrent deep-dive benches (Figs. 2-8, 10):
+/// larger swarm and content for better-resolved time series.
+inline swarm::ScaleLimits deep_dive_limits() {
+  swarm::ScaleLimits limits;
+  limits.max_peers = 200;
+  limits.max_pieces = 200;
+  limits.duration = 30000.0;
+  return limits;
+}
+
+inline void print_scale(const swarm::ScenarioConfig& cfg,
+                        std::uint64_t seed) {
+  std::printf("scale: torrent=%d seeds=%u leechers=%u pieces=%u "
+              "piece_size=%uKiB arrival=%.3f/s warm=%d seed=%llu\n",
+              cfg.torrent_id, cfg.initial_seeds, cfg.initial_leechers,
+              cfg.num_pieces, cfg.piece_size / 1024, cfg.arrival_rate,
+              cfg.leechers_warm ? 1 : 0,
+              static_cast<unsigned long long>(seed));
+}
+
+/// Runs one scenario with an instrumented local peer until the local peer
+/// completes (plus `extra_after` seconds of seed state), finalizing the
+/// log at the stop time.
+struct ScenarioRun {
+  std::unique_ptr<instrument::LocalPeerLog> log;
+  std::unique_ptr<swarm::ScenarioRunner> runner;
+  double end_time = 0.0;
+};
+
+inline ScenarioRun run_scenario(swarm::ScenarioConfig cfg,
+                                std::uint64_t seed,
+                                double extra_after = 2500.0) {
+  ScenarioRun run;
+  run.log = std::make_unique<instrument::LocalPeerLog>(cfg.num_pieces);
+  run.runner = std::make_unique<swarm::ScenarioRunner>(std::move(cfg), seed,
+                                                       run.log.get());
+  run.end_time = run.runner->run_until_local_complete(extra_after);
+  run.log->finalize(run.end_time);
+  return run;
+}
+
+/// Renders a 0..1 value as a small ASCII bar (for figure-like output).
+inline std::string bar(double fraction, int width = 24) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const int fill = static_cast<int>(fraction * width + 0.5);
+  std::string out(static_cast<std::size_t>(fill), '#');
+  out.append(static_cast<std::size_t>(width - fill), '.');
+  return out;
+}
+
+/// Prints a downsampled time series as aligned rows.
+inline void print_series(const char* name, const stats::TimeSeries& series,
+                         std::size_t rows = 24) {
+  std::printf("%s (%zu samples, downsampled to %zu rows)\n", name,
+              series.size(), rows);
+  for (const auto& s : series.downsample(rows)) {
+    std::printf("  t=%8.0f  %10.2f\n", s.time, s.value);
+  }
+}
+
+}  // namespace swarmlab::bench

@@ -1,0 +1,120 @@
+// Example: free riders vs the choke algorithm (paper §IV-B).
+//
+// The paper's two fairness criteria deliberately do NOT starve free
+// riders: "leechers are allowed to use the excess capacity, but not at
+// the expense of leechers with a higher level of contribution". This
+// example demonstrates both halves:
+//
+//   regime A (flash crowd)  — the swarm has excess capacity once the
+//     initial seed has pushed the first copy; free riders finish almost
+//     as fast as honest peers, using capacity nobody else wants. That is
+//     by design, not a flaw.
+//   regime B (steady state) — capacity is contended; honest peers earn
+//     regular-unchoke slots through reciprocation while free riders live
+//     off optimistic unchokes and equal-service seeds, and download
+//     measurably slower.
+//
+// Usage: free_rider_study [rng=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "swarmlab/swarmlab.h"
+
+namespace {
+
+struct ClassRates {
+  double honest_rate = 0.0;  // mean download rate, kB/s
+  double fr_rate = 0.0;
+  int honest_n = 0;
+  int fr_n = 0;
+
+  [[nodiscard]] double penalty() const {
+    return (honest_n > 0 && fr_n > 0 && fr_rate > 0)
+               ? honest_rate / fr_rate
+               : 0.0;
+  }
+};
+
+ClassRates measure(swarmlab::swarm::ScenarioRunner& runner) {
+  using namespace swarmlab;
+  ClassRates out;
+  double h_sum = 0, f_sum = 0;
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    if (p->config().start_complete || id == runner.local_peer_id()) continue;
+    if (p->completion_time() < 0) continue;
+    const double dt = p->completion_time() - p->start_time();
+    if (dt <= 0 || p->total_downloaded() == 0) continue;
+    const double rate = p->total_downloaded() / dt / 1024.0;
+    if (p->config().free_rider) {
+      f_sum += rate;
+      ++out.fr_n;
+    } else {
+      h_sum += rate;
+      ++out.honest_n;
+    }
+  }
+  out.honest_rate = out.honest_n > 0 ? h_sum / out.honest_n : 0;
+  out.fr_rate = out.fr_n > 0 ? f_sum / out.fr_n : 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  std::printf("free riders vs the choke algorithm (rng=%llu)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  // Regime A: flash crowd — excess capacity after the transient.
+  {
+    swarm::ScenarioConfig cfg;
+    cfg.name = "fr-flash-crowd";
+    cfg.num_pieces = 48;
+    cfg.initial_seeds = 2;
+    cfg.initial_leechers = 60;
+    cfg.leechers_warm = false;
+    cfg.free_rider_fraction = 0.25;
+    cfg.seed_linger_mean = 0.0;
+    cfg.duration = 30000.0;
+    swarm::ScenarioRunner runner(cfg, seed);
+    runner.run();
+    const ClassRates r = measure(runner);
+    std::printf("regime A — flash crowd (excess capacity):\n");
+    std::printf("  honest      n=%3d  mean dl rate %6.1f kB/s\n",
+                r.honest_n, r.honest_rate);
+    std::printf("  free riders n=%3d  mean dl rate %6.1f kB/s  "
+                "(penalty %.2fx)\n", r.fr_n, r.fr_rate, r.penalty());
+    std::printf("  -> free riders ride the excess capacity; the paper's "
+                "fairness criteria allow exactly this.\n\n");
+  }
+
+  // Regime B: steady state with sustained arrivals — contended capacity.
+  {
+    swarm::ScenarioConfig cfg;
+    cfg.name = "fr-steady-state";
+    cfg.num_pieces = 64;
+    cfg.initial_seeds = 1;
+    cfg.initial_leechers = 80;
+    cfg.leechers_warm = true;
+    cfg.free_rider_fraction = 0.25;
+    cfg.seed_linger_mean = 400.0;
+    cfg.arrival_rate = 0.03;
+    cfg.duration = 25000.0;
+    swarm::ScenarioRunner runner(cfg, seed);
+    runner.run();
+    const ClassRates r = measure(runner);
+    std::printf("regime B — steady state (contended capacity):\n");
+    std::printf("  honest      n=%3d  mean dl rate %6.1f kB/s\n",
+                r.honest_n, r.honest_rate);
+    std::printf("  free riders n=%3d  mean dl rate %6.1f kB/s  "
+                "(penalty %.2fx)\n", r.fr_n, r.fr_rate, r.penalty());
+    std::printf("  -> reciprocation earns regular unchokes; free riders "
+                "fall back to optimistic unchokes and the seeds' equal "
+                "service, and download slower — but the torrent stays "
+                "stable (paper: robust to free riders).\n");
+  }
+  return 0;
+}

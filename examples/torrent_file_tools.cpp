@@ -1,0 +1,84 @@
+// Example: the wire-level toolkit — build a .torrent, parse it back,
+// verify synthetic piece data against the embedded SHA-1 hashes, and walk
+// a captured peer-wire byte stream with the incremental frame decoder.
+//
+// This exercises the swarmlab_wire library as a standalone protocol
+// codec, independent of the simulator.
+//
+// Usage: torrent_file_tools [size_mb=4]
+#include <cstdio>
+#include <cstdlib>
+
+#include "swarmlab/swarmlab.h"
+
+int main(int argc, char** argv) {
+  using namespace swarmlab::wire;
+  const std::uint64_t size_mb = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                         : 4;
+
+  // 1. Build a metainfo for synthetic content and bencode it.
+  const Metainfo meta = make_synthetic_metainfo(
+      "http://tracker.example/announce", "example-content.bin",
+      size_mb * 1024 * 1024);
+  const std::string torrent = encode_metainfo(meta);
+  std::printf(".torrent built: %zu bytes, %zu pieces of %u KiB\n",
+              torrent.size(), meta.piece_hashes.size(),
+              meta.piece_length / 1024);
+  std::printf("info hash: %s\n", info_hash(meta).hex().c_str());
+
+  // 2. Parse it back and verify the round trip.
+  const Metainfo parsed = decode_metainfo(torrent);
+  std::printf("round trip: %s\n",
+              parsed == meta ? "identical" : "MISMATCH");
+
+  // 3. Verify every piece of the synthetic content against its hash —
+  //    what a client does before serving a downloaded piece onward.
+  std::size_t ok = 0;
+  for (PieceIndex p = 0; p < parsed.geometry().num_pieces(); ++p) {
+    const auto bytes = synthetic_piece_bytes(parsed, p);
+    if (Sha1::hash(std::span<const std::uint8_t>(bytes)) ==
+        parsed.piece_hashes[p]) {
+      ++ok;
+    }
+  }
+  std::printf("piece verification: %zu/%u hashes match\n", ok,
+              parsed.geometry().num_pieces());
+
+  // 4. Encode a small peer-wire session and decode it back frame by
+  //    frame, as a stream consumer would.
+  std::vector<std::uint8_t> stream;
+  const std::uint32_t pieces = parsed.geometry().num_pieces();
+  BitfieldMsg bf;
+  bf.bits.assign(pieces, false);
+  bf.bits[0] = true;
+  const Message session[] = {
+      Message{bf},
+      Message{InterestedMsg{}},
+      Message{UnchokeMsg{}},
+      Message{RequestMsg{0, 0, 16384}},
+      Message{PieceMsg{0, 0, std::vector<std::uint8_t>(16384, 7)}},
+      Message{HaveMsg{0}},
+      Message{KeepAliveMsg{}},
+  };
+  for (const Message& m : session) {
+    const auto bytes = encode_message(m, pieces);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  std::printf("\nwire stream: %zu bytes, decoding frame by frame:\n",
+              stream.size());
+  std::size_t at = 0;
+  while (at < stream.size()) {
+    std::size_t consumed = 0;
+    const auto msg = decode_message(
+        std::span<const std::uint8_t>(stream.data() + at,
+                                      stream.size() - at),
+        pieces, consumed);
+    if (!msg.has_value()) break;  // incomplete tail (none here)
+    std::printf("  offset %5zu: %-14s (%zu bytes)\n", at,
+                message_name(*msg), consumed);
+    at += consumed;
+  }
+  std::printf("stream fully consumed: %s\n",
+              at == stream.size() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "core/availability.h"
+
+#include <cassert>
+
+namespace swarmlab::core {
+
+void AvailabilityMap::bump(PieceIndex p, int delta) {
+  assert(p < copies_.size());
+  const std::uint32_t old_count = copies_[p];
+  assert(delta > 0 || old_count > 0);
+  const std::uint32_t new_count =
+      static_cast<std::uint32_t>(static_cast<int>(old_count) + delta);
+  copies_[p] = new_count;
+  assert(old_count < buckets_.size() && buckets_[old_count] > 0);
+  --buckets_[old_count];
+  if (new_count >= buckets_.size()) buckets_.resize(new_count + 1, 0);
+  ++buckets_[new_count];
+  total_copies_ += delta;
+  // Trim empty high buckets so max_copies() stays O(1) amortized.
+  while (buckets_.size() > 1 && buckets_.back() == 0) buckets_.pop_back();
+}
+
+void AvailabilityMap::add_peer(const Bitfield& have) {
+  assert(have.size() == num_pieces());
+  for (std::uint32_t p = 0; p < have.size(); ++p) {
+    if (have.has(p)) bump(p, +1);
+  }
+}
+
+void AvailabilityMap::remove_peer(const Bitfield& have) {
+  assert(have.size() == num_pieces());
+  for (std::uint32_t p = 0; p < have.size(); ++p) {
+    if (have.has(p)) bump(p, -1);
+  }
+}
+
+std::uint32_t AvailabilityMap::min_copies() const {
+  for (std::uint32_t c = 0; c < buckets_.size(); ++c) {
+    if (buckets_[c] > 0) return c;
+  }
+  return 0;
+}
+
+std::uint32_t AvailabilityMap::max_copies() const {
+  for (std::uint32_t c = static_cast<std::uint32_t>(buckets_.size()); c > 0;
+       --c) {
+    if (buckets_[c - 1] > 0) return c - 1;
+  }
+  return 0;
+}
+
+double AvailabilityMap::mean_copies() const {
+  if (copies_.empty()) return 0.0;
+  return static_cast<double>(total_copies_) /
+         static_cast<double>(copies_.size());
+}
+
+std::vector<PieceIndex> AvailabilityMap::rarest_set() const {
+  const std::uint32_t min = min_copies();
+  std::vector<PieceIndex> out;
+  for (std::uint32_t p = 0; p < copies_.size(); ++p) {
+    if (copies_[p] == min) out.push_back(p);
+  }
+  return out;
+}
+
+std::uint32_t AvailabilityMap::rarest_set_size() const {
+  const std::uint32_t min = min_copies();
+  return min < buckets_.size() ? buckets_[min] : 0;
+}
+
+}  // namespace swarmlab::core

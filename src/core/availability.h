@@ -1,0 +1,68 @@
+// Piece availability within a peer set.
+//
+// Each peer maintains the number of copies of every piece among the peers
+// in its peer set (paper §II-C.1) and derives the *rarest pieces set* —
+// the pieces with the least number of copies. The map is updated on peer
+// join (bitfield), peer leave, and each HAVE message.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitfield.h"
+
+namespace swarmlab::core {
+
+/// Copy counts per piece over a peer set, with O(1) min-copy tracking.
+class AvailabilityMap {
+ public:
+  AvailabilityMap() = default;
+  explicit AvailabilityMap(std::uint32_t num_pieces)
+      : copies_(num_pieces, 0), buckets_{} {
+    buckets_.push_back(num_pieces);  // all pieces start at 0 copies
+  }
+
+  [[nodiscard]] std::uint32_t num_pieces() const {
+    return static_cast<std::uint32_t>(copies_.size());
+  }
+
+  /// Copies of piece `p` in the peer set.
+  [[nodiscard]] std::uint32_t copies(PieceIndex p) const {
+    return copies_[p];
+  }
+
+  /// A peer with this bitfield joined the peer set.
+  void add_peer(const Bitfield& have);
+
+  /// A peer with this bitfield left the peer set.
+  void remove_peer(const Bitfield& have);
+
+  /// A peer in the set announced piece `p` (HAVE).
+  void add_have(PieceIndex p) { bump(p, +1); }
+
+  /// Fewest copies over all pieces.
+  [[nodiscard]] std::uint32_t min_copies() const;
+
+  /// Most copies over all pieces (O(buckets)).
+  [[nodiscard]] std::uint32_t max_copies() const;
+
+  /// Mean copies over all pieces.
+  [[nodiscard]] double mean_copies() const;
+
+  /// The rarest pieces set: all pieces whose copy count equals
+  /// min_copies() (paper §II-A). O(num_pieces).
+  [[nodiscard]] std::vector<PieceIndex> rarest_set() const;
+
+  /// Size of the rarest pieces set without materializing it.
+  [[nodiscard]] std::uint32_t rarest_set_size() const;
+
+ private:
+  void bump(PieceIndex p, int delta);
+
+  std::vector<std::uint32_t> copies_;
+  // buckets_[c] = number of pieces with exactly c copies.
+  std::vector<std::uint32_t> buckets_;
+  std::int64_t total_copies_ = 0;
+};
+
+}  // namespace swarmlab::core

@@ -1,0 +1,56 @@
+#include "core/bitfield.h"
+
+namespace swarmlab::core {
+
+Bitfield Bitfield::full(std::uint32_t num_pieces) {
+  Bitfield b(num_pieces);
+  b.bits_.assign(num_pieces, true);
+  b.count_ = num_pieces;
+  return b;
+}
+
+bool Bitfield::set(PieceIndex p) {
+  assert(p < size());
+  if (bits_[p]) return false;
+  bits_[p] = true;
+  ++count_;
+  return true;
+}
+
+bool Bitfield::clear(PieceIndex p) {
+  assert(p < size());
+  if (!bits_[p]) return false;
+  bits_[p] = false;
+  --count_;
+  return true;
+}
+
+bool Bitfield::interested_in(const Bitfield& other) const {
+  assert(size() == other.size());
+  // A complete peer is never interested; a peer is interested iff the
+  // other side has some piece it lacks.
+  for (std::uint32_t p = 0; p < size(); ++p) {
+    if (other.bits_[p] && !bits_[p]) return true;
+  }
+  return false;
+}
+
+std::vector<PieceIndex> Bitfield::set_indices() const {
+  std::vector<PieceIndex> out;
+  out.reserve(count_);
+  for (std::uint32_t p = 0; p < size(); ++p) {
+    if (bits_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<PieceIndex> Bitfield::missing_from(const Bitfield& other) const {
+  assert(size() == other.size());
+  std::vector<PieceIndex> out;
+  for (std::uint32_t p = 0; p < size(); ++p) {
+    if (other.bits_[p] && !bits_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace swarmlab::core

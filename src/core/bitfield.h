@@ -1,0 +1,70 @@
+// Piece possession bitfield.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wire/geometry.h"
+
+namespace swarmlab::core {
+
+using wire::PieceIndex;
+
+/// A fixed-size set of piece indices, tracking its own cardinality.
+class Bitfield {
+ public:
+  Bitfield() = default;
+  explicit Bitfield(std::uint32_t num_pieces) : bits_(num_pieces, false) {}
+
+  /// A bitfield with every piece set (a seed's bitfield).
+  static Bitfield full(std::uint32_t num_pieces);
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(bits_.size());
+  }
+
+  [[nodiscard]] bool has(PieceIndex p) const {
+    assert(p < size());
+    return bits_[p];
+  }
+
+  /// Sets piece `p`; returns true if it was newly set.
+  bool set(PieceIndex p);
+
+  /// Clears piece `p`; returns true if it was previously set.
+  bool clear(PieceIndex p);
+
+  /// Number of pieces set.
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+
+  /// True when every piece is set (seed state).
+  [[nodiscard]] bool complete() const { return count_ == size(); }
+
+  /// True when no piece is set.
+  [[nodiscard]] bool none() const { return count_ == 0; }
+
+  /// True if `other` has at least one piece this bitfield lacks — i.e.,
+  /// whether a peer holding `*this` is *interested* in a peer holding
+  /// `other` (paper §II-A).
+  [[nodiscard]] bool interested_in(const Bitfield& other) const;
+
+  /// Indices set in this bitfield.
+  [[nodiscard]] std::vector<PieceIndex> set_indices() const;
+
+  /// Indices set in `other` but not in this (the pieces we could fetch).
+  [[nodiscard]] std::vector<PieceIndex> missing_from(
+      const Bitfield& other) const;
+
+  /// Raw bit vector (e.g., for wire::BitfieldMsg).
+  [[nodiscard]] const std::vector<bool>& bits() const { return bits_; }
+
+  bool operator==(const Bitfield&) const = default;
+
+ private:
+  std::vector<bool> bits_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace swarmlab::core

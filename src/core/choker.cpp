@@ -1,0 +1,228 @@
+#include "core/choker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace swarmlab::core {
+
+namespace {
+
+/// Stable sort of candidate indices by a strict-weak comparator on the
+/// candidates. Stability plus the caller-provided deterministic candidate
+/// order keeps runs reproducible.
+template <typename Cmp>
+std::vector<std::size_t> order_by(const std::vector<ChokeCandidate>& cs,
+                                  Cmp cmp) {
+  std::vector<std::size_t> idx(cs.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cmp(cs[a], cs[b]);
+                   });
+  return idx;
+}
+
+bool contains(const std::vector<PeerKey>& keys, PeerKey k) {
+  return std::find(keys.begin(), keys.end(), k) != keys.end();
+}
+
+/// Draws one interested candidate not already selected, uniformly, with
+/// newly connected peers entered `new_weight` times (the mainline
+/// bootstrap bias; weight 1 = unbiased).
+std::optional<PeerKey> random_interested(
+    const std::vector<ChokeCandidate>& cs,
+    const std::vector<PeerKey>& already, sim::Rng& rng,
+    std::uint32_t new_weight = 1) {
+  std::vector<PeerKey> pool;
+  for (const ChokeCandidate& c : cs) {
+    if (!c.interested || contains(already, c.key)) continue;
+    const std::uint32_t entries =
+        c.newly_connected ? std::max<std::uint32_t>(new_weight, 1) : 1;
+    for (std::uint32_t i = 0; i < entries; ++i) pool.push_back(c.key);
+  }
+  if (pool.empty()) return std::nullopt;
+  return pool[rng.index(pool.size())];
+}
+
+}  // namespace
+
+std::vector<PeerKey> LeecherChoker::select(
+    const std::vector<ChokeCandidate>& candidates, std::uint64_t round,
+    sim::Rng& rng) {
+  // Step 1 (every round): the `regular_slots_` interested peers with the
+  // fastest download rate to the local peer.
+  const auto order = order_by(candidates,
+                              [](const ChokeCandidate& a,
+                                 const ChokeCandidate& b) {
+                                return a.download_rate > b.download_rate;
+                              });
+  std::vector<PeerKey> unchoke;
+  for (const std::size_t i : order) {
+    if (unchoke.size() >= regular_slots_) break;
+    // Snubbed peers never earn a regular unchoke (anti-snubbing); they
+    // remain eligible for the optimistic unchoke below.
+    if (candidates[i].interested && !candidates[i].snubbed) {
+      unchoke.push_back(candidates[i].key);
+    }
+  }
+
+  // Step 2 (every `optimistic_rounds_` rounds = 30 s): re-draw the
+  // optimistic unchoke among interested peers, uniformly at random.
+  const bool rotate = (round % optimistic_rounds_) == 0;
+  const bool current_valid =
+      optimistic_.has_value() &&
+      std::any_of(candidates.begin(), candidates.end(),
+                  [&](const ChokeCandidate& c) {
+                    return c.key == *optimistic_ && c.interested;
+                  });
+  if (rotate || !current_valid) {
+    optimistic_ =
+        random_interested(candidates, unchoke, rng, new_peer_weight_);
+  }
+  if (optimistic_.has_value() && !contains(unchoke, *optimistic_)) {
+    unchoke.push_back(*optimistic_);
+  }
+  return unchoke;
+}
+
+std::vector<PeerKey> NewSeedChoker::select(
+    const std::vector<ChokeCandidate>& candidates, std::uint64_t round,
+    sim::Rng& rng) {
+  // Order the *unchoked and interested* peers by the time they were last
+  // unchoked, most recent first (SKU ordering).
+  std::vector<std::size_t> sku;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].unchoked && candidates[i].interested) sku.push_back(i);
+  }
+  std::stable_sort(sku.begin(), sku.end(), [&](std::size_t a, std::size_t b) {
+    return candidates[a].last_unchoke_time > candidates[b].last_unchoke_time;
+  });
+
+  // Two rounds out of three: keep the top `kept_slots_` and add one
+  // random choked-and-interested peer (SRU). Third round: keep the top
+  // `active_set_`.
+  const bool sru_round = (round % 3) != 2;
+  const std::uint32_t keep = sru_round ? kept_slots_ : active_set_;
+  std::vector<PeerKey> unchoke;
+  for (const std::size_t i : sku) {
+    if (unchoke.size() >= keep) break;
+    unchoke.push_back(candidates[i].key);
+  }
+  if (sru_round) {
+    // SRU pool: choked and interested.
+    std::vector<PeerKey> pool;
+    for (const ChokeCandidate& c : candidates) {
+      if (!c.unchoked && c.interested && !contains(unchoke, c.key)) {
+        pool.push_back(c.key);
+      }
+    }
+    if (!pool.empty()) unchoke.push_back(pool[rng.index(pool.size())]);
+  }
+  // Never exceed the active set; fill spare slots with random interested
+  // peers so a seed with few unchoke-history peers still serves 4.
+  while (unchoke.size() < active_set_) {
+    const auto extra = random_interested(candidates, unchoke, rng);
+    if (!extra.has_value()) break;
+    unchoke.push_back(*extra);
+  }
+  if (unchoke.size() > active_set_) unchoke.resize(active_set_);
+  return unchoke;
+}
+
+std::vector<PeerKey> OldSeedChoker::select(
+    const std::vector<ChokeCandidate>& candidates, std::uint64_t round,
+    sim::Rng& rng) {
+  // Identical schedule to the leecher state, but ordered by the upload
+  // rate from the local peer: fast downloaders are favored regardless of
+  // their contribution (the unfairness the new algorithm fixes).
+  const auto order = order_by(candidates,
+                              [](const ChokeCandidate& a,
+                                 const ChokeCandidate& b) {
+                                return a.upload_rate > b.upload_rate;
+                              });
+  std::vector<PeerKey> unchoke;
+  for (const std::size_t i : order) {
+    if (unchoke.size() >= regular_slots_) break;
+    if (candidates[i].interested) unchoke.push_back(candidates[i].key);
+  }
+  const bool rotate = (round % optimistic_rounds_) == 0;
+  const bool current_valid =
+      optimistic_.has_value() &&
+      std::any_of(candidates.begin(), candidates.end(),
+                  [&](const ChokeCandidate& c) {
+                    return c.key == *optimistic_ && c.interested;
+                  });
+  if (rotate || !current_valid) {
+    optimistic_ = random_interested(candidates, unchoke, rng);
+  }
+  if (optimistic_.has_value() && !contains(unchoke, *optimistic_)) {
+    unchoke.push_back(*optimistic_);
+  }
+  return unchoke;
+}
+
+std::vector<PeerKey> RandomRotationChoker::select(
+    const std::vector<ChokeCandidate>& candidates, std::uint64_t round,
+    sim::Rng& rng) {
+  (void)round;
+  std::vector<PeerKey> pool;
+  for (const ChokeCandidate& c : candidates) {
+    if (c.interested) pool.push_back(c.key);
+  }
+  rng.shuffle(pool);
+  if (pool.size() > slots_) pool.resize(slots_);
+  return pool;
+}
+
+std::vector<PeerKey> TitForTatChoker::select(
+    const std::vector<ChokeCandidate>& candidates, std::uint64_t round,
+    sim::Rng& rng) {
+  (void)round;
+  (void)rng;
+  // Deficit gate: a peer is served only while the local peer has not
+  // out-uploaded it by more than the threshold. Eligible peers are served
+  // fastest-downloader first. Note the paper's critique: excess capacity
+  // is stranded (free riders and slow uploaders are starved even when
+  // slots sit idle) and a seed (which downloads nothing) can serve nobody
+  // once every peer hits the threshold.
+  const auto order = order_by(candidates,
+                              [](const ChokeCandidate& a,
+                                 const ChokeCandidate& b) {
+                                return a.download_rate > b.download_rate;
+                              });
+  std::vector<PeerKey> unchoke;
+  for (const std::size_t i : order) {
+    if (unchoke.size() >= slots_) break;
+    const ChokeCandidate& c = candidates[i];
+    if (!c.interested) continue;
+    const std::uint64_t deficit =
+        c.uploaded_to > c.downloaded_from ? c.uploaded_to - c.downloaded_from
+                                          : 0;
+    if (deficit <= deficit_threshold_) unchoke.push_back(c.key);
+  }
+  return unchoke;
+}
+
+std::unique_ptr<Choker> make_leecher_choker(const ProtocolParams& params) {
+  switch (params.leecher_choker) {
+    case LeecherChokerKind::kChoke:
+      return std::make_unique<LeecherChoker>(params);
+    case LeecherChokerKind::kTitForTat:
+      return std::make_unique<TitForTatChoker>(params);
+    case LeecherChokerKind::kRandomRotation:
+      return std::make_unique<RandomRotationChoker>(params);
+  }
+  return std::make_unique<LeecherChoker>(params);
+}
+
+std::unique_ptr<Choker> make_seed_choker(const ProtocolParams& params) {
+  switch (params.seed_choker) {
+    case SeedChokerKind::kNewSeed:
+      return std::make_unique<NewSeedChoker>(params);
+    case SeedChokerKind::kOldSeed:
+      return std::make_unique<OldSeedChoker>(params);
+  }
+  return std::make_unique<NewSeedChoker>(params);
+}
+
+}  // namespace swarmlab::core

@@ -1,0 +1,153 @@
+// Peer-selection (choke) strategies (paper §II-C.2).
+//
+// A choker is invoked every `choke_interval` (10 s) round and returns the
+// peers to unchoke; every other peer gets choked. Implementations:
+//
+//  * LeecherChoker   — mainline leecher state: the 3 interested peers with
+//                      the fastest download rate *to* the local peer
+//                      (regular unchokes, RU) plus one optimistic unchoke
+//                      (OU) re-drawn every 3 rounds (30 s).
+//  * NewSeedChoker   — mainline >= 4.0.0 seed state: unchoked-and-
+//                      interested peers ordered by most-recent unchoke
+//                      time (SKU); two rounds out of three keep the top 3
+//                      and add a random choked-and-interested peer (SRU),
+//                      the third round keeps the top 4.
+//  * OldSeedChoker   — pre-4.0.0 seed state: like the leecher state but
+//                      ordered by the upload rate *from* the local peer.
+//  * TitForTatChoker — bit-level tit-for-tat baseline from the literature
+//                      the paper rebuts (§IV-B.1): a peer is eligible only
+//                      while (uploaded-to - downloaded-from) stays under a
+//                      byte threshold.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/params.h"
+#include "sim/rng.h"
+
+namespace swarmlab::core {
+
+/// Opaque connection identity (stable across rounds for one peer).
+using PeerKey = std::uint64_t;
+
+/// One remote peer as seen by the choker at round time.
+struct ChokeCandidate {
+  PeerKey key = 0;
+  bool interested = false;       ///< remote is interested in the local peer
+  bool unchoked = false;         ///< local peer currently unchokes it
+  double download_rate = 0.0;    ///< bytes/s it sends to the local peer
+  double upload_rate = 0.0;      ///< bytes/s the local peer sends to it
+  double last_unchoke_time = -1.0;  ///< when we last unchoked it (-1 never)
+  std::uint64_t uploaded_to = 0;    ///< lifetime bytes we sent it
+  std::uint64_t downloaded_from = 0;  ///< lifetime bytes it sent us
+  /// Anti-snubbing: it owes us blocks and has stalled; regular unchokes
+  /// skip it (mainline behaviour).
+  bool snubbed = false;
+  /// Recently connected (drives the optimistic-unchoke bootstrap bias).
+  bool newly_connected = false;
+};
+
+/// Strategy interface. `round` increments once per choke interval.
+class Choker {
+ public:
+  virtual ~Choker() = default;
+
+  /// Returns the keys to unchoke this round (at most the active set
+  /// size); all other candidates are to be choked.
+  virtual std::vector<PeerKey> select(
+      const std::vector<ChokeCandidate>& candidates, std::uint64_t round,
+      sim::Rng& rng) = 0;
+};
+
+/// Mainline leecher-state choke algorithm.
+class LeecherChoker final : public Choker {
+ public:
+  explicit LeecherChoker(const ProtocolParams& params)
+      : regular_slots_(params.regular_unchoke_slots),
+        optimistic_rounds_(params.optimistic_rounds),
+        new_peer_weight_(params.optimistic_new_peer_weight) {}
+
+  std::vector<PeerKey> select(const std::vector<ChokeCandidate>& candidates,
+                              std::uint64_t round, sim::Rng& rng) override;
+
+  /// The current optimistic-unchoke target (for instrumentation).
+  [[nodiscard]] std::optional<PeerKey> optimistic_peer() const {
+    return optimistic_;
+  }
+
+ private:
+  std::uint32_t regular_slots_;
+  std::uint32_t optimistic_rounds_;
+  std::uint32_t new_peer_weight_;
+  std::optional<PeerKey> optimistic_;
+};
+
+/// Mainline >= 4.0.0 seed-state choke algorithm (SKU/SRU rotation).
+class NewSeedChoker final : public Choker {
+ public:
+  explicit NewSeedChoker(const ProtocolParams& params)
+      : kept_slots_(params.regular_unchoke_slots),
+        active_set_(params.active_set_size) {}
+
+  std::vector<PeerKey> select(const std::vector<ChokeCandidate>& candidates,
+                              std::uint64_t round, sim::Rng& rng) override;
+
+ private:
+  std::uint32_t kept_slots_;   // SKU peers kept in SRU rounds (3)
+  std::uint32_t active_set_;   // total slots (4)
+};
+
+/// Pre-4.0.0 seed-state algorithm: fastest *uploads from* the local peer.
+class OldSeedChoker final : public Choker {
+ public:
+  explicit OldSeedChoker(const ProtocolParams& params)
+      : regular_slots_(params.regular_unchoke_slots),
+        optimistic_rounds_(params.optimistic_rounds) {}
+
+  std::vector<PeerKey> select(const std::vector<ChokeCandidate>& candidates,
+                              std::uint64_t round, sim::Rng& rng) override;
+
+ private:
+  std::uint32_t regular_slots_;
+  std::uint32_t optimistic_rounds_;
+  std::optional<PeerKey> optimistic_;
+};
+
+/// Strawman baseline: unchokes `active_set_size` interested peers chosen
+/// uniformly at random every round. No rate feedback, hence no stable
+/// reciprocation pairs — the null model for the equilibrium analysis.
+class RandomRotationChoker final : public Choker {
+ public:
+  explicit RandomRotationChoker(const ProtocolParams& params)
+      : slots_(params.active_set_size) {}
+
+  std::vector<PeerKey> select(const std::vector<ChokeCandidate>& candidates,
+                              std::uint64_t round, sim::Rng& rng) override;
+
+ private:
+  std::uint32_t slots_;
+};
+
+/// Bit-level tit-for-tat baseline (deficit-gated unchoking).
+class TitForTatChoker final : public Choker {
+ public:
+  explicit TitForTatChoker(const ProtocolParams& params)
+      : slots_(params.active_set_size),
+        deficit_threshold_(params.tft_deficit_threshold) {}
+
+  std::vector<PeerKey> select(const std::vector<ChokeCandidate>& candidates,
+                              std::uint64_t round, sim::Rng& rng) override;
+
+ private:
+  std::uint32_t slots_;
+  std::uint64_t deficit_threshold_;
+};
+
+/// Factories keyed by the params enums.
+std::unique_ptr<Choker> make_leecher_choker(const ProtocolParams& params);
+std::unique_ptr<Choker> make_seed_choker(const ProtocolParams& params);
+
+}  // namespace swarmlab::core

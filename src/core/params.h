@@ -1,0 +1,97 @@
+// Protocol parameters, defaulting to the mainline 4.0.2 values the paper's
+// monitored client uses (§III-C).
+#pragma once
+
+#include <cstdint>
+
+namespace swarmlab::core {
+
+/// Which piece-selection strategy a peer runs.
+enum class PickerKind {
+  kRarestFirst,   // the paper's subject: local rarest first
+  kRandom,        // uniform over needed pieces (the classic strawman)
+  kSequential,    // in-order (worst case for diversity)
+  kGlobalRarest,  // oracle: rarest over the *whole torrent* (coding-like
+                  // ideal knowledge baseline, §IV-A.4 discussion)
+};
+
+/// Which peer-selection (choke) strategy a peer runs in each state.
+enum class LeecherChokerKind {
+  kChoke,            // mainline: 3 regular unchokes by download rate + 1 OU
+  kTitForTat,        // bit-level tit-for-tat baseline (deficit-gated)
+  kRandomRotation,   // strawman: active_set_size random interested peers
+                     // re-drawn every round (no rate feedback; used to
+                     // isolate the equilibrium the choke algorithm forms)
+};
+
+enum class SeedChokerKind {
+  kNewSeed,  // mainline >= 4.0.0: SKU/SRU round-robin by last-unchoke time
+  kOldSeed,  // pre-4.0.0: order by upload rate from the local peer
+};
+
+/// All tunables of a peer. Defaults are the paper's defaults.
+struct ProtocolParams {
+  // --- peer set / tracker interaction (paper §II-B) ---
+  std::uint32_t max_peer_set = 80;
+  std::uint32_t min_peer_set = 20;        // below this, re-announce
+  std::uint32_t max_initiated = 40;       // outgoing connection cap
+  std::uint32_t tracker_peers_per_announce = 50;
+  double tracker_reannounce_interval = 1800.0;  // 30 min steady state
+
+  // --- choke algorithm (paper §II-C.2) ---
+  double choke_interval = 10.0;           // regular unchoke period
+  std::uint32_t regular_unchoke_slots = 3;
+  std::uint32_t optimistic_rounds = 3;    // OU rotates every 3 rounds = 30 s
+  std::uint32_t active_set_size = 4;      // 3 RU + 1 OU
+  // Mainline weights newly connected peers more heavily in the
+  // optimistic-unchoke draw ("it allows to bootstrap new peers", §II-C.2).
+  std::uint32_t optimistic_new_peer_weight = 3;
+  double new_peer_age = 45.0;  // seconds a connection counts as "new"
+
+  // --- piece selection (paper §II-C.1) ---
+  std::uint32_t random_first_threshold = 4;  // pieces before rarest first
+  bool strict_priority = true;               // finish partial pieces first
+  bool end_game = true;                      // duplicate-request tail mode
+
+  // --- request pipeline ---
+  std::uint32_t pipeline_depth = 5;  // outstanding block requests per peer
+
+  // --- anti-snubbing (mainline) ---
+  // A remote peer that has unchoked us but delivered no block for
+  // `snub_timeout` seconds while requests are outstanding is "snubbed"
+  // and excluded from regular unchokes (it can still win the optimistic
+  // unchoke).
+  bool anti_snubbing = true;
+  double snub_timeout = 60.0;
+
+  // --- piece integrity ---
+  // Verify each completed piece (SHA-1 in a real client; the simulator
+  // models a corrupting sender via a taint marker). A failed piece is
+  // discarded and re-downloaded; optionally the peers that contributed
+  // blocks to it are disconnected.
+  bool verify_pieces = true;
+  bool ban_corrupt_sources = true;
+
+  // --- strategy selection ---
+  PickerKind picker = PickerKind::kRarestFirst;
+  LeecherChokerKind leecher_choker = LeecherChokerKind::kChoke;
+  SeedChokerKind seed_choker = SeedChokerKind::kNewSeed;
+
+  // Bit-level tit-for-tat baseline: refuse upload when
+  // (uploaded - downloaded) exceeds this many bytes (§IV-B.1).
+  std::uint64_t tft_deficit_threshold = 2 * 256 * 1024;
+
+  // Super-seeding (extension, §IV-A.4): the initial seed reveals pieces
+  // one at a time and only advertises a new piece to a peer after the
+  // previously revealed piece shows up at another peer.
+  bool super_seeding = false;
+
+  // Fast Extension (BEP 6) behaviour: seeds announce with have_all,
+  // empty peers with have_none, and requests that will not be served
+  // (choked / dropped on choke) are explicitly rejected instead of
+  // silently discarded, letting the requester re-route immediately.
+  // Off by default: the paper's mainline 4.0.2 predates BEP 6.
+  bool fast_extension = false;
+};
+
+}  // namespace swarmlab::core

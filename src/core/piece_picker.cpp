@@ -1,0 +1,103 @@
+#include "core/piece_picker.h"
+
+#include <limits>
+
+namespace swarmlab::core {
+
+namespace {
+
+/// Collects the pieces the remote has, the local peer lacks, and the
+/// request manager allows starting.
+std::vector<PieceIndex> eligible_pieces(const PickContext& ctx) {
+  std::vector<PieceIndex> out;
+  for (PieceIndex p = 0; p < ctx.local.size(); ++p) {
+    if (!ctx.local.has(p) && ctx.remote.has(p) && ctx.startable(p)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+/// Uniform choice among the eligible pieces with the fewest copies.
+std::optional<PieceIndex> pick_rarest(const PickContext& ctx, sim::Rng& rng) {
+  std::vector<PieceIndex> rarest;
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  for (PieceIndex p = 0; p < ctx.local.size(); ++p) {
+    if (ctx.local.has(p) || !ctx.remote.has(p) || !ctx.startable(p)) continue;
+    const std::uint32_t c = ctx.availability.copies(p);
+    if (c < best) {
+      best = c;
+      rarest.clear();
+      rarest.push_back(p);
+    } else if (c == best) {
+      rarest.push_back(p);
+    }
+  }
+  if (rarest.empty()) return std::nullopt;
+  return rarest[rng.index(rarest.size())];
+}
+
+}  // namespace
+
+std::optional<PieceIndex> RarestFirstPicker::pick(const PickContext& ctx,
+                                                  sim::Rng& rng) {
+  // Random first policy: while fewer than the threshold pieces are
+  // complete, pick uniformly — a random piece is likely more replicated
+  // than the rarest one, so it downloads faster and gives the newcomer
+  // something to reciprocate with (paper §II-C.1).
+  if (ctx.pieces_completed < random_first_threshold_) {
+    const auto candidates = eligible_pieces(ctx);
+    if (candidates.empty()) return std::nullopt;
+    return candidates[rng.index(candidates.size())];
+  }
+  return pick_rarest(ctx, rng);
+}
+
+std::optional<PieceIndex> RandomPicker::pick(const PickContext& ctx,
+                                             sim::Rng& rng) {
+  const auto candidates = eligible_pieces(ctx);
+  if (candidates.empty()) return std::nullopt;
+  return candidates[rng.index(candidates.size())];
+}
+
+std::optional<PieceIndex> SequentialPicker::pick(const PickContext& ctx,
+                                                 sim::Rng& rng) {
+  (void)rng;
+  for (PieceIndex p = 0; p < ctx.local.size(); ++p) {
+    if (!ctx.local.has(p) && ctx.remote.has(p) && ctx.startable(p)) return p;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Rarest-first over whatever availability map the context carries, with
+/// no random-first warmup. Paired with a torrent-global AvailabilityMap
+/// this is the global-knowledge oracle of §IV-A.4.
+class GlobalRarestPicker final : public PiecePicker {
+ public:
+  std::optional<PieceIndex> pick(const PickContext& ctx,
+                                 sim::Rng& rng) override {
+    return pick_rarest(ctx, rng);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PiecePicker> make_picker(PickerKind kind,
+                                         const ProtocolParams& params) {
+  switch (kind) {
+    case PickerKind::kRarestFirst:
+      return std::make_unique<RarestFirstPicker>(
+          params.random_first_threshold);
+    case PickerKind::kRandom:
+      return std::make_unique<RandomPicker>();
+    case PickerKind::kSequential:
+      return std::make_unique<SequentialPicker>();
+    case PickerKind::kGlobalRarest:
+      return std::make_unique<GlobalRarestPicker>();
+  }
+  return std::make_unique<RarestFirstPicker>(params.random_first_threshold);
+}
+
+}  // namespace swarmlab::core

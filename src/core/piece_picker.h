@@ -1,0 +1,85 @@
+// Piece-selection strategies (paper §II-C.1).
+//
+// A picker chooses which *new* piece to start downloading from a given
+// remote peer. Completing partially downloaded pieces (strict priority)
+// and the end game mode operate at the block level and live in the peer's
+// request manager; the picker is consulted only when a fresh piece must be
+// chosen.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/availability.h"
+#include "core/bitfield.h"
+#include "core/params.h"
+#include "sim/rng.h"
+
+namespace swarmlab::core {
+
+/// Everything a picker may consult when choosing a piece.
+struct PickContext {
+  /// Pieces the local peer already has (complete + verified).
+  const Bitfield& local;
+  /// Pieces the remote peer (we are picking for) has.
+  const Bitfield& remote;
+  /// Copy counts over the local peer set (or the global oracle map for
+  /// PickerKind::kGlobalRarest).
+  const AvailabilityMap& availability;
+  /// Returns false for pieces that must not be (re)started — already in
+  /// flight from some peer, or filtered by super-seeding.
+  const std::function<bool(PieceIndex)>& startable;
+  /// Number of pieces the local peer has completed (drives the
+  /// random-first policy).
+  std::uint32_t pieces_completed;
+};
+
+/// Interface shared by every strategy.
+class PiecePicker {
+ public:
+  virtual ~PiecePicker() = default;
+
+  /// Picks the next piece to start from the remote peer, or nullopt when
+  /// nothing startable is available there.
+  virtual std::optional<PieceIndex> pick(const PickContext& ctx,
+                                         sim::Rng& rng) = 0;
+};
+
+/// Local rarest first with the random-first policy: random piece until
+/// `random_first_threshold` pieces are complete, then a uniform choice
+/// within the rarest (eligible) pieces set.
+class RarestFirstPicker final : public PiecePicker {
+ public:
+  explicit RarestFirstPicker(std::uint32_t random_first_threshold = 4)
+      : random_first_threshold_(random_first_threshold) {}
+
+  std::optional<PieceIndex> pick(const PickContext& ctx,
+                                 sim::Rng& rng) override;
+
+ private:
+  std::uint32_t random_first_threshold_;
+};
+
+/// Uniform choice over all eligible pieces (strawman baseline).
+class RandomPicker final : public PiecePicker {
+ public:
+  std::optional<PieceIndex> pick(const PickContext& ctx,
+                                 sim::Rng& rng) override;
+};
+
+/// Lowest-index-first (diversity worst case).
+class SequentialPicker final : public PiecePicker {
+ public:
+  std::optional<PieceIndex> pick(const PickContext& ctx,
+                                 sim::Rng& rng) override;
+};
+
+/// Factory. For kGlobalRarest the caller wires a global AvailabilityMap
+/// into the PickContext; the picking rule is rarest-first without the
+/// random-first warmup (the oracle needs no bootstrap).
+std::unique_ptr<PiecePicker> make_picker(PickerKind kind,
+                                         const ProtocolParams& params);
+
+}  // namespace swarmlab::core

@@ -1,0 +1,87 @@
+// Analyzers that turn a LocalPeerLog into the paper's reported series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instrument/local_log.h"
+#include "stats/cdf.h"
+
+namespace swarmlab::instrument {
+
+// --- Fig. 1: entropy characterization -----------------------------------
+
+/// Per-torrent entropy distribution: the a/b and c/d ratios over remote
+/// leechers, filtered by the paper's 10-second peer-set-residency rule.
+struct EntropyResult {
+  std::vector<double> local_interest_ratios;   ///< a/b per remote leecher
+  std::vector<double> remote_interest_ratios;  ///< c/d per remote leecher
+  double p20_local = 0.0, median_local = 0.0, p80_local = 0.0;
+  double p20_remote = 0.0, median_remote = 0.0, p80_remote = 0.0;
+};
+
+/// `min_residency` is the paper's noise filter (peers that stayed in the
+/// peer set less than 10 s are ignored).
+EntropyResult analyze_entropy(const LocalPeerLog& log,
+                              double min_residency = 10.0);
+
+// --- Figs. 7-8: interarrival CDFs -----------------------------------------
+
+/// CDFs of interarrival times: all samples, the first `k`, the last `k`.
+struct InterarrivalResult {
+  stats::Cdf all;
+  stats::Cdf first_k;
+  stats::Cdf last_k;
+};
+
+/// Piece completion interarrival times (Fig. 7). The first sample is the
+/// gap from the download start to the first completion.
+InterarrivalResult analyze_piece_interarrival(const LocalPeerLog& log,
+                                              std::size_t k = 100);
+
+/// Block arrival interarrival times (Fig. 8).
+InterarrivalResult analyze_block_interarrival(const LocalPeerLog& log,
+                                              std::size_t k = 100);
+
+// --- Figs. 9 and 11: contribution by sets of 5 remote peers -----------------
+
+/// Contribution of the best-downloader sets of `set_size` peers.
+struct ContributionSets {
+  /// set_fraction[i] = share of total bytes contributed by set i (set 0 =
+  /// the 5 peers that received the most).
+  std::vector<double> upload_fraction;
+  /// Share of total *download* that came from the same sets (Fig. 9
+  /// bottom; seeds excluded per the paper).
+  std::vector<double> download_fraction;
+  std::uint64_t total_uploaded = 0;
+  std::uint64_t total_downloaded_from_leechers = 0;
+};
+
+/// Leecher-state contributions (Fig. 9): sets ordered by bytes uploaded
+/// in leecher state; download side counts only bytes from leechers.
+ContributionSets analyze_leecher_fairness(const LocalPeerLog& log,
+                                          std::size_t set_size = 5,
+                                          std::size_t num_sets = 6);
+
+/// Seed-state contributions (Fig. 11): sets ordered by bytes uploaded in
+/// seed state (download side is empty — a seed downloads nothing).
+ContributionSets analyze_seed_fairness(const LocalPeerLog& log,
+                                       std::size_t set_size = 5,
+                                       std::size_t num_sets = 6);
+
+// --- Fig. 10: unchoke count vs interested time -------------------------------
+
+/// Scatter of (interested time, number of unchokes) per remote peer plus
+/// rank correlation, one per local-peer state.
+struct UnchokeCorrelation {
+  std::vector<double> interested_time;
+  std::vector<double> unchokes;
+  double spearman = 0.0;
+  double pearson = 0.0;
+};
+
+UnchokeCorrelation analyze_unchoke_correlation_leecher(
+    const LocalPeerLog& log);
+UnchokeCorrelation analyze_unchoke_correlation_seed(const LocalPeerLog& log);
+
+}  // namespace swarmlab::instrument

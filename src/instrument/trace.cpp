@@ -1,0 +1,177 @@
+#include "instrument/trace.h"
+
+#include <string>
+
+namespace swarmlab::instrument {
+
+void TraceWriter::push(double t, const char* kind, peer::PeerId remote,
+                       std::string detail) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{t, kind, remote, std::move(detail)});
+}
+
+void TraceWriter::on_start(sim::SimTime t) { push(t, "start", 0, ""); }
+void TraceWriter::on_stop(sim::SimTime t) { push(t, "stop", 0, ""); }
+
+void TraceWriter::on_peer_joined(sim::SimTime t, peer::PeerId remote) {
+  push(t, "peer_joined", remote, "");
+}
+
+void TraceWriter::on_peer_left(sim::SimTime t, peer::PeerId remote) {
+  push(t, "peer_left", remote, "");
+}
+
+void TraceWriter::on_message_sent(sim::SimTime t, peer::PeerId to,
+                                  const wire::Message& msg) {
+  push(t, "msg_sent", to, wire::message_name(msg));
+}
+
+void TraceWriter::on_message_received(sim::SimTime t, peer::PeerId from,
+                                      const wire::Message& msg) {
+  push(t, "msg_recv", from, wire::message_name(msg));
+}
+
+void TraceWriter::on_interest_change(sim::SimTime t, peer::PeerId remote,
+                                     bool interested) {
+  push(t, "local_interest", remote, interested ? "1" : "0");
+}
+
+void TraceWriter::on_remote_interest_change(sim::SimTime t,
+                                            peer::PeerId remote,
+                                            bool interested) {
+  push(t, "remote_interest", remote, interested ? "1" : "0");
+}
+
+void TraceWriter::on_local_choke_change(sim::SimTime t, peer::PeerId remote,
+                                        bool unchoked) {
+  push(t, "local_unchoke", remote, unchoked ? "1" : "0");
+}
+
+void TraceWriter::on_remote_choke_change(sim::SimTime t,
+                                         peer::PeerId remote,
+                                         bool unchoked) {
+  push(t, "remote_unchoke", remote, unchoked ? "1" : "0");
+}
+
+void TraceWriter::on_choke_round(sim::SimTime t, bool seed_state,
+                                 const std::vector<peer::PeerId>& unchoked) {
+  std::string detail = seed_state ? "seed:" : "leecher:";
+  for (std::size_t i = 0; i < unchoked.size(); ++i) {
+    if (i > 0) detail += ' ';
+    detail += std::to_string(unchoked[i]);
+  }
+  push(t, "choke_round", 0, std::move(detail));
+}
+
+void TraceWriter::on_block_received(sim::SimTime t, peer::PeerId from,
+                                    wire::BlockRef block,
+                                    std::uint32_t bytes) {
+  push(t, "block_recv", from,
+       std::to_string(block.piece) + "/" + std::to_string(block.block) +
+           ":" + std::to_string(bytes));
+}
+
+void TraceWriter::on_block_uploaded(sim::SimTime t, peer::PeerId to,
+                                    wire::BlockRef block,
+                                    std::uint32_t bytes) {
+  push(t, "block_sent", to,
+       std::to_string(block.piece) + "/" + std::to_string(block.block) +
+           ":" + std::to_string(bytes));
+}
+
+void TraceWriter::on_piece_complete(sim::SimTime t, wire::PieceIndex piece) {
+  push(t, "piece_done", 0, std::to_string(piece));
+}
+
+void TraceWriter::on_piece_failed(sim::SimTime t, wire::PieceIndex piece) {
+  push(t, "piece_failed", 0, std::to_string(piece));
+}
+
+void TraceWriter::on_end_game(sim::SimTime t) { push(t, "end_game", 0, ""); }
+
+void TraceWriter::on_became_seed(sim::SimTime t) {
+  push(t, "became_seed", 0, "");
+}
+
+void TraceWriter::write_csv(std::ostream& out) const {
+  out << "time,kind,remote,detail\n";
+  for (const TraceEvent& e : events_) {
+    out << e.time << ',' << e.kind << ',' << e.remote << ',' << e.detail
+        << '\n';
+  }
+}
+
+// --- ObserverList ---------------------------------------------------------
+
+void ObserverList::on_start(sim::SimTime t) {
+  for (auto* o : observers_) o->on_start(t);
+}
+void ObserverList::on_stop(sim::SimTime t) {
+  for (auto* o : observers_) o->on_stop(t);
+}
+void ObserverList::on_peer_joined(sim::SimTime t, peer::PeerId remote) {
+  for (auto* o : observers_) o->on_peer_joined(t, remote);
+}
+void ObserverList::on_peer_left(sim::SimTime t, peer::PeerId remote) {
+  for (auto* o : observers_) o->on_peer_left(t, remote);
+}
+void ObserverList::on_message_sent(sim::SimTime t, peer::PeerId to,
+                                   const wire::Message& msg) {
+  for (auto* o : observers_) o->on_message_sent(t, to, msg);
+}
+void ObserverList::on_message_received(sim::SimTime t, peer::PeerId from,
+                                       const wire::Message& msg) {
+  for (auto* o : observers_) o->on_message_received(t, from, msg);
+}
+void ObserverList::on_interest_change(sim::SimTime t, peer::PeerId remote,
+                                      bool interested) {
+  for (auto* o : observers_) o->on_interest_change(t, remote, interested);
+}
+void ObserverList::on_remote_interest_change(sim::SimTime t,
+                                             peer::PeerId remote,
+                                             bool interested) {
+  for (auto* o : observers_) {
+    o->on_remote_interest_change(t, remote, interested);
+  }
+}
+void ObserverList::on_local_choke_change(sim::SimTime t, peer::PeerId remote,
+                                         bool unchoked) {
+  for (auto* o : observers_) o->on_local_choke_change(t, remote, unchoked);
+}
+void ObserverList::on_remote_choke_change(sim::SimTime t,
+                                          peer::PeerId remote,
+                                          bool unchoked) {
+  for (auto* o : observers_) o->on_remote_choke_change(t, remote, unchoked);
+}
+void ObserverList::on_choke_round(sim::SimTime t, bool seed_state,
+                                  const std::vector<peer::PeerId>& unchoked) {
+  for (auto* o : observers_) o->on_choke_round(t, seed_state, unchoked);
+}
+void ObserverList::on_block_received(sim::SimTime t, peer::PeerId from,
+                                     wire::BlockRef block,
+                                     std::uint32_t bytes) {
+  for (auto* o : observers_) o->on_block_received(t, from, block, bytes);
+}
+void ObserverList::on_block_uploaded(sim::SimTime t, peer::PeerId to,
+                                     wire::BlockRef block,
+                                     std::uint32_t bytes) {
+  for (auto* o : observers_) o->on_block_uploaded(t, to, block, bytes);
+}
+void ObserverList::on_piece_complete(sim::SimTime t,
+                                     wire::PieceIndex piece) {
+  for (auto* o : observers_) o->on_piece_complete(t, piece);
+}
+void ObserverList::on_piece_failed(sim::SimTime t, wire::PieceIndex piece) {
+  for (auto* o : observers_) o->on_piece_failed(t, piece);
+}
+void ObserverList::on_end_game(sim::SimTime t) {
+  for (auto* o : observers_) o->on_end_game(t);
+}
+void ObserverList::on_became_seed(sim::SimTime t) {
+  for (auto* o : observers_) o->on_became_seed(t);
+}
+
+}  // namespace swarmlab::instrument

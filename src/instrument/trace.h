@@ -1,0 +1,115 @@
+// Full event tracing — the raw material of the paper's analysis ("a log
+// of each BitTorrent message sent or received with the detailed content
+// of the message, a log of each state change in the choke algorithm, and
+// a log of important events", §III-C) — plus an observer fan-out so a
+// peer can feed several instruments at once.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "peer/observer.h"
+
+namespace swarmlab::instrument {
+
+/// One trace row.
+struct TraceEvent {
+  double time = 0.0;
+  std::string kind;      ///< "msg_sent", "msg_recv", "choke", "piece", ...
+  peer::PeerId remote = peer::kNoPeer;
+  std::string detail;    ///< message name / piece index / flag value
+};
+
+/// Records every observer callback as a structured row; can render the
+/// log as CSV for offline analysis (the paper's trace files).
+class TraceWriter final : public peer::PeerObserver {
+ public:
+  /// `max_events` caps memory (0 = unlimited); past the cap, new events
+  /// are dropped and `dropped()` counts them.
+  explicit TraceWriter(std::size_t max_events = 0)
+      : max_events_(max_events) {}
+
+  void on_start(sim::SimTime t) override;
+  void on_stop(sim::SimTime t) override;
+  void on_peer_joined(sim::SimTime t, peer::PeerId remote) override;
+  void on_peer_left(sim::SimTime t, peer::PeerId remote) override;
+  void on_message_sent(sim::SimTime t, peer::PeerId to,
+                       const wire::Message& msg) override;
+  void on_message_received(sim::SimTime t, peer::PeerId from,
+                           const wire::Message& msg) override;
+  void on_interest_change(sim::SimTime t, peer::PeerId remote,
+                          bool interested) override;
+  void on_remote_interest_change(sim::SimTime t, peer::PeerId remote,
+                                 bool interested) override;
+  void on_local_choke_change(sim::SimTime t, peer::PeerId remote,
+                             bool unchoked) override;
+  void on_remote_choke_change(sim::SimTime t, peer::PeerId remote,
+                              bool unchoked) override;
+  void on_choke_round(sim::SimTime t, bool seed_state,
+                      const std::vector<peer::PeerId>& unchoked) override;
+  void on_block_received(sim::SimTime t, peer::PeerId from,
+                         wire::BlockRef block, std::uint32_t bytes) override;
+  void on_block_uploaded(sim::SimTime t, peer::PeerId to,
+                         wire::BlockRef block, std::uint32_t bytes) override;
+  void on_piece_complete(sim::SimTime t, wire::PieceIndex piece) override;
+  void on_piece_failed(sim::SimTime t, wire::PieceIndex piece) override;
+  void on_end_game(sim::SimTime t) override;
+  void on_became_seed(sim::SimTime t) override;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// Writes "time,kind,remote,detail" rows (with a header line).
+  void write_csv(std::ostream& out) const;
+
+ private:
+  void push(double t, const char* kind, peer::PeerId remote,
+            std::string detail);
+
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+/// Fans observer callbacks out to several instruments (e.g., a
+/// LocalPeerLog and a TraceWriter on the same peer). Does not own them.
+class ObserverList final : public peer::PeerObserver {
+ public:
+  void add(peer::PeerObserver* observer) { observers_.push_back(observer); }
+
+  void on_start(sim::SimTime t) override;
+  void on_stop(sim::SimTime t) override;
+  void on_peer_joined(sim::SimTime t, peer::PeerId remote) override;
+  void on_peer_left(sim::SimTime t, peer::PeerId remote) override;
+  void on_message_sent(sim::SimTime t, peer::PeerId to,
+                       const wire::Message& msg) override;
+  void on_message_received(sim::SimTime t, peer::PeerId from,
+                           const wire::Message& msg) override;
+  void on_interest_change(sim::SimTime t, peer::PeerId remote,
+                          bool interested) override;
+  void on_remote_interest_change(sim::SimTime t, peer::PeerId remote,
+                                 bool interested) override;
+  void on_local_choke_change(sim::SimTime t, peer::PeerId remote,
+                             bool unchoked) override;
+  void on_remote_choke_change(sim::SimTime t, peer::PeerId remote,
+                              bool unchoked) override;
+  void on_choke_round(sim::SimTime t, bool seed_state,
+                      const std::vector<peer::PeerId>& unchoked) override;
+  void on_block_received(sim::SimTime t, peer::PeerId from,
+                         wire::BlockRef block, std::uint32_t bytes) override;
+  void on_block_uploaded(sim::SimTime t, peer::PeerId to,
+                         wire::BlockRef block, std::uint32_t bytes) override;
+  void on_piece_complete(sim::SimTime t, wire::PieceIndex piece) override;
+  void on_piece_failed(sim::SimTime t, wire::PieceIndex piece) override;
+  void on_end_game(sim::SimTime t) override;
+  void on_became_seed(sim::SimTime t) override;
+
+ private:
+  std::vector<peer::PeerObserver*> observers_;
+};
+
+}  // namespace swarmlab::instrument

@@ -1,0 +1,77 @@
+#include "model/fluid_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace swarmlab::model {
+
+namespace {
+
+struct Derivative {
+  double dx;
+  double dy;
+};
+
+Derivative rhs(const FluidParams& p, double x, double y) {
+  const double service = std::min(p.c * x, p.mu * (p.eta * x + y));
+  return {p.lambda - p.theta * x - service, service - p.gamma * y};
+}
+
+}  // namespace
+
+std::vector<FluidState> integrate(const FluidParams& params, double x0,
+                                  double y0, double horizon,
+                                  double dt_sample, double dt_step) {
+  assert(dt_step > 0 && dt_sample >= dt_step && horizon >= 0);
+  std::vector<FluidState> out;
+  double x = x0, y = y0, t = 0.0;
+  double next_sample = 0.0;
+  out.push_back({0.0, x, y});
+  next_sample += dt_sample;
+  while (t < horizon) {
+    const double h = std::min(dt_step, horizon - t);
+    // Classic RK4 on the clamped state.
+    const Derivative k1 = rhs(params, x, y);
+    const Derivative k2 =
+        rhs(params, x + 0.5 * h * k1.dx, y + 0.5 * h * k1.dy);
+    const Derivative k3 =
+        rhs(params, x + 0.5 * h * k2.dx, y + 0.5 * h * k2.dy);
+    const Derivative k4 = rhs(params, x + h * k3.dx, y + h * k3.dy);
+    x += h / 6.0 * (k1.dx + 2 * k2.dx + 2 * k3.dx + k4.dx);
+    y += h / 6.0 * (k1.dy + 2 * k2.dy + 2 * k3.dy + k4.dy);
+    x = std::max(0.0, x);
+    y = std::max(0.0, y);
+    t += h;
+    if (t + 1e-9 >= next_sample) {
+      out.push_back({t, x, y});
+      next_sample += dt_sample;
+    }
+  }
+  if (out.back().t < horizon) out.push_back({horizon, x, y});
+  return out;
+}
+
+FluidEquilibrium equilibrium(const FluidParams& params) {
+  assert(params.lambda > 0 && params.gamma > 0);
+  FluidEquilibrium eq;
+  // In equilibrium the completion flux equals lambda' = lambda - theta x.
+  // Case 1 (upload constrained): service = mu (eta x + y), y = flux/gamma.
+  // Following Qiu-Srikant with theta small, define
+  //   1/nu = max(1/c, 1/eta * (1/mu - 1/gamma))
+  // and x_bar = lambda/nu (their eq. for the download-time bound), with
+  // y_bar = lambda/gamma.
+  const double inv_upload =
+      (1.0 / params.eta) * (1.0 / params.mu - 1.0 / params.gamma);
+  const double inv_download = 1.0 / params.c;
+  const double inv_nu = std::max(inv_download, std::max(inv_upload, 0.0));
+  eq.download_constrained = inv_download >= inv_upload;
+  const double effective_lambda =
+      params.lambda;  // theta shrinks throughput; first-order ignored
+  eq.leechers = effective_lambda * inv_nu;
+  eq.seeds = effective_lambda / params.gamma;
+  eq.download_time = inv_nu;
+  return eq;
+}
+
+}  // namespace swarmlab::model

@@ -1,0 +1,61 @@
+// The Qiu-Srikant fluid model of BitTorrent-like networks
+// (D. Qiu, R. Srikant, "Modeling and performance analysis of
+// BitTorrent-like peer-to-peer networks", SIGCOMM 2004) — the analytical
+// baseline the paper discusses in §V. The paper's point: these models
+// assume global knowledge; swarmlab lets you compare the fluid
+// prediction against a protocol-faithful simulation with 80-peer local
+// views.
+//
+//   dx/dt = lambda - theta x - min(c x, mu (eta x + y))
+//   dy/dt = min(c x, mu (eta x + y)) - gamma y
+//
+// x: leechers, y: seeds; lambda: arrival rate; theta: abort rate;
+// gamma: seed departure rate; c: download capacity, mu: upload capacity
+// (both in file copies per second); eta: sharing effectiveness (~1 for
+// rarest first with large peer sets).
+#pragma once
+
+#include <vector>
+
+namespace swarmlab::model {
+
+/// Model parameters, all rates per second and capacities in file copies
+/// per second (i.e., bytes/sec divided by the file size).
+struct FluidParams {
+  double lambda = 0.05;  ///< leecher arrival rate
+  double mu = 0.001;     ///< upload capacity (copies/s)
+  double c = 0.008;      ///< download capacity (copies/s)
+  double theta = 0.0;    ///< leecher abort rate
+  double gamma = 0.005;  ///< seed departure rate
+  double eta = 1.0;      ///< sharing effectiveness
+};
+
+/// One trajectory point.
+struct FluidState {
+  double t = 0.0;
+  double leechers = 0.0;
+  double seeds = 0.0;
+};
+
+/// Integrates the ODE with RK4 from (x0, y0) over [0, horizon], sampling
+/// every `dt_sample`. Populations are clamped at 0.
+std::vector<FluidState> integrate(const FluidParams& params, double x0,
+                                  double y0, double horizon,
+                                  double dt_sample = 10.0,
+                                  double dt_step = 0.1);
+
+/// Steady-state populations (Qiu-Srikant eq. (4)-(5)); valid when
+/// lambda > 0 and gamma > 0. Returns {x_bar, y_bar}.
+struct FluidEquilibrium {
+  double leechers = 0.0;
+  double seeds = 0.0;
+  /// Mean download time via Little's law: x_bar / (lambda (1 - theta-
+  /// fraction)); with theta = 0 simply x_bar / lambda.
+  double download_time = 0.0;
+  /// True when the download constraint (c) binds rather than upload.
+  bool download_constrained = false;
+};
+
+FluidEquilibrium equilibrium(const FluidParams& params);
+
+}  // namespace swarmlab::model

@@ -1,0 +1,172 @@
+#include "net/fluid_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace swarmlab::net {
+
+namespace {
+// Completion times are scheduled with a tiny epsilon so that float drift
+// in settle() cannot leave a sliver of bytes unfinished.
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+NodeId FluidNetwork::add_node(double up_bytes_per_sec,
+                              double down_bytes_per_sec) {
+  assert(up_bytes_per_sec > 0.0 && down_bytes_per_sec > 0.0);
+  const NodeId id = next_node_++;
+  Node node;
+  node.up = up_bytes_per_sec;
+  node.down = down_bytes_per_sec;
+  nodes_.emplace(id, std::move(node));
+  return id;
+}
+
+void FluidNetwork::remove_node(NodeId node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  // Collect first: cancel_flow mutates the sets we iterate.
+  std::vector<FlowId> doomed(it->second.outgoing.begin(),
+                             it->second.outgoing.end());
+  doomed.insert(doomed.end(), it->second.incoming.begin(),
+                it->second.incoming.end());
+  for (const FlowId f : doomed) cancel_flow(f);
+  nodes_.erase(node);
+}
+
+double FluidNetwork::node_up(NodeId node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0.0 : it->second.up;
+}
+
+FlowId FluidNetwork::start_flow(NodeId from, NodeId to, std::uint64_t bytes,
+                                std::function<void()> on_complete) {
+  assert(nodes_.contains(from) && nodes_.contains(to));
+  assert(bytes > 0);
+  const FlowId id = next_flow_++;
+  Flow flow;
+  flow.from = from;
+  flow.to = to;
+  flow.remaining = static_cast<double>(bytes);
+  flow.last_update = sim_.now();
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  nodes_[from].outgoing.insert(id);
+  nodes_[to].incoming.insert(id);
+  reallocate(from, to);
+  return id;
+}
+
+bool FluidNetwork::cancel_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  const NodeId from = it->second.from;
+  const NodeId to = it->second.to;
+  if (it->second.completion_event != 0) {
+    sim_.cancel(it->second.completion_event);
+  }
+  if (auto n = nodes_.find(from); n != nodes_.end()) {
+    n->second.outgoing.erase(id);
+  }
+  if (auto n = nodes_.find(to); n != nodes_.end()) {
+    n->second.incoming.erase(id);
+  }
+  flows_.erase(it);
+  reallocate(from, to);
+  return true;
+}
+
+double FluidNetwork::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FluidNetwork::send_control(std::function<void()> deliver) {
+  sim_.schedule_in(control_latency_, std::move(deliver));
+}
+
+void FluidNetwork::settle(Flow& flow) {
+  const sim::SimTime now = sim_.now();
+  if (now > flow.last_update && flow.rate > 0.0) {
+    flow.remaining =
+        std::max(0.0, flow.remaining - flow.rate * (now - flow.last_update));
+  }
+  flow.last_update = now;
+}
+
+double FluidNetwork::compute_rate(const Flow& flow) const {
+  const auto from_it = nodes_.find(flow.from);
+  const auto to_it = nodes_.find(flow.to);
+  if (from_it == nodes_.end() || to_it == nodes_.end()) return 0.0;
+  const Node& sender = from_it->second;
+  const Node& receiver = to_it->second;
+  const double up_share =
+      sender.up / static_cast<double>(std::max<std::size_t>(
+                      1, sender.outgoing.size()));
+  const double down_share =
+      receiver.down / static_cast<double>(std::max<std::size_t>(
+                          1, receiver.incoming.size()));
+  return std::min(up_share, down_share);
+}
+
+void FluidNetwork::reschedule(FlowId id, Flow& flow) {
+  if (flow.completion_event != 0) {
+    sim_.cancel(flow.completion_event);
+    flow.completion_event = 0;
+  }
+  if (flow.rate <= 0.0) return;  // stalled; will be rescheduled on change
+  const double secs = std::max(0.0, flow.remaining - kByteEpsilon) / flow.rate;
+  flow.completion_event =
+      sim_.schedule_in(secs, [this, id] { complete_flow(id); });
+}
+
+void FluidNetwork::reallocate(NodeId from, NodeId to) {
+  // Gather the affected flow set (outgoing of `from` plus incoming of
+  // `to`); each is settled at the old rate, then re-rated and
+  // rescheduled.
+  std::vector<FlowId> affected;
+  if (const auto it = nodes_.find(from); it != nodes_.end()) {
+    affected.insert(affected.end(), it->second.outgoing.begin(),
+                    it->second.outgoing.end());
+  }
+  if (const auto it = nodes_.find(to); it != nodes_.end()) {
+    affected.insert(affected.end(), it->second.incoming.begin(),
+                    it->second.incoming.end());
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (const FlowId id : affected) {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) continue;
+    Flow& flow = it->second;
+    settle(flow);
+    flow.rate = compute_rate(flow);
+    reschedule(id, flow);
+  }
+}
+
+void FluidNetwork::complete_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  settle(flow);
+  flow.completion_event = 0;
+  const NodeId from = flow.from;
+  const NodeId to = flow.to;
+  // Detach before the callback: the callback typically starts a new flow.
+  std::function<void()> on_complete = std::move(flow.on_complete);
+  if (auto n = nodes_.find(from); n != nodes_.end()) {
+    n->second.outgoing.erase(id);
+  }
+  if (auto n = nodes_.find(to); n != nodes_.end()) {
+    n->second.incoming.erase(id);
+  }
+  flows_.erase(it);
+  reallocate(from, to);
+  if (on_complete) on_complete();
+}
+
+}  // namespace swarmlab::net

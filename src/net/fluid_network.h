@@ -1,0 +1,132 @@
+// Flow-level ("fluid") network model.
+//
+// Data transfers are flows with a byte size; a flow's instantaneous rate is
+//
+//     rate = min( up(sender)   / #active-outgoing(sender),
+//                 down(receiver) / #active-incoming(receiver) )
+//
+// i.e., the sender's upload pipe is split equally across its concurrent
+// uploads (mirroring TCP sharing across connections plus mainline's global
+// upload rate cap), with a one-pass receiver-side cap. Rates are
+// recomputed whenever a flow starts or ends at either endpoint.
+//
+// This sender-bottleneck model matches the regime the paper studies: the
+// monitored client uploads at most 20 kB/s with effectively unlimited
+// download, and the transient-state analysis (§IV-A.2.a) hinges on the
+// initial seed's upload capacity being the binding constraint.
+//
+// Control messages (have/interested/choke/...) are a few dozen bytes and
+// are modeled as pure latency via `send_control`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/types.h"
+
+namespace swarmlab::net {
+
+/// Identifies an endpoint (a simulated host).
+using NodeId = std::uint32_t;
+
+/// Identifies a live flow.
+using FlowId = std::uint64_t;
+
+/// Unlimited capacity marker.
+inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+/// The fluid network. One instance per simulation.
+class FluidNetwork {
+ public:
+  /// `control_latency` is the one-way delay applied to control messages
+  /// and to the first byte of each flow, in seconds.
+  explicit FluidNetwork(sim::Simulation& sim, double control_latency = 0.05)
+      : sim_(sim), control_latency_(control_latency) {}
+
+  FluidNetwork(const FluidNetwork&) = delete;
+  FluidNetwork& operator=(const FluidNetwork&) = delete;
+
+  /// Registers a host with the given capacities in bytes/second
+  /// (kUnlimited allowed). Returns its id.
+  NodeId add_node(double up_bytes_per_sec, double down_bytes_per_sec);
+
+  /// Removes a host; all its flows are silently aborted (no completion
+  /// callbacks fire).
+  void remove_node(NodeId node);
+
+  [[nodiscard]] bool has_node(NodeId node) const {
+    return nodes_.contains(node);
+  }
+
+  /// Starts a transfer of `bytes` from `from` to `to`; `on_complete` fires
+  /// when the last byte arrives. Returns the flow id.
+  FlowId start_flow(NodeId from, NodeId to, std::uint64_t bytes,
+                    std::function<void()> on_complete);
+
+  /// Aborts a flow. Returns true when the flow was still active; the
+  /// completion callback never fires.
+  bool cancel_flow(FlowId flow);
+
+  /// Current rate of a flow in bytes/second (0 if unknown/finished).
+  [[nodiscard]] double flow_rate(FlowId flow) const;
+
+  /// Delivers `deliver` to the destination after the control latency.
+  /// The destination is not checked for liveness here; higher layers
+  /// guard against delivery to departed peers.
+  void send_control(std::function<void()> deliver);
+
+  [[nodiscard]] double control_latency() const { return control_latency_; }
+
+  /// Number of active flows (for tests/diagnostics).
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Upload capacity of a node (for diagnostics).
+  [[nodiscard]] double node_up(NodeId node) const;
+
+ private:
+  struct Node {
+    double up = kUnlimited;
+    double down = kUnlimited;
+    std::unordered_set<FlowId> outgoing;
+    std::unordered_set<FlowId> incoming;
+  };
+
+  struct Flow {
+    NodeId from = 0;
+    NodeId to = 0;
+    double remaining = 0.0;  // bytes
+    double rate = 0.0;       // bytes/sec
+    sim::SimTime last_update = 0.0;
+    sim::EventId completion_event = 0;
+    std::function<void()> on_complete;
+  };
+
+  /// Applies progress accrued since `last_update` at the current rate.
+  void settle(Flow& flow);
+
+  /// Recomputes rates and completion events for every flow touching
+  /// `from`'s outgoing set and `to`'s incoming set.
+  void reallocate(NodeId from, NodeId to);
+
+  /// Recomputes one flow's rate from the current share counts.
+  [[nodiscard]] double compute_rate(const Flow& flow) const;
+
+  /// Reschedules the completion event for a settled flow.
+  void reschedule(FlowId id, Flow& flow);
+
+  void complete_flow(FlowId id);
+
+  sim::Simulation& sim_;
+  double control_latency_;
+  std::unordered_map<NodeId, Node> nodes_;
+  std::unordered_map<FlowId, Flow> flows_;
+  NodeId next_node_ = 1;
+  FlowId next_flow_ = 1;
+};
+
+}  // namespace swarmlab::net

@@ -1,0 +1,78 @@
+// Per-remote-peer connection state, one instance per entry in the local
+// peer set. Both endpoints hold their own Connection for the same link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/bitfield.h"
+#include "net/fluid_network.h"
+#include "peer/types.h"
+#include "stats/rate_estimator.h"
+#include "wire/geometry.h"
+
+namespace swarmlab::peer {
+
+/// A queued upload request (mirrors wire::RequestMsg).
+struct QueuedRequest {
+  wire::BlockRef block;
+  std::uint32_t bytes = 0;
+};
+
+/// The local peer's view of one remote peer.
+struct Connection {
+  PeerId remote = kNoPeer;
+  bool initiated_by_us = false;
+  /// When the connection was established (drives the optimistic-unchoke
+  /// bootstrap bias for new peers).
+  double connected_at = 0.0;
+
+  /// What the remote peer has (from its bitfield + HAVEs).
+  core::Bitfield remote_have;
+
+  /// Pieces the remote has that the local peer lacks, maintained
+  /// incrementally (interest holds iff missing_count > 0). Avoids an
+  /// O(pieces) bitfield scan on every HAVE.
+  std::uint32_t missing_count = 0;
+
+  // --- the four protocol flags (paper §II-A) ---
+  bool am_choking = true;       ///< we choke them
+  bool am_interested = false;   ///< we are interested in them
+  bool peer_choking = true;     ///< they choke us
+  bool peer_interested = false; ///< they are interested in us
+
+  /// When we last unchoked them (-1 = never); drives the new seed-state
+  /// choke ordering.
+  double last_unchoke_time = -1.0;
+
+  // --- rate estimation (mainline: trailing 20 s window) ---
+  stats::RateEstimator download_rate{20.0};  ///< bytes they send us
+  stats::RateEstimator upload_rate{20.0};    ///< bytes we send them
+
+  // --- download side ---
+  /// Blocks we requested from them and have not yet received/cancelled.
+  std::vector<wire::BlockRef> outstanding;
+  /// When the last block arrived from them (-1: never); drives the
+  /// anti-snubbing check.
+  double last_block_time = -1.0;
+  /// When we last sent them a request (reference point for snubbing when
+  /// no block has arrived yet).
+  double last_request_time = -1.0;
+
+  // --- upload side ---
+  /// Requests received from them, waiting behind the in-flight block.
+  std::deque<QueuedRequest> upload_queue;
+  /// The block currently being transferred to them (0 = none).
+  net::FlowId upload_flow = 0;
+  wire::BlockRef upload_in_flight{};
+
+  [[nodiscard]] bool has_outstanding(wire::BlockRef b) const {
+    for (const auto& r : outstanding) {
+      if (r == b) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace swarmlab::peer

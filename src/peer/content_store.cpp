@@ -1,0 +1,57 @@
+#include "peer/content_store.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "wire/sha1.h"
+
+namespace swarmlab::peer {
+
+void ContentStore::fill_complete() {
+  for (wire::PieceIndex p = 0; p < geo_.num_pieces(); ++p) {
+    pieces_[p] = wire::synthetic_piece_bytes(*meta_, p);
+  }
+}
+
+void ContentStore::put_piece(wire::PieceIndex piece,
+                             std::vector<std::uint8_t> bytes) {
+  assert(bytes.size() == geo_.piece_bytes(piece));
+  pieces_[piece] = std::move(bytes);
+}
+
+void ContentStore::put_block(wire::BlockRef block,
+                             std::span<const std::uint8_t> data) {
+  assert(data.size() == geo_.block_bytes(block));
+  auto& buf = pieces_[block.piece];
+  if (buf.empty()) buf.assign(geo_.piece_bytes(block.piece), 0);
+  std::memcpy(buf.data() + geo_.block_offset(block), data.data(),
+              data.size());
+}
+
+std::vector<std::uint8_t> ContentStore::read_block(
+    wire::BlockRef block) const {
+  const auto it = pieces_.find(block.piece);
+  assert(it != pieces_.end());
+  const std::uint32_t offset = geo_.block_offset(block);
+  const std::uint32_t len = geo_.block_bytes(block);
+  assert(it->second.size() >= offset + len);
+  return std::vector<std::uint8_t>(it->second.begin() + offset,
+                                   it->second.begin() + offset + len);
+}
+
+bool ContentStore::verify_piece(wire::PieceIndex piece) const {
+  const auto it = pieces_.find(piece);
+  if (it == pieces_.end()) return false;
+  if (it->second.size() != geo_.piece_bytes(piece)) return false;
+  return wire::Sha1::hash(std::span<const std::uint8_t>(
+             it->second.data(), it->second.size())) ==
+         meta_->piece_hashes[piece];
+}
+
+std::size_t ContentStore::stored_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [piece, bytes] : pieces_) total += bytes.size();
+  return total;
+}
+
+}  // namespace swarmlab::peer

@@ -1,0 +1,58 @@
+// In-memory content storage for the optional data plane.
+//
+// The simulator normally exchanges empty PieceMsg payloads (bandwidth is
+// modeled by the fluid network; integrity by a taint marker). With the
+// data plane enabled, every block carries its actual bytes, pieces are
+// assembled here, and completion is gated on the real SHA-1 from the
+// .torrent metainfo — exactly a real client's write path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "wire/metainfo.h"
+
+namespace swarmlab::peer {
+
+/// Per-peer piece/block byte storage with hash verification.
+class ContentStore {
+ public:
+  explicit ContentStore(const wire::Metainfo& meta)
+      : meta_(&meta), geo_(meta.geometry()) {}
+
+  /// Loads the full synthetic content (a seed's disk state).
+  void fill_complete();
+
+  /// Loads one piece (e.g., after verification).
+  void put_piece(wire::PieceIndex piece, std::vector<std::uint8_t> bytes);
+
+  /// Writes one received block into its piece buffer.
+  void put_block(wire::BlockRef block, std::span<const std::uint8_t> data);
+
+  /// Reads one block for upload. Precondition: the piece's bytes are
+  /// present (the caller owns the have-bitfield invariant).
+  [[nodiscard]] std::vector<std::uint8_t> read_block(
+      wire::BlockRef block) const;
+
+  /// Verifies the assembled piece against the metainfo hash.
+  [[nodiscard]] bool verify_piece(wire::PieceIndex piece) const;
+
+  /// Drops a piece buffer (after a failed verification).
+  void drop_piece(wire::PieceIndex piece) { pieces_.erase(piece); }
+
+  [[nodiscard]] bool has_piece_bytes(wire::PieceIndex piece) const {
+    return pieces_.contains(piece);
+  }
+
+  /// Total bytes currently buffered (diagnostics).
+  [[nodiscard]] std::size_t stored_bytes() const;
+
+ private:
+  const wire::Metainfo* meta_;
+  wire::ContentGeometry geo_;
+  std::map<wire::PieceIndex, std::vector<std::uint8_t>> pieces_;
+};
+
+}  // namespace swarmlab::peer

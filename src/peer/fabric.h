@@ -1,0 +1,76 @@
+// The environment a peer lives in.
+//
+// Peers never hold pointers to each other; all interaction goes through
+// the Fabric (implemented by swarm::Swarm), which routes control messages
+// with latency, carries block data over the fluid network, brokers
+// connections, and fronts the tracker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/availability.h"
+#include "net/fluid_network.h"
+#include "peer/types.h"
+#include "sim/simulation.h"
+#include "wire/geometry.h"
+#include "wire/messages.h"
+#include "wire/metainfo.h"
+
+namespace swarmlab::peer {
+
+/// Tracker announce verdict: the peers handed back.
+struct AnnounceResult {
+  std::vector<PeerId> peers;
+};
+
+/// What a tracker announce reports (paper §II-B).
+enum class AnnounceEvent { kStarted, kRegular, kCompleted, kStopped };
+
+/// Services the swarm provides to each peer.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  virtual sim::Simulation& simulation() = 0;
+
+  /// The underlying fluid network (e.g., to cancel an upload flow when a
+  /// connection closes mid-transfer).
+  virtual net::FluidNetwork& network() = 0;
+
+  /// Delivers `msg` to `to` after the control latency. Delivery is
+  /// dropped silently if either endpoint left the torrent meanwhile.
+  virtual void send_control(PeerId from, PeerId to, wire::Message msg) = 0;
+
+  /// Broadcasts HAVE(piece) from `from` to all its current connections in
+  /// a single scheduled delivery (equivalent to per-peer sends; batched
+  /// for event economy).
+  virtual void broadcast_have(PeerId from, wire::PieceIndex piece) = 0;
+
+  /// Starts the data transfer of one block. The receiver gets the
+  /// corresponding PieceMsg on completion; the sender gets
+  /// Peer::on_block_sent. Returns the network flow id.
+  virtual net::FlowId send_block(PeerId from, PeerId to,
+                                 wire::BlockRef block) = 0;
+
+  /// Attempts to open a connection; if the target accepts, both sides get
+  /// Peer::on_connected after the handshake latency.
+  virtual void connect(PeerId from, PeerId to) = 0;
+
+  /// Tears down a connection; both sides get Peer::on_disconnected.
+  virtual void disconnect(PeerId a, PeerId b) = 0;
+
+  /// Tracker announce; returns a random subset of current torrent members
+  /// (paper: 50 peers).
+  virtual AnnounceResult announce(PeerId who, AnnounceEvent event) = 0;
+
+  /// Torrent-wide piece copy counts (the global-knowledge oracle used by
+  /// PickerKind::kGlobalRarest; see DESIGN.md A1).
+  virtual const core::AvailabilityMap& global_availability() const = 0;
+
+  /// Non-null when the data plane is enabled: peers then exchange real
+  /// content bytes and verify pieces against these SHA-1 hashes.
+  virtual const wire::Metainfo* metainfo() const { return nullptr; }
+};
+
+}  // namespace swarmlab::peer

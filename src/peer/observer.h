@@ -1,0 +1,77 @@
+// Instrumentation hook: the paper's "instrumented client" (§III-C) logs
+// every message, every choke-algorithm state change, the rate estimations
+// and the important protocol events. A PeerObserver receives exactly that
+// stream from the peer it is attached to.
+#pragma once
+
+#include <vector>
+
+#include "peer/types.h"
+#include "sim/types.h"
+#include "wire/geometry.h"
+#include "wire/messages.h"
+
+namespace swarmlab::peer {
+
+/// No-op base; the instrument library overrides what it needs.
+class PeerObserver {
+ public:
+  virtual ~PeerObserver() = default;
+
+  /// The peer joined the torrent.
+  virtual void on_start(sim::SimTime /*t*/) {}
+  /// The peer left the torrent.
+  virtual void on_stop(sim::SimTime /*t*/) {}
+
+  /// A remote peer entered / left the local peer set.
+  virtual void on_peer_joined(sim::SimTime /*t*/, PeerId /*remote*/) {}
+  virtual void on_peer_left(sim::SimTime /*t*/, PeerId /*remote*/) {}
+
+  /// Full message log (both directions).
+  virtual void on_message_sent(sim::SimTime /*t*/, PeerId /*to*/,
+                               const wire::Message& /*msg*/) {}
+  virtual void on_message_received(sim::SimTime /*t*/, PeerId /*from*/,
+                                   const wire::Message& /*msg*/) {}
+
+  /// Local interest in a remote peer changed.
+  virtual void on_interest_change(sim::SimTime /*t*/, PeerId /*remote*/,
+                                  bool /*interested*/) {}
+  /// The remote peer's interest in the local peer changed.
+  virtual void on_remote_interest_change(sim::SimTime /*t*/,
+                                         PeerId /*remote*/,
+                                         bool /*interested*/) {}
+
+  /// Local peer (un)choked a remote peer. `unchoked` true = unchoke.
+  virtual void on_local_choke_change(sim::SimTime /*t*/, PeerId /*remote*/,
+                                     bool /*unchoked*/) {}
+  /// A remote peer (un)choked the local peer.
+  virtual void on_remote_choke_change(sim::SimTime /*t*/, PeerId /*remote*/,
+                                      bool /*unchoked*/) {}
+
+  /// One choke-algorithm round completed; `unchoked` is the new active
+  /// selection. `seed_state` says which algorithm ran.
+  virtual void on_choke_round(sim::SimTime /*t*/, bool /*seed_state*/,
+                              const std::vector<PeerId>& /*unchoked*/) {}
+
+  /// Data-plane events.
+  virtual void on_block_received(sim::SimTime /*t*/, PeerId /*from*/,
+                                 wire::BlockRef /*block*/,
+                                 std::uint32_t /*bytes*/) {}
+  virtual void on_block_uploaded(sim::SimTime /*t*/, PeerId /*to*/,
+                                 wire::BlockRef /*block*/,
+                                 std::uint32_t /*bytes*/) {}
+  virtual void on_piece_complete(sim::SimTime /*t*/,
+                                 wire::PieceIndex /*piece*/) {}
+
+  /// A completed piece failed hash verification and was discarded.
+  virtual void on_piece_failed(sim::SimTime /*t*/,
+                               wire::PieceIndex /*piece*/) {}
+
+  /// End game mode engaged (logged once).
+  virtual void on_end_game(sim::SimTime /*t*/) {}
+
+  /// The local peer completed the content and entered seed state.
+  virtual void on_became_seed(sim::SimTime /*t*/) {}
+};
+
+}  // namespace swarmlab::peer

@@ -1,0 +1,243 @@
+// The BitTorrent peer state machine.
+//
+// Every simulated peer — the instrumented local peer and every remote peer
+// — runs this same implementation of the full protocol: bitfield/HAVE
+// bookkeeping, interest management, the rarest-first picker with random
+// first / strict priority / end game policies, the choke algorithm in
+// leecher and seed state, request pipelining, upload serving, and tracker
+// interaction. Only the attached PeerObserver distinguishes the local
+// peer (paper §III-A: a single instrumented mainline 4.0.2 client).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/availability.h"
+#include "core/bitfield.h"
+#include "core/choker.h"
+#include "core/params.h"
+#include "core/piece_picker.h"
+#include "peer/connection.h"
+#include "peer/content_store.h"
+#include "peer/fabric.h"
+#include "peer/observer.h"
+#include "peer/types.h"
+#include "wire/geometry.h"
+
+namespace swarmlab::peer {
+
+/// Static configuration of one peer.
+struct PeerConfig {
+  PeerId id = kNoPeer;
+  core::ProtocolParams params;
+
+  /// Access-link capacities in bytes/second (paper default for the
+  /// monitored client: 20 kB/s up, unlimited down).
+  double upload_capacity = 20.0 * 1024.0;
+  double download_capacity = net::kUnlimited;
+
+  /// A free rider never serves anyone (§IV-B: leechers that never upload).
+  bool free_rider = false;
+
+  /// A polluter: every block it serves is garbage (fails the receiver's
+  /// piece hash check). Used for failure-injection experiments.
+  bool sends_corrupt_data = false;
+
+  /// Starts with the complete content (a seed).
+  bool start_complete = false;
+
+  /// Optional warm start: exact initial possession (overrides
+  /// start_complete when non-empty). Used to model joining a torrent in
+  /// steady state, where remote peers hold partial content.
+  std::vector<bool> initial_pieces;
+};
+
+/// One simulated BitTorrent peer.
+class Peer {
+ public:
+  Peer(Fabric& fabric, const wire::ContentGeometry& geometry, PeerConfig cfg,
+       PeerObserver* observer = nullptr);
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  // --- lifecycle -------------------------------------------------------
+
+  /// Joins the torrent: announces to the tracker, opens initial
+  /// connections, and starts the choke round timer.
+  void start();
+
+  /// Leaves the torrent: announces `stopped`, closes all connections,
+  /// cancels timers.
+  void stop();
+
+  [[nodiscard]] bool active() const { return started_ && !stopped_; }
+
+  // --- fabric-driven entry points --------------------------------------
+
+  /// Whether this peer accepts one more incoming connection.
+  [[nodiscard]] bool accepts_connection(PeerId from) const;
+
+  void on_connected(PeerId remote, bool initiated_by_us);
+  void on_disconnected(PeerId remote);
+  void handle_message(PeerId from, const wire::Message& msg);
+
+  /// The block we were uploading to `to` finished transferring.
+  void on_block_sent(PeerId to, wire::BlockRef block, std::uint32_t bytes);
+
+  // --- queries ----------------------------------------------------------
+
+  [[nodiscard]] PeerId id() const { return cfg_.id; }
+  [[nodiscard]] const PeerConfig& config() const { return cfg_; }
+  [[nodiscard]] const wire::ContentGeometry& geometry() const { return geo_; }
+  [[nodiscard]] bool is_seed() const { return have_.complete(); }
+  [[nodiscard]] const core::Bitfield& have() const { return have_; }
+  [[nodiscard]] const core::AvailabilityMap& availability() const {
+    return availability_;
+  }
+  [[nodiscard]] std::size_t peer_set_size() const { return conns_.size(); }
+  /// Connections this peer initiated (bounded by params.max_initiated).
+  [[nodiscard]] std::size_t initiated_connections() const;
+  [[nodiscard]] const Connection* connection(PeerId remote) const;
+  [[nodiscard]] std::vector<PeerId> connected_peers() const;
+  [[nodiscard]] bool in_end_game() const { return end_game_active_; }
+  /// Time the peer joined; -1 before start().
+  [[nodiscard]] double start_time() const { return start_time_; }
+  /// Time the download completed; -1 while still leeching.
+  [[nodiscard]] double completion_time() const { return completion_time_; }
+  [[nodiscard]] std::uint64_t total_uploaded() const { return uploaded_; }
+  [[nodiscard]] std::uint64_t total_downloaded() const { return downloaded_; }
+  /// Pieces that failed hash verification and were re-downloaded.
+  [[nodiscard]] std::uint64_t corrupted_pieces() const {
+    return corrupted_pieces_;
+  }
+  /// Non-null when the fabric runs the data plane (real content bytes).
+  [[nodiscard]] const ContentStore* content_store() const {
+    return store_.get();
+  }
+  /// Reads a block's bytes for upload (data plane only; the piece must
+  /// be owned).
+  [[nodiscard]] std::vector<std::uint8_t> read_block(
+      wire::BlockRef block) const;
+  /// Largest peer set observed while in leecher state (Table I col 5).
+  [[nodiscard]] std::size_t max_peer_set_leecher() const {
+    return max_peer_set_leecher_;
+  }
+
+ private:
+  struct PieceProgress {
+    std::vector<std::uint8_t> requested_count;  // requests in flight per block
+    std::vector<bool> received;
+    std::uint32_t received_blocks = 0;
+    /// Some block came from a corrupting sender (hash check will fail).
+    bool tainted = false;
+    /// Everyone who contributed a block.
+    std::set<PeerId> contributors;
+    /// Exclusive-retry mode: after a multi-source verification failure
+    /// the piece is re-fetched from a single peer, so a second failure
+    /// proves that peer corrupt (cf. libtorrent's smart ban).
+    std::optional<PeerId> exclusive_source;
+  };
+
+  // --- message handlers -------------------------------------------------
+  void handle_bitfield(Connection& conn, const wire::BitfieldMsg& msg);
+  void handle_have(Connection& conn, const wire::HaveMsg& msg);
+  void handle_interested(Connection& conn, bool interested);
+  void handle_choke(Connection& conn, bool choked);
+  void handle_request(Connection& conn, const wire::RequestMsg& msg);
+  void handle_cancel(Connection& conn, const wire::CancelMsg& msg);
+  void handle_reject(Connection& conn, const wire::RejectRequestMsg& msg);
+  void handle_block(Connection& conn, const wire::PieceMsg& msg);
+
+  // --- download side ----------------------------------------------------
+  void fill_requests(Connection& conn);
+  std::optional<wire::BlockRef> next_block(Connection& conn);
+  std::optional<wire::BlockRef> next_partial_block(const Connection& conn);
+  std::optional<wire::BlockRef> start_new_piece(Connection& conn);
+  std::optional<wire::BlockRef> next_end_game_block(Connection& conn);
+  void mark_requested(wire::BlockRef block);
+  void release_request(wire::BlockRef block);
+  void complete_piece(wire::PieceIndex piece);
+  /// Verification failure: drop all progress on `piece` (and optionally
+  /// the peers that contributed to it), making it re-downloadable.
+  void discard_piece(wire::PieceIndex piece);
+  void become_seed();
+  void update_interest(Connection& conn);
+
+  // --- upload side ------------------------------------------------------
+  void start_next_upload(Connection& conn);
+
+  // --- choke algorithm --------------------------------------------------
+  void schedule_choke_round();
+  void run_choke_round();
+  void apply_unchoke_set(const std::vector<PeerId>& selected);
+
+  // --- tracker / peer set -----------------------------------------------
+  void schedule_announce();
+  void do_announce(AnnounceEvent event);
+  void maybe_refill_peer_set();
+  void initiate_connections(const std::vector<PeerId>& candidates);
+
+  // --- super seeding (extension) ----------------------------------------
+  void super_seed_reveal(Connection& conn);
+  void super_seed_on_remote_have(wire::PieceIndex piece, PeerId from);
+
+  void send(PeerId to, wire::Message msg);
+  Connection* find_conn(PeerId remote);
+  [[nodiscard]] double now() const;
+
+  Fabric& fabric_;
+  wire::ContentGeometry geo_;
+  PeerConfig cfg_;
+  PeerObserver* observer_;  // may be null
+
+  core::Bitfield have_;
+  core::AvailabilityMap availability_;
+  std::map<PeerId, Connection> conns_;  // ordered: deterministic iteration
+  std::map<wire::PieceIndex, PieceProgress> active_pieces_;
+
+  std::unique_ptr<core::PiecePicker> picker_;
+  std::unique_ptr<core::Choker> leecher_choker_;
+  std::unique_ptr<core::Choker> seed_choker_;
+
+  /// Blocks of missing pieces with no request in flight.
+  std::uint64_t unrequested_blocks_ = 0;
+  bool end_game_active_ = false;
+
+  /// Data plane storage (null when the fabric has no metainfo).
+  std::unique_ptr<ContentStore> store_;
+
+  /// Peers proven to send corrupt data; never reconnected.
+  std::set<PeerId> banned_;
+  /// Pieces that failed verification and must be retried single-source.
+  std::set<wire::PieceIndex> retry_exclusive_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  double start_time_ = -1.0;
+  double completion_time_ = -1.0;
+  std::uint64_t uploaded_ = 0;
+  std::uint64_t downloaded_ = 0;
+  std::uint64_t corrupted_pieces_ = 0;
+  std::size_t max_peer_set_leecher_ = 0;
+
+  std::uint64_t choke_round_ = 0;
+  sim::EventId choke_event_ = 0;
+  sim::EventId announce_event_ = 0;
+  double last_refill_announce_ = -1e18;
+
+  // Super seeding: pieces revealed per connection and global reveal cursor.
+  struct SuperSeedState {
+    std::map<PeerId, std::set<wire::PieceIndex>> revealed;
+    std::map<PeerId, std::optional<wire::PieceIndex>> pending_offer;
+    std::vector<std::uint32_t> offer_count;  // times each piece was offered
+    std::set<wire::PieceIndex> confirmed;    // seen HAVE from some peer
+  };
+  std::unique_ptr<SuperSeedState> super_seed_;  // non-null when enabled
+};
+
+}  // namespace swarmlab::peer

@@ -1,0 +1,14 @@
+// Identifiers shared by the peer and swarm layers.
+#pragma once
+
+#include <cstdint>
+
+namespace swarmlab::peer {
+
+/// Swarm-wide peer identity (also used as the choker's PeerKey).
+using PeerId = std::uint32_t;
+
+/// Sentinel for "no peer".
+inline constexpr PeerId kNoPeer = 0;
+
+}  // namespace swarmlab::peer

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace swarmlab::sim {
+
+EventId EventQueue::schedule(SimTime at, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Erasing from pending_ is the act of cancellation; the heap entry is
+  // discarded lazily when it reaches the top.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  Fired fired{heap_.top().time, heap_.top().id, std::move(heap_.top().fn)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+}  // namespace swarmlab::sim

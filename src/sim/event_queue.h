@@ -1,0 +1,75 @@
+// A cancellable priority queue of timed events.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events
+// run in the order they were scheduled — a requirement for deterministic
+// replay of a simulation given a fixed RNG seed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace swarmlab::sim {
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Min-heap of timed events with O(1) logical cancellation.
+///
+/// Cancellation is lazy: a cancelled event stays in the heap until it is
+/// popped, at which point it is discarded without running.
+class EventQueue {
+ public:
+  /// Schedules `fn` to fire at absolute time `at`. Returns an id usable
+  /// with `cancel()`.
+  EventId schedule(SimTime at, EventFn fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending
+  /// (not yet fired and not already cancelled).
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// What pop() returns: the fired event's time, id and callback.
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+
+  /// Pops and returns the earliest live event, advancing past any
+  /// cancelled entries. Precondition: !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    mutable EventFn fn;  // moved out of the heap top in pop()
+
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Discards cancelled entries sitting at the top of the heap.
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> pending_;  // ids scheduled, not fired/cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace swarmlab::sim

@@ -1,0 +1,107 @@
+// Deterministic random number generation for simulations.
+//
+// All stochastic choices in a simulation must flow through one Rng so that
+// a (scenario, seed) pair fully determines the run.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace swarmlab::sim {
+
+/// Seeded pseudo-random source with the distribution helpers the
+/// simulator needs. Copyable (copies fork the stream state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// The seed this Rng was constructed with (for experiment logging).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi], inclusive. Precondition: lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Precondition: n > 0.
+  std::size_t index(std::size_t n) {
+    assert(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, n - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normally distributed value, clamped below at `floor`.
+  double normal(double mean, double stddev, double floor) {
+    const double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    return std::max(v, floor);
+  }
+
+  /// Pareto-distributed value with scale xm > 0 and shape alpha > 0
+  /// (heavy-tailed capacities / session lengths).
+  double pareto(double xm, double alpha) {
+    assert(xm > 0.0 && alpha > 0.0);
+    const double u = std::uniform_real_distribution<double>(
+        std::numeric_limits<double>::min(), 1.0)(engine_);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Uniformly selected element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Samples k distinct indices from [0, n) uniformly (k <= n).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    assert(k <= n);
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    // Partial Fisher-Yates: only the first k positions are needed.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + index(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+  /// Access to the underlying engine for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace swarmlab::sim

@@ -1,0 +1,36 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace swarmlab::sim {
+
+EventId Simulation::schedule_in(SimTime delay, EventFn fn) {
+  assert(delay >= 0.0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_at(SimTime at, EventFn fn) {
+  assert(at >= now_);
+  return queue_.schedule(at, std::move(fn));
+}
+
+SimTime Simulation::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    auto fired = queue_.pop();
+    assert(fired.time >= now_);
+    now_ = fired.time;
+    ++executed_;
+    fired.fn();
+  }
+  // When the deadline cuts the run short, report the deadline as "now" so
+  // periodic samplers see a full final interval.
+  if (!stopped_ && now_ < deadline &&
+      deadline < std::numeric_limits<SimTime>::max()) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace swarmlab::sim

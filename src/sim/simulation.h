@@ -1,0 +1,64 @@
+// The simulation driver: a clock plus an event queue plus an Rng.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace swarmlab::sim {
+
+/// Owns simulated time. Components schedule callbacks against it; run()
+/// advances the clock from event to event until the queue drains, a
+/// deadline passes, or stop() is called.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// The simulation-wide random source.
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `at` (at >= now()).
+  EventId schedule_at(SimTime at, EventFn fn);
+
+  /// Cancels a pending event; returns true if it had not yet fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is empty, `deadline` is reached, or
+  /// stop() is called. Events scheduled exactly at the deadline still run.
+  /// Returns the final simulated time.
+  SimTime run_until(SimTime deadline);
+
+  /// Runs to queue exhaustion (or stop()).
+  SimTime run() { return run_until(std::numeric_limits<SimTime>::max()); }
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for progress/perf reporting).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  SimTime now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace swarmlab::sim

@@ -1,0 +1,17 @@
+// Basic simulation types shared across swarmlab.
+#pragma once
+
+#include <cstdint>
+
+namespace swarmlab::sim {
+
+/// Simulated time, in seconds since the start of the simulation.
+using SimTime = double;
+
+/// Sentinel for "never" / "not scheduled".
+inline constexpr SimTime kNever = -1.0;
+
+/// Monotonically increasing identifier for scheduled events.
+using EventId = std::uint64_t;
+
+}  // namespace swarmlab::sim

@@ -1,0 +1,88 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace swarmlab::stats {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  assert(q > 0.0 && q <= 1.0);
+  assert(!samples_.empty());
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[std::min(rank, samples_.size()) - 1];
+}
+
+double Cdf::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> Cdf::log_spaced_points(
+    double lo, double hi, std::size_t n) const {
+  assert(lo > 0.0 && lo <= hi && n >= 2);
+  std::vector<std::pair<double, double>> points;
+  points.reserve(n);
+  const double log_lo = std::log10(lo);
+  const double log_hi = std::log10(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(n - 1);
+    const double x = std::pow(10.0, log_lo + frac * (log_hi - log_lo));
+    points.emplace_back(x, at(x));
+  }
+  return points;
+}
+
+const std::vector<double>& Cdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::string describe_quantiles(const Cdf& cdf) {
+  if (cdf.empty()) return "(empty)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "p10=%.3g p25=%.3g p50=%.3g p75=%.3g p90=%.3g p99=%.3g",
+                cdf.quantile(0.10), cdf.quantile(0.25), cdf.quantile(0.50),
+                cdf.quantile(0.75), cdf.quantile(0.90), cdf.quantile(0.99));
+  return buf;
+}
+
+}  // namespace swarmlab::stats

@@ -1,0 +1,54 @@
+// Empirical cumulative distribution functions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swarmlab::stats {
+
+/// An empirical CDF built from a sample set. Used to reproduce the
+/// paper's interarrival-time CDF figures (Figs. 7 and 8).
+class Cdf {
+ public:
+  Cdf() = default;
+
+  /// Builds the CDF from (unsorted) samples.
+  explicit Cdf(std::vector<double> samples);
+
+  /// Adds a sample; invalidates nothing (samples are kept sorted lazily).
+  void add(double x);
+
+  /// F(x): fraction of samples <= x. 0 for an empty CDF.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF: smallest sample value v with F(v) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Evaluates the CDF at `n` log-spaced points spanning [lo, hi]
+  /// (the paper plots interarrival CDFs on a log-x axis). Each point is
+  /// (x, F(x)). Precondition: 0 < lo <= hi.
+  [[nodiscard]] std::vector<std::pair<double, double>> log_spaced_points(
+      double lo, double hi, std::size_t n) const;
+
+  /// Sorted access to the underlying samples.
+  [[nodiscard]] const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Renders a compact fixed-quantile table (for bench output), e.g.
+/// "p10=0.31 p50=1.20 p90=4.75 p99=20.1".
+std::string describe_quantiles(const Cdf& cdf);
+
+}  // namespace swarmlab::stats

@@ -1,0 +1,18 @@
+// Correlation coefficients, used by the Fig. 10 reproduction (unchoke
+// count vs interested time) to quantify the paper's visual claim.
+#pragma once
+
+#include <vector>
+
+namespace swarmlab::stats {
+
+/// Pearson product-moment correlation of paired samples. Returns 0 when
+/// fewer than two pairs or when either series is constant.
+/// Precondition: xs.size() == ys.size().
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson on average ranks, handling ties).
+/// Same edge-case conventions as pearson().
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace swarmlab::stats

@@ -1,0 +1,24 @@
+#include "stats/gini.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace swarmlab::stats {
+
+double gini(std::vector<double> values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  // G = (2 * sum_i i*x_(i) ) / (n * sum x) - (n + 1) / n, i = 1..n.
+  double total = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  const double dn = static_cast<double>(n);
+  return 2.0 * weighted / (dn * total) - (dn + 1.0) / dn;
+}
+
+}  // namespace swarmlab::stats

@@ -1,0 +1,15 @@
+// Gini coefficient — a scalar fairness measure for contribution
+// distributions (0 = perfectly equal shares, 1 = one peer takes all).
+// Used to quantify the paper's Fig. 11 "same service time to each
+// leecher" claim beyond the per-set bar shares.
+#pragma once
+
+#include <vector>
+
+namespace swarmlab::stats {
+
+/// Gini coefficient of non-negative values. Returns 0 for fewer than two
+/// samples or an all-zero input.
+double gini(std::vector<double> values);
+
+}  // namespace swarmlab::stats

@@ -1,0 +1,45 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace swarmlab::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  assert(lo < hi && bins >= 1);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  assert(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+}  // namespace swarmlab::stats

@@ -1,0 +1,41 @@
+// Fixed-width binned histogram.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swarmlab::stats {
+
+/// Counts observations into equal-width bins over [lo, hi); values outside
+/// the range land in saturating under/overflow bins.
+class Histogram {
+ public:
+  /// Precondition: lo < hi, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Center of a bin (for plotting).
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Lower edge of a bin.
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+
+  /// Fraction of all observations (including under/overflow) in a bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace swarmlab::stats

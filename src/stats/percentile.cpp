@@ -1,0 +1,25 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace swarmlab::stats {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+}  // namespace swarmlab::stats

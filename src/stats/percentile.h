@@ -1,0 +1,21 @@
+// Percentile and quantile helpers over sample vectors.
+#pragma once
+
+#include <vector>
+
+namespace swarmlab::stats {
+
+/// Returns the p-th percentile (p in [0, 100]) of `samples` using linear
+/// interpolation between closest ranks. The input need not be sorted.
+/// Returns 0 for an empty input.
+double percentile(std::vector<double> samples, double p);
+
+/// Percentile of an already-sorted (ascending) sample vector.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+/// Median shorthand.
+inline double median(std::vector<double> samples) {
+  return percentile(std::move(samples), 50.0);
+}
+
+}  // namespace swarmlab::stats

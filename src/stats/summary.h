@@ -1,0 +1,35 @@
+// Streaming summary statistics (Welford's algorithm).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace swarmlab::stats {
+
+/// Accumulates count/mean/variance/min/max of a stream of doubles without
+/// storing the samples.
+class Summary {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Min/max; +/-infinity when empty.
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace swarmlab::stats

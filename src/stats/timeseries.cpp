@@ -1,0 +1,51 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace swarmlab::stats {
+
+double TimeSeries::value_at(double time, double fallback) const {
+  // Samples are appended in time order by construction (simulation time is
+  // monotone), so binary search applies.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), time,
+      [](double t, const Sample& s) { return t < s.time; });
+  if (it == samples_.begin()) return fallback;
+  return std::prev(it)->value;
+}
+
+std::vector<Sample> TimeSeries::downsample(std::size_t n) const {
+  if (samples_.empty() || n == 0) return {};
+  if (samples_.size() <= n) return samples_;
+  std::vector<Sample> out;
+  out.reserve(n);
+  const double stride = static_cast<double>(samples_.size() - 1) /
+                        static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(samples_[static_cast<std::size_t>(
+        static_cast<double>(i) * stride + 0.5)]);
+  }
+  out.back() = samples_.back();
+  return out;
+}
+
+double TimeSeries::min_value() const {
+  assert(!samples_.empty());
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::max_value() const {
+  assert(!samples_.empty());
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+}  // namespace swarmlab::stats

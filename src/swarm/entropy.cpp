@@ -1,0 +1,51 @@
+#include "swarm/entropy.h"
+
+#include <vector>
+
+namespace swarmlab::swarm {
+
+double swarm_entropy(const Swarm& swarm) {
+  // Collect the active leechers' bitfields.
+  std::vector<const core::Bitfield*> leechers;
+  for (const peer::PeerId id : swarm.peer_ids()) {
+    const peer::Peer* p = swarm.find_peer(id);
+    if (p == nullptr || !p->active() || p->is_seed()) continue;
+    leechers.push_back(&p->have());
+  }
+  if (leechers.size() < 2) return 1.0;
+  std::uint64_t interested = 0;
+  std::uint64_t pairs = 0;
+  for (std::size_t a = 0; a < leechers.size(); ++a) {
+    for (std::size_t b = 0; b < leechers.size(); ++b) {
+      if (a == b) continue;
+      ++pairs;
+      if (leechers[a]->interested_in(*leechers[b])) ++interested;
+    }
+  }
+  return static_cast<double>(interested) / static_cast<double>(pairs);
+}
+
+SwarmEntropySampler::SwarmEntropySampler(sim::Simulation& sim,
+                                         const Swarm& swarm,
+                                         double interval)
+    : sim_(sim), swarm_(swarm), interval_(interval) {
+  tick();
+}
+
+SwarmEntropySampler::~SwarmEntropySampler() { stop(); }
+
+void SwarmEntropySampler::stop() {
+  stopped_ = true;
+  if (event_ != 0) {
+    sim_.cancel(event_);
+    event_ = 0;
+  }
+}
+
+void SwarmEntropySampler::tick() {
+  if (stopped_) return;
+  series_.add(sim_.now(), swarm_entropy(swarm_));
+  event_ = sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+}  // namespace swarmlab::swarm

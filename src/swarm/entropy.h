@@ -1,0 +1,45 @@
+// Swarm-wide entropy: the bird's-eye complement to the paper's
+// peer-oriented Fig. 1. The paper defines ideal entropy as "each leecher
+// is always interested in any other leecher"; with the simulator's global
+// view we can measure the instantaneous fraction of ordered leecher pairs
+// (a, b) where a is interested in b — no sampling through one peer's lens.
+#pragma once
+
+#include "stats/timeseries.h"
+#include "swarm/swarm.h"
+
+namespace swarmlab::swarm {
+
+/// Instantaneous swarm entropy: over all ordered pairs of active
+/// leechers (a, b), the fraction where a is interested in b (b has a
+/// piece a lacks). 1.0 = ideal entropy. Returns 1.0 when fewer than two
+/// leechers are active (vacuously ideal).
+double swarm_entropy(const Swarm& swarm);
+
+/// Periodic sampler for swarm_entropy (O(leechers^2 * pieces) per tick —
+/// use intervals of tens of seconds).
+class SwarmEntropySampler {
+ public:
+  SwarmEntropySampler(sim::Simulation& sim, const Swarm& swarm,
+                      double interval = 60.0);
+  ~SwarmEntropySampler();
+
+  SwarmEntropySampler(const SwarmEntropySampler&) = delete;
+  SwarmEntropySampler& operator=(const SwarmEntropySampler&) = delete;
+
+  void stop();
+
+  [[nodiscard]] const stats::TimeSeries& entropy() const { return series_; }
+
+ private:
+  void tick();
+
+  sim::Simulation& sim_;
+  const Swarm& swarm_;
+  double interval_;
+  sim::EventId event_ = 0;
+  bool stopped_ = false;
+  stats::TimeSeries series_;
+};
+
+}  // namespace swarmlab::swarm

@@ -1,0 +1,172 @@
+// Scenario configuration: synthetic stand-ins for the paper's 26 live
+// torrents (Table I) plus ablation scenarios.
+//
+// A scenario describes a torrent's population, capacities and dynamics;
+// ScenarioRunner builds the Swarm, injects the instrumented local peer,
+// and drives arrivals/departures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "net/fluid_network.h"
+#include "peer/observer.h"
+#include "peer/peer.h"
+#include "sim/simulation.h"
+#include "swarm/swarm.h"
+#include "wire/geometry.h"
+
+namespace swarmlab::swarm {
+
+/// A class of leecher access links: `fraction` of leechers get these
+/// capacities (bytes/second).
+struct CapacityClass {
+  double fraction = 1.0;
+  double up = 32.0 * 1024;
+  double down = 256.0 * 1024;
+};
+
+/// Default heterogeneous leecher mix (asymmetric residential links of the
+/// paper's era; download ~8x upload).
+std::vector<CapacityClass> default_capacity_classes();
+
+/// Full description of one experiment's torrent.
+struct ScenarioConfig {
+  std::string name = "scenario";
+  int torrent_id = 0;  // Table-I row (0 = custom)
+
+  // --- content ----------------------------------------------------------
+  std::uint32_t num_pieces = 128;
+  std::uint32_t piece_size = 256 * 1024;
+  std::uint32_t block_size = 16 * 1024;
+
+  [[nodiscard]] wire::ContentGeometry geometry() const {
+    return wire::ContentGeometry(
+        std::uint64_t{num_pieces} * piece_size, piece_size, block_size);
+  }
+
+  // --- population at t = 0 ----------------------------------------------
+  std::uint32_t initial_seeds = 1;
+  std::uint32_t initial_leechers = 50;
+  /// Steady-state warm start: initial leechers hold a uniform-random
+  /// completion fraction in [warm_min, warm_max]. Cold (transient-state)
+  /// torrents set this false so every leecher starts empty.
+  bool leechers_warm = false;
+  double warm_min = 0.05;
+  double warm_max = 0.95;
+  /// Fraction of pieces absent from *every* initial peer (dead pieces;
+  /// models Table-I torrent 1: zero seeds, incomplete torrent).
+  double dead_piece_fraction = 0.0;
+
+  // --- dynamics -----------------------------------------------------------
+  double arrival_rate = 0.0;       ///< Poisson leecher arrivals per second
+  std::uint32_t max_population = 400;
+  /// Mean seeding time after completion before a remote peer departs
+  /// (exponential); <= 0 keeps finished peers forever.
+  double seed_linger_mean = 900.0;
+  bool initial_seeds_stay = true;  ///< initial seeds never depart
+  /// Per-second hazard of a remote leecher aborting before completion.
+  double leecher_abort_rate = 0.0;
+  double free_rider_fraction = 0.0;
+
+  // --- capacities ----------------------------------------------------------
+  std::vector<CapacityClass> leecher_classes = default_capacity_classes();
+  double initial_seed_upload = 40.0 * 1024;
+  double initial_seed_download = net::kUnlimited;
+
+  // --- the instrumented local peer ----------------------------------------
+  bool spawn_local_peer = true;
+  double local_join_time = 0.0;
+  double local_upload = 20.0 * 1024;  ///< paper default cap: 20 kB/s
+  double local_download = net::kUnlimited;
+  bool local_free_rider = false;
+
+  // --- protocol -------------------------------------------------------------
+  core::ProtocolParams remote_params;
+  core::ProtocolParams local_params;
+
+  // --- run control ------------------------------------------------------------
+  double control_latency = 0.05;
+  double duration = 40000.0;  ///< hard stop (simulated seconds)
+};
+
+/// One Table-I row as published.
+struct TorrentSpec {
+  int id;
+  std::uint32_t seeds;
+  std::uint32_t leechers;
+  std::uint32_t size_mb;
+};
+
+/// The paper's Table I (26 torrents).
+const std::array<TorrentSpec, 26>& table1_torrents();
+
+/// Caps applied when scaling Table-I torrents to simulable size.
+struct ScaleLimits {
+  std::uint32_t max_peers = 240;   ///< concurrent population cap
+  std::uint32_t min_leechers = 2;
+  std::uint32_t max_pieces = 280;
+  std::uint32_t min_pieces = 16;
+  std::uint32_t piece_size = 256 * 1024;
+  std::uint32_t block_size = 16 * 1024;
+  double duration = 40000.0;
+};
+
+/// Builds the scenario for Table-I torrent `torrent_id` (1-26), scaled to
+/// `limits`. Seed/leecher ratios, warm/cold start (transient vs steady
+/// state) and relative content sizes follow the published row.
+ScenarioConfig scenario_from_table1(int torrent_id,
+                                    const ScaleLimits& limits = {});
+
+/// Owns a Simulation + Swarm built from a ScenarioConfig and drives the
+/// scenario's population dynamics.
+class ScenarioRunner {
+ public:
+  /// `local_observer` is attached to the instrumented local peer.
+  ScenarioRunner(ScenarioConfig cfg, std::uint64_t seed,
+                 peer::PeerObserver* local_observer = nullptr);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
+  [[nodiscard]] Swarm& swarm() { return *swarm_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] peer::PeerId local_peer_id() const { return local_id_; }
+  [[nodiscard]] peer::Peer& local_peer();
+  /// Peers spawned as initial seeds (empty for zero-seed scenarios).
+  [[nodiscard]] const std::vector<peer::PeerId>& initial_seed_ids() const {
+    return initial_seed_ids_;
+  }
+
+  /// Runs to the configured duration.
+  void run();
+
+  /// Runs until the local peer completes, then `extra` more seconds, all
+  /// capped by the configured duration. Returns the stop time.
+  double run_until_local_complete(double extra);
+
+ private:
+  void spawn_initial_population();
+  peer::PeerId spawn_leecher(bool warm);
+  void schedule_arrivals();
+  void schedule_churn_tick();
+
+  ScenarioConfig cfg_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<Swarm> swarm_;
+  peer::PeerObserver* local_observer_;
+  peer::PeerId local_id_ = peer::kNoPeer;
+  std::vector<peer::PeerId> initial_seed_ids_;
+  /// Departure deadlines assigned to finished remote peers.
+  std::map<peer::PeerId, double> departures_;
+  std::vector<bool> dead_pieces_;
+};
+
+}  // namespace swarmlab::swarm

@@ -1,0 +1,187 @@
+#include "swarm/swarm.h"
+
+#include <cassert>
+#include <utility>
+
+namespace swarmlab::swarm {
+
+Swarm::Swarm(sim::Simulation& sim, const wire::ContentGeometry& geometry,
+             double control_latency)
+    : sim_(sim),
+      geo_(geometry),
+      net_(sim, control_latency),
+      global_availability_(geometry.num_pieces()) {}
+
+Swarm::Swarm(sim::Simulation& sim, wire::Metainfo meta,
+             double control_latency)
+    : sim_(sim),
+      geo_(meta.geometry()),
+      meta_(std::move(meta)),
+      net_(sim, control_latency),
+      global_availability_(geo_.num_pieces()) {}
+
+peer::Peer* Swarm::find_peer(peer::PeerId id) {
+  const auto it = slots_.find(id);
+  return it == slots_.end() ? nullptr : it->second.peer.get();
+}
+
+const peer::Peer* Swarm::find_peer(peer::PeerId id) const {
+  const auto it = slots_.find(id);
+  return it == slots_.end() ? nullptr : it->second.peer.get();
+}
+
+peer::Peer* Swarm::active_peer(peer::PeerId id) {
+  const auto it = slots_.find(id);
+  if (it == slots_.end() || !it->second.in_torrent) return nullptr;
+  return it->second.peer.get();
+}
+
+std::vector<peer::PeerId> Swarm::peer_ids() const {
+  std::vector<peer::PeerId> out;
+  out.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) out.push_back(id);
+  return out;
+}
+
+std::size_t Swarm::active_peers() const {
+  std::size_t n = 0;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.in_torrent) ++n;
+  }
+  return n;
+}
+
+bool Swarm::torrent_alive() const {
+  // Combine active peers' bitfields; any piece with zero copies kills the
+  // torrent (global_availability_ tracks exactly this).
+  for (wire::PieceIndex p = 0; p < geo_.num_pieces(); ++p) {
+    if (global_availability_.copies(p) == 0) return false;
+  }
+  return true;
+}
+
+peer::PeerId Swarm::add_peer(peer::PeerConfig cfg,
+                             peer::PeerObserver* observer) {
+  const peer::PeerId id = next_id_++;
+  cfg.id = id;
+  Slot slot;
+  slot.node = net_.add_node(cfg.upload_capacity, cfg.download_capacity);
+  slot.peer = std::make_unique<peer::Peer>(*this, geo_, std::move(cfg),
+                                           observer);
+  slots_.emplace(id, std::move(slot));
+  return id;
+}
+
+void Swarm::start_peer(peer::PeerId id) {
+  auto it = slots_.find(id);
+  assert(it != slots_.end() && !it->second.in_torrent);
+  Slot& slot = it->second;
+  slot.in_torrent = true;
+  // Register this peer's initial pieces with the global oracle.
+  slot.counted_in_global = true;
+  const core::Bitfield& have = slot.peer->have();
+  global_availability_.add_peer(have);
+  slot.peer->start();
+}
+
+void Swarm::stop_peer(peer::PeerId id) {
+  auto it = slots_.find(id);
+  if (it == slots_.end() || !it->second.in_torrent) return;
+  Slot& slot = it->second;
+  slot.peer->stop();  // disconnects everyone, announces stopped
+  slot.in_torrent = false;
+  if (slot.counted_in_global) {
+    global_availability_.remove_peer(slot.peer->have());
+    slot.counted_in_global = false;
+  }
+  net_.remove_node(slot.node);
+}
+
+void Swarm::send_control(peer::PeerId from, peer::PeerId to,
+                         wire::Message msg) {
+  net_.send_control([this, from, to, msg = std::move(msg)] {
+    if (peer::Peer* p = active_peer(to); p != nullptr) {
+      p->handle_message(from, msg);
+    }
+  });
+}
+
+void Swarm::broadcast_have(peer::PeerId from, wire::PieceIndex piece) {
+  // Keep the global oracle in sync with the completion itself, not the
+  // delivery of the HAVEs.
+  global_availability_.add_have(piece);
+  peer::Peer* sender = active_peer(from);
+  if (sender == nullptr) return;
+  // One scheduled delivery to all connections (event economy; equivalent
+  // to per-connection control messages with identical latency).
+  std::vector<peer::PeerId> targets = sender->connected_peers();
+  net_.send_control([this, from, piece, targets = std::move(targets)] {
+    for (const peer::PeerId t : targets) {
+      if (peer::Peer* p = active_peer(t); p != nullptr) {
+        p->handle_message(from, wire::HaveMsg{piece});
+      }
+    }
+  });
+}
+
+net::FlowId Swarm::send_block(peer::PeerId from, peer::PeerId to,
+                              wire::BlockRef block) {
+  const auto from_it = slots_.find(from);
+  const auto to_it = slots_.find(to);
+  if (from_it == slots_.end() || to_it == slots_.end()) return 0;
+  if (!from_it->second.in_torrent || !to_it->second.in_torrent) return 0;
+  const std::uint32_t bytes = geo_.block_bytes(block);
+  // A corrupting sender's blocks carry a one-byte taint marker — the
+  // simulator's stand-in for data that will fail the piece hash check.
+  const bool corrupt = from_it->second.peer->config().sends_corrupt_data;
+  return net_.start_flow(
+      from_it->second.node, to_it->second.node, bytes,
+      [this, from, to, block, bytes, corrupt] {
+        // Deliver the data to the receiver, then free the sender's slot.
+        if (peer::Peer* p = active_peer(to); p != nullptr) {
+          wire::PieceMsg msg{block.piece, block.block * geo_.block_size(),
+                             {}};
+          if (meta_.has_value()) {
+            // Data plane: carry (and possibly corrupt) the real bytes.
+            if (const peer::Peer* s = find_peer(from); s != nullptr) {
+              msg.data = s->read_block(block);
+              if (corrupt && !msg.data.empty()) msg.data[0] ^= 0xFF;
+            }
+          } else if (corrupt) {
+            msg.data.assign(1, 0xBD);  // taint marker (no data plane)
+          }
+          p->handle_message(from, std::move(msg));
+        }
+        if (peer::Peer* p = active_peer(from); p != nullptr) {
+          p->on_block_sent(to, block, bytes);
+        }
+      });
+}
+
+void Swarm::connect(peer::PeerId from, peer::PeerId to) {
+  net_.send_control([this, from, to] {
+    peer::Peer* a = active_peer(from);
+    peer::Peer* b = active_peer(to);
+    if (a == nullptr || b == nullptr) return;
+    if (a->connection(to) != nullptr) return;  // raced another attempt
+    if (a->peer_set_size() >= a->config().params.max_peer_set) return;
+    if (!b->accepts_connection(from)) return;
+    b->on_connected(from, /*initiated_by_us=*/false);
+    a->on_connected(to, /*initiated_by_us=*/true);
+  });
+}
+
+void Swarm::disconnect(peer::PeerId a, peer::PeerId b) {
+  // Synchronous teardown on both sides keeps connection state symmetric.
+  if (peer::Peer* p = find_peer(a); p != nullptr) p->on_disconnected(b);
+  if (peer::Peer* p = find_peer(b); p != nullptr) p->on_disconnected(a);
+}
+
+peer::AnnounceResult Swarm::announce(peer::PeerId who,
+                                     peer::AnnounceEvent event) {
+  const peer::Peer* p = find_peer(who);
+  const bool is_seed = p != nullptr && p->is_seed();
+  return tracker_.announce(who, event, is_seed, sim_.rng());
+}
+
+}  // namespace swarmlab::swarm

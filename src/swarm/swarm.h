@@ -1,0 +1,108 @@
+// The Swarm: owns every peer in one torrent and implements peer::Fabric —
+// control-message routing, block transport over the fluid network,
+// connection brokering, and the tracker front end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/availability.h"
+#include "net/fluid_network.h"
+#include "peer/fabric.h"
+#include "peer/observer.h"
+#include "peer/peer.h"
+#include "sim/simulation.h"
+#include "swarm/tracker.h"
+#include "wire/geometry.h"
+
+namespace swarmlab::swarm {
+
+/// One torrent's worth of simulated peers.
+class Swarm final : public peer::Fabric {
+ public:
+  Swarm(sim::Simulation& sim, const wire::ContentGeometry& geometry,
+        double control_latency = 0.05);
+
+  /// Data-plane mode: peers exchange the real content bytes described by
+  /// `meta` and verify every completed piece against its SHA-1. Heavier
+  /// (blocks are materialized); intended for correctness-focused runs.
+  Swarm(sim::Simulation& sim, wire::Metainfo meta,
+        double control_latency = 0.05);
+
+  // --- peer management --------------------------------------------------
+
+  /// Creates a peer (and its network node). `cfg.id` is assigned by the
+  /// swarm and returned. The peer does not join the torrent until
+  /// start_peer().
+  peer::PeerId add_peer(peer::PeerConfig cfg,
+                        peer::PeerObserver* observer = nullptr);
+
+  /// Joins the torrent now.
+  void start_peer(peer::PeerId id);
+
+  /// Leaves the torrent and releases the peer's network node. The Peer
+  /// object remains queryable (its final statistics survive).
+  void stop_peer(peer::PeerId id);
+
+  [[nodiscard]] peer::Peer* find_peer(peer::PeerId id);
+  [[nodiscard]] const peer::Peer* find_peer(peer::PeerId id) const;
+
+  /// Ids of all peers ever added (including departed ones).
+  [[nodiscard]] std::vector<peer::PeerId> peer_ids() const;
+
+  /// Number of peers currently in the torrent.
+  [[nodiscard]] std::size_t active_peers() const;
+
+  [[nodiscard]] Tracker& tracker() { return tracker_; }
+  [[nodiscard]] const Tracker& tracker() const { return tracker_; }
+  [[nodiscard]] const wire::ContentGeometry& geometry() const { return geo_; }
+
+  /// True when every piece has at least one copy among active peers — the
+  /// torrent is alive (§II-B).
+  [[nodiscard]] bool torrent_alive() const;
+
+  // --- Fabric -------------------------------------------------------------
+
+  sim::Simulation& simulation() override { return sim_; }
+  net::FluidNetwork& network() override { return net_; }
+  void send_control(peer::PeerId from, peer::PeerId to,
+                    wire::Message msg) override;
+  void broadcast_have(peer::PeerId from, wire::PieceIndex piece) override;
+  net::FlowId send_block(peer::PeerId from, peer::PeerId to,
+                         wire::BlockRef block) override;
+  void connect(peer::PeerId from, peer::PeerId to) override;
+  void disconnect(peer::PeerId a, peer::PeerId b) override;
+  peer::AnnounceResult announce(peer::PeerId who,
+                                peer::AnnounceEvent event) override;
+  const core::AvailabilityMap& global_availability() const override {
+    return global_availability_;
+  }
+  const wire::Metainfo* metainfo() const override {
+    return meta_.has_value() ? &*meta_ : nullptr;
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<peer::Peer> peer;
+    net::NodeId node = 0;
+    bool in_torrent = false;  // between start_peer and stop_peer
+    bool counted_in_global = false;
+  };
+
+  /// Peer lookup for active slots only.
+  peer::Peer* active_peer(peer::PeerId id);
+
+  sim::Simulation& sim_;
+  wire::ContentGeometry geo_;
+  std::optional<wire::Metainfo> meta_;  // engaged in data-plane mode
+  net::FluidNetwork net_;
+  Tracker tracker_;
+  std::map<peer::PeerId, Slot> slots_;
+  core::AvailabilityMap global_availability_;
+  peer::PeerId next_id_ = 1;
+};
+
+}  // namespace swarmlab::swarm

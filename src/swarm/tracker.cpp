@@ -1,0 +1,51 @@
+#include "swarm/tracker.h"
+
+namespace swarmlab::swarm {
+
+peer::AnnounceResult Tracker::announce(peer::PeerId who,
+                                       peer::AnnounceEvent event,
+                                       bool is_seed, sim::Rng& rng) {
+  ++stats_.announces;
+  switch (event) {
+    case peer::AnnounceEvent::kStarted:
+      ++stats_.started;
+      members_[who].seed = is_seed;
+      break;
+    case peer::AnnounceEvent::kCompleted:
+      ++stats_.completed;
+      members_[who].seed = true;
+      break;
+    case peer::AnnounceEvent::kStopped:
+      ++stats_.stopped;
+      members_.erase(who);
+      return {};
+    case peer::AnnounceEvent::kRegular:
+      members_[who].seed = is_seed;
+      break;
+  }
+
+  std::vector<peer::PeerId> pool;
+  pool.reserve(members_.size());
+  for (const auto& [id, entry] : members_) {
+    if (id != who) pool.push_back(id);
+  }
+  peer::AnnounceResult result;
+  const std::size_t k =
+      std::min<std::size_t>(peers_per_announce_, pool.size());
+  if (k > 0) {
+    const auto idx = rng.sample_indices(pool.size(), k);
+    result.peers.reserve(k);
+    for (const std::size_t i : idx) result.peers.push_back(pool[i]);
+  }
+  return result;
+}
+
+std::size_t Tracker::num_seeds() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : members_) {
+    if (entry.seed) ++n;
+  }
+  return n;
+}
+
+}  // namespace swarmlab::swarm

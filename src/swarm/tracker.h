@@ -1,0 +1,55 @@
+// The tracker: the only centralized component of BitTorrent (§II-B).
+//
+// It keeps the list of peers currently in the torrent and hands each
+// announcer a random subset (50 by default). It never touches content.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "peer/fabric.h"
+#include "peer/types.h"
+#include "sim/rng.h"
+
+namespace swarmlab::swarm {
+
+/// Aggregate tracker-side statistics (what tracker-scraping studies see).
+struct TrackerStats {
+  std::size_t seeds = 0;
+  std::size_t leechers = 0;
+  std::uint64_t announces = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t stopped = 0;
+};
+
+/// Membership registry + random peer-list server.
+class Tracker {
+ public:
+  explicit Tracker(std::uint32_t peers_per_announce = 50)
+      : peers_per_announce_(peers_per_announce) {}
+
+  /// Processes one announce; returns up to `peers_per_announce` random
+  /// members, excluding the announcer.
+  peer::AnnounceResult announce(peer::PeerId who, peer::AnnounceEvent event,
+                                bool is_seed, sim::Rng& rng);
+
+  [[nodiscard]] std::size_t num_members() const { return members_.size(); }
+  [[nodiscard]] std::size_t num_seeds() const;
+  [[nodiscard]] std::size_t num_leechers() const {
+    return members_.size() - num_seeds();
+  }
+  [[nodiscard]] const TrackerStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool seed = false;
+  };
+
+  std::uint32_t peers_per_announce_;
+  std::map<peer::PeerId, Entry> members_;  // ordered: deterministic sampling
+  TrackerStats stats_;
+};
+
+}  // namespace swarmlab::swarm

@@ -1,0 +1,274 @@
+#include "viz/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace swarmlab::viz {
+
+namespace {
+
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 36;
+constexpr int kMarginBottom = 48;
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                          "#9467bd", "#8c564b"};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void grow(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+  void pad() {
+    if (!valid()) {
+      lo = 0.0;
+      hi = 1.0;
+    } else if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+};
+
+std::string fmt(double v) {
+  char buf[32];
+  if (std::abs(v) >= 10000 || (std::abs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buf, sizeof(buf), "%.2g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", std::round(v * 100) / 100);
+  }
+  return buf;
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class Canvas {
+ public:
+  Canvas(const PlotOptions& options, Range x, Range y)
+      : opt_(options), x_(x), y_(y) {
+    plot_w_ = opt_.width - kMarginLeft - kMarginRight;
+    plot_h_ = opt_.height - kMarginTop - kMarginBottom;
+  }
+
+  [[nodiscard]] double map_x(double v) const {
+    double t = opt_.log_x ? std::log10(std::max(v, 1e-12)) : v;
+    double lo = opt_.log_x ? std::log10(std::max(x_.lo, 1e-12)) : x_.lo;
+    double hi = opt_.log_x ? std::log10(std::max(x_.hi, 1e-12)) : x_.hi;
+    if (hi <= lo) hi = lo + 1.0;
+    return kMarginLeft + (t - lo) / (hi - lo) * plot_w_;
+  }
+
+  [[nodiscard]] double map_y(double v) const {
+    double lo = y_.lo, hi = y_.hi;
+    if (hi <= lo) hi = lo + 1.0;
+    return kMarginTop + plot_h_ - (v - lo) / (hi - lo) * plot_h_;
+  }
+
+  void header(std::string& svg) const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                  "height=\"%d\" viewBox=\"0 0 %d %d\" "
+                  "font-family=\"sans-serif\" font-size=\"12\">\n",
+                  opt_.width, opt_.height, opt_.width, opt_.height);
+    svg += buf;
+    svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+    if (!opt_.title.empty()) {
+      std::snprintf(buf, sizeof(buf),
+                    "<text x=\"%d\" y=\"20\" text-anchor=\"middle\" "
+                    "font-size=\"14\" font-weight=\"bold\">%s</text>\n",
+                    opt_.width / 2, escape(opt_.title).c_str());
+      svg += buf;
+    }
+  }
+
+  void axes(std::string& svg) const {
+    char buf[512];
+    // Frame.
+    std::snprintf(buf, sizeof(buf),
+                  "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+                  "fill=\"none\" stroke=\"#333\"/>\n",
+                  kMarginLeft, kMarginTop, plot_w_, plot_h_);
+    svg += buf;
+    // Ticks: 5 on each axis.
+    for (int i = 0; i <= 4; ++i) {
+      const double frac = i / 4.0;
+      // X tick.
+      double xv;
+      if (opt_.log_x) {
+        const double lo = std::log10(std::max(x_.lo, 1e-12));
+        const double hi = std::log10(std::max(x_.hi, 1e-12));
+        xv = std::pow(10.0, lo + frac * (hi - lo));
+      } else {
+        xv = x_.lo + frac * (x_.hi - x_.lo);
+      }
+      const double xp = map_x(xv);
+      std::snprintf(buf, sizeof(buf),
+                    "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" "
+                    "stroke=\"#333\"/>\n<text x=\"%.1f\" y=\"%d\" "
+                    "text-anchor=\"middle\">%s</text>\n",
+                    xp, kMarginTop + plot_h_, xp, kMarginTop + plot_h_ + 5,
+                    xp, kMarginTop + plot_h_ + 20, fmt(xv).c_str());
+      svg += buf;
+      // Y tick.
+      const double yv = y_.lo + frac * (y_.hi - y_.lo);
+      const double yp = map_y(yv);
+      std::snprintf(buf, sizeof(buf),
+                    "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" "
+                    "stroke=\"#333\"/>\n<text x=\"%d\" y=\"%.1f\" "
+                    "text-anchor=\"end\">%s</text>\n",
+                    kMarginLeft - 5, yp, kMarginLeft, yp, kMarginLeft - 8,
+                    yp + 4, fmt(yv).c_str());
+      svg += buf;
+    }
+    // Axis labels.
+    if (!opt_.x_label.empty()) {
+      std::snprintf(buf, sizeof(buf),
+                    "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">"
+                    "%s</text>\n",
+                    kMarginLeft + plot_w_ / 2, opt_.height - 8,
+                    escape(opt_.x_label).c_str());
+      svg += buf;
+    }
+    if (!opt_.y_label.empty()) {
+      std::snprintf(buf, sizeof(buf),
+                    "<text x=\"14\" y=\"%d\" text-anchor=\"middle\" "
+                    "transform=\"rotate(-90 14 %d)\">%s</text>\n",
+                    kMarginTop + plot_h_ / 2, kMarginTop + plot_h_ / 2,
+                    escape(opt_.y_label).c_str());
+      svg += buf;
+    }
+  }
+
+  void legend(std::string& svg, const std::vector<Series>& series) const {
+    char buf[256];
+    int y = kMarginTop + 14;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (series[i].label.empty()) continue;
+      const char* color = kPalette[i % 6];
+      std::snprintf(buf, sizeof(buf),
+                    "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" "
+                    "stroke=\"%s\" stroke-width=\"2\"/>\n"
+                    "<text x=\"%d\" y=\"%d\">%s</text>\n",
+                    kMarginLeft + 10, y - 4, kMarginLeft + 34, y - 4, color,
+                    kMarginLeft + 40, y, escape(series[i].label).c_str());
+      svg += buf;
+      y += 16;
+    }
+  }
+
+ private:
+  const PlotOptions& opt_;
+  Range x_, y_;
+  int plot_w_;
+  int plot_h_;
+};
+
+std::pair<Range, Range> data_range(const std::vector<Series>& series,
+                                   const PlotOptions& options) {
+  Range x, y;
+  for (const Series& s : series) {
+    for (const auto& [px, py] : s.points) {
+      if (options.log_x && px <= 0.0) continue;
+      x.grow(px);
+      y.grow(py);
+    }
+  }
+  x.pad();
+  y.pad();
+  if (options.y_from_zero) y.lo = std::min(y.lo, 0.0);
+  return {x, y};
+}
+
+std::string render(const std::vector<Series>& series,
+                   const PlotOptions& options, bool lines) {
+  const auto [x, y] = data_range(series, options);
+  Canvas canvas(options, x, y);
+  std::string svg;
+  canvas.header(svg);
+  canvas.axes(svg);
+  char buf[128];
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const char* color = kPalette[i % 6];
+    if (lines) {
+      svg += "<polyline fill=\"none\" stroke=\"";
+      svg += color;
+      svg += "\" stroke-width=\"1.5\" points=\"";
+      for (const auto& [px, py] : series[i].points) {
+        if (options.log_x && px <= 0.0) continue;
+        std::snprintf(buf, sizeof(buf), "%.1f,%.1f ", canvas.map_x(px),
+                      canvas.map_y(py));
+        svg += buf;
+      }
+      svg += "\"/>\n";
+    } else {
+      for (const auto& [px, py] : series[i].points) {
+        if (options.log_x && px <= 0.0) continue;
+        std::snprintf(buf, sizeof(buf),
+                      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" "
+                      "fill=\"%s\" fill-opacity=\"0.7\"/>\n",
+                      canvas.map_x(px), canvas.map_y(py), color);
+        svg += buf;
+      }
+    }
+  }
+  canvas.legend(svg, series);
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::vector<Series>& series,
+                              const PlotOptions& options) {
+  return render(series, options, /*lines=*/true);
+}
+
+std::string render_scatter(const std::vector<Series>& series,
+                           const PlotOptions& options) {
+  return render(series, options, /*lines=*/false);
+}
+
+Series from_time_series(const stats::TimeSeries& ts, std::string label,
+                        std::size_t max_points) {
+  Series out;
+  out.label = std::move(label);
+  for (const auto& s : ts.downsample(max_points)) {
+    out.points.emplace_back(s.time, s.value);
+  }
+  return out;
+}
+
+Series from_cdf(const stats::Cdf& cdf, std::string label) {
+  Series out;
+  out.label = std::move(label);
+  if (cdf.empty()) return out;
+  const auto& sorted = cdf.sorted_samples();
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    // Step function: (x_i, i/n) -> (x_i, (i+1)/n).
+    out.points.emplace_back(sorted[i], static_cast<double>(i) / n);
+    out.points.emplace_back(sorted[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+}  // namespace swarmlab::viz

@@ -1,0 +1,46 @@
+// Minimal, dependency-free SVG chart rendering for the figure
+// reproductions: line charts (Figs. 2-6), CDF step plots on a log x-axis
+// (Figs. 7-8), and scatter plots (Fig. 10). Output is a self-contained
+// SVG document string.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/cdf.h"
+#include "stats/timeseries.h"
+
+namespace swarmlab::viz {
+
+/// One plotted series.
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Chart-wide options.
+struct PlotOptions {
+  int width = 720;
+  int height = 420;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;   ///< log10 x-axis (interarrival CDFs)
+  bool y_from_zero = true;
+};
+
+/// Renders connected line series (downsampled by the caller if needed).
+std::string render_line_chart(const std::vector<Series>& series,
+                              const PlotOptions& options);
+
+/// Renders unconnected points.
+std::string render_scatter(const std::vector<Series>& series,
+                           const PlotOptions& options);
+
+/// Conversion helpers.
+Series from_time_series(const stats::TimeSeries& ts, std::string label,
+                        std::size_t max_points = 400);
+Series from_cdf(const stats::Cdf& cdf, std::string label);
+
+}  // namespace swarmlab::viz

@@ -1,0 +1,223 @@
+#include "wire/bencode.h"
+
+#include <cctype>
+#include <limits>
+
+namespace swarmlab::wire {
+
+std::int64_t BValue::as_int() const {
+  if (!is_int()) throw BencodeError("bencode: not an integer");
+  return int_;
+}
+
+const std::string& BValue::as_string() const {
+  if (!is_string()) throw BencodeError("bencode: not a string");
+  return str_;
+}
+
+const BValue::List& BValue::as_list() const {
+  if (!is_list()) throw BencodeError("bencode: not a list");
+  return list_;
+}
+
+const BValue::Dict& BValue::as_dict() const {
+  if (!is_dict()) throw BencodeError("bencode: not a dict");
+  return dict_;
+}
+
+BValue::List& BValue::as_list() {
+  if (!is_list()) throw BencodeError("bencode: not a list");
+  return list_;
+}
+
+BValue::Dict& BValue::as_dict() {
+  if (!is_dict()) throw BencodeError("bencode: not a dict");
+  return dict_;
+}
+
+const BValue& BValue::at(const std::string& key) const {
+  const BValue* v = find(key);
+  if (v == nullptr) throw BencodeError("bencode: missing key '" + key + "'");
+  return *v;
+}
+
+const BValue* BValue::find(const std::string& key) const {
+  const auto& d = as_dict();
+  const auto it = d.find(key);
+  return it == d.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void encode_to(const BValue& value, std::string& out) {
+  if (value.is_int()) {
+    out.push_back('i');
+    out.append(std::to_string(value.as_int()));
+    out.push_back('e');
+  } else if (value.is_string()) {
+    const std::string& s = value.as_string();
+    out.append(std::to_string(s.size()));
+    out.push_back(':');
+    out.append(s);
+  } else if (value.is_list()) {
+    out.push_back('l');
+    for (const BValue& item : value.as_list()) encode_to(item, out);
+    out.push_back('e');
+  } else {
+    out.push_back('d');
+    for (const auto& [key, item] : value.as_dict()) {
+      encode_to(BValue(key), out);
+      encode_to(item, out);
+    }
+    out.push_back('e');
+  }
+}
+
+class Decoder {
+ public:
+  Decoder(std::string_view data, std::size_t pos) : data_(data), pos_(pos) {}
+
+  BValue decode_value(int depth) {
+    if (depth > kMaxDepth) throw BencodeError("bencode: nesting too deep");
+    const char c = peek();
+    if (c == 'i') return decode_int();
+    if (c >= '0' && c <= '9') return decode_string();
+    if (c == 'l') return decode_list(depth);
+    if (c == 'd') return decode_dict(depth);
+    throw BencodeError("bencode: unexpected byte at offset " +
+                       std::to_string(pos_));
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  char peek() const {
+    if (pos_ >= data_.size()) throw BencodeError("bencode: truncated input");
+    return data_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char want) {
+    const char got = take();
+    if (got != want) {
+      throw BencodeError(std::string("bencode: expected '") + want + "'");
+    }
+  }
+
+  std::int64_t decode_digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      throw BencodeError("bencode: digit expected");
+    }
+    std::int64_t v = 0;
+    while (pos_ < data_.size() &&
+           std::isdigit(static_cast<unsigned char>(data_[pos_]))) {
+      const int digit = data_[pos_] - '0';
+      if (v > (std::numeric_limits<std::int64_t>::max() - digit) / 10) {
+        throw BencodeError("bencode: integer overflow");
+      }
+      v = v * 10 + digit;
+      ++pos_;
+    }
+    return v;
+  }
+
+  BValue decode_int() {
+    expect('i');
+    bool negative = false;
+    if (peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    // Canonical form forbids leading zeros (except "0") and "-0".
+    const char first = peek();
+    const std::size_t digits_start = pos_;
+    const std::int64_t magnitude = decode_digits();
+    if (first == '0' && pos_ - digits_start > 1) {
+      throw BencodeError("bencode: leading zero in integer");
+    }
+    if (negative && magnitude == 0) {
+      throw BencodeError("bencode: negative zero");
+    }
+    expect('e');
+    return BValue(negative ? -magnitude : magnitude);
+  }
+
+  BValue decode_string() {
+    const char first = peek();
+    const std::size_t digits_start = pos_;
+    const std::int64_t len = decode_digits();
+    if (first == '0' && pos_ - digits_start > 1) {
+      throw BencodeError("bencode: leading zero in string length");
+    }
+    expect(':');
+    if (static_cast<std::uint64_t>(len) > data_.size() - pos_) {
+      throw BencodeError("bencode: string length exceeds input");
+    }
+    std::string s(data_.substr(pos_, static_cast<std::size_t>(len)));
+    pos_ += static_cast<std::size_t>(len);
+    return BValue(std::move(s));
+  }
+
+  BValue decode_list(int depth) {
+    expect('l');
+    BValue::List items;
+    while (peek() != 'e') items.push_back(decode_value(depth + 1));
+    expect('e');
+    return BValue(std::move(items));
+  }
+
+  BValue decode_dict(int depth) {
+    expect('d');
+    BValue::Dict dict;
+    std::string prev_key;
+    bool first = true;
+    while (peek() != 'e') {
+      BValue key = decode_string();
+      const std::string& k = key.as_string();
+      if (!first && k <= prev_key) {
+        throw BencodeError("bencode: dict keys not strictly ascending");
+      }
+      first = false;
+      prev_key = k;
+      dict.emplace(k, decode_value(depth + 1));
+    }
+    expect('e');
+    return BValue(std::move(dict));
+  }
+
+  std::string_view data_;
+  std::size_t pos_;
+};
+
+}  // namespace
+
+std::string bencode(const BValue& value) {
+  std::string out;
+  encode_to(value, out);
+  return out;
+}
+
+BValue bdecode_prefix(std::string_view data, std::size_t& pos) {
+  Decoder decoder(data, pos);
+  BValue value = decoder.decode_value(0);
+  pos = decoder.pos();
+  return value;
+}
+
+BValue bdecode(std::string_view data) {
+  std::size_t pos = 0;
+  BValue value = bdecode_prefix(data, pos);
+  if (pos != data.size()) {
+    throw BencodeError("bencode: trailing bytes after value");
+  }
+  return value;
+}
+
+}  // namespace swarmlab::wire

@@ -1,0 +1,84 @@
+// Bencode (the BitTorrent metainfo encoding), implemented from scratch.
+//
+// Grammar:
+//   integer:  i<signed ascii digits>e
+//   string:   <length>:<bytes>
+//   list:     l<values>e
+//   dict:     d<string,value pairs>e   (keys sorted, byte-wise)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swarmlab::wire {
+
+/// Thrown on malformed bencode input or on type-mismatched access.
+class BencodeError : public std::runtime_error {
+ public:
+  explicit BencodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A bencoded value: integer, byte string, list, or dictionary.
+class BValue {
+ public:
+  using List = std::vector<BValue>;
+  using Dict = std::map<std::string, BValue>;  // std::map keeps keys sorted
+
+  /// Defaults to the integer 0.
+  BValue() : kind_(Kind::kInt) {}
+  BValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}           // NOLINT
+  BValue(int v) : BValue(std::int64_t{v}) {}  // NOLINT: disambiguates 0
+  BValue(std::string v) : kind_(Kind::kString), str_(std::move(v)) {}  // NOLINT
+  BValue(const char* v) : BValue(std::string(v)) {}                // NOLINT
+  BValue(List v) : kind_(Kind::kList), list_(std::move(v)) {}      // NOLINT
+  BValue(Dict v) : kind_(Kind::kDict), dict_(std::move(v)) {}      // NOLINT
+
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_list() const { return kind_ == Kind::kList; }
+  [[nodiscard]] bool is_dict() const { return kind_ == Kind::kDict; }
+
+  /// Typed accessors; throw BencodeError on kind mismatch.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const List& as_list() const;
+  [[nodiscard]] const Dict& as_dict() const;
+  List& as_list();
+  Dict& as_dict();
+
+  /// Dictionary lookup; throws BencodeError when the key is absent or the
+  /// value is not a dict.
+  [[nodiscard]] const BValue& at(const std::string& key) const;
+
+  /// Dictionary lookup returning nullptr when absent.
+  [[nodiscard]] const BValue* find(const std::string& key) const;
+
+  bool operator==(const BValue& other) const = default;
+
+ private:
+  enum class Kind { kInt, kString, kList, kDict };
+
+  Kind kind_;
+  std::int64_t int_ = 0;
+  std::string str_;
+  List list_;
+  Dict dict_;
+};
+
+/// Serializes a value to its canonical bencoding.
+std::string bencode(const BValue& value);
+
+/// Parses exactly one bencoded value; throws BencodeError on malformed
+/// input or trailing bytes.
+BValue bdecode(std::string_view data);
+
+/// Parses one value starting at data[pos], advancing pos past it. Allows
+/// trailing bytes (used for embedded values).
+BValue bdecode_prefix(std::string_view data, std::size_t& pos);
+
+}  // namespace swarmlab::wire

@@ -1,0 +1,105 @@
+// Content geometry: how a file maps onto pieces and blocks.
+//
+// BitTorrent splits a file into pieces (typically 256 KiB) and each piece
+// into blocks (16 KiB), the on-the-wire transfer unit. Only complete,
+// hash-verified pieces may be served to other peers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace swarmlab::wire {
+
+/// Index of a piece within the content.
+using PieceIndex = std::uint32_t;
+
+/// Index of a block within its piece.
+using BlockIndex = std::uint32_t;
+
+/// Default mainline sizes (see paper §II-B).
+inline constexpr std::uint32_t kDefaultPieceSize = 256 * 1024;
+inline constexpr std::uint32_t kDefaultBlockSize = 16 * 1024;  // 2^14
+
+/// A (piece, block) pair naming one transfer unit.
+struct BlockRef {
+  PieceIndex piece = 0;
+  BlockIndex block = 0;
+
+  bool operator==(const BlockRef&) const = default;
+  auto operator<=>(const BlockRef&) const = default;
+};
+
+/// Immutable description of how content bytes divide into pieces/blocks.
+class ContentGeometry {
+ public:
+  /// Preconditions: total > 0, 0 < block <= piece, piece % block == 0.
+  ContentGeometry(std::uint64_t total_bytes,
+                  std::uint32_t piece_size = kDefaultPieceSize,
+                  std::uint32_t block_size = kDefaultBlockSize)
+      : total_bytes_(total_bytes),
+        piece_size_(piece_size),
+        block_size_(block_size) {
+    assert(total_bytes_ > 0);
+    assert(block_size_ > 0 && block_size_ <= piece_size_);
+    assert(piece_size_ % block_size_ == 0);
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint32_t piece_size() const { return piece_size_; }
+  [[nodiscard]] std::uint32_t block_size() const { return block_size_; }
+
+  /// Number of pieces (last one may be short).
+  [[nodiscard]] std::uint32_t num_pieces() const {
+    return static_cast<std::uint32_t>((total_bytes_ + piece_size_ - 1) /
+                                      piece_size_);
+  }
+
+  /// Byte length of piece `p`.
+  [[nodiscard]] std::uint32_t piece_bytes(PieceIndex p) const {
+    assert(p < num_pieces());
+    if (p + 1 < num_pieces()) return piece_size_;
+    const std::uint64_t rem = total_bytes_ - std::uint64_t{p} * piece_size_;
+    return static_cast<std::uint32_t>(rem);
+  }
+
+  /// Number of blocks in piece `p`.
+  [[nodiscard]] std::uint32_t blocks_in_piece(PieceIndex p) const {
+    return (piece_bytes(p) + block_size_ - 1) / block_size_;
+  }
+
+  /// Byte length of block `b` of piece `p` (last block may be short).
+  [[nodiscard]] std::uint32_t block_bytes(BlockRef ref) const {
+    const std::uint32_t nblocks = blocks_in_piece(ref.piece);
+    assert(ref.block < nblocks);
+    if (ref.block + 1 < nblocks) return block_size_;
+    return piece_bytes(ref.piece) -
+           (nblocks - 1) * block_size_;
+  }
+
+  /// Byte offset of block `b` within its piece (the wire `request` begin).
+  [[nodiscard]] std::uint32_t block_offset(BlockRef ref) const {
+    return ref.block * block_size_;
+  }
+
+  /// Block index for a byte offset within a piece.
+  [[nodiscard]] BlockIndex block_at_offset(std::uint32_t begin) const {
+    assert(begin % block_size_ == 0);
+    return begin / block_size_;
+  }
+
+  /// Total number of blocks in the content.
+  [[nodiscard]] std::uint64_t total_blocks() const {
+    std::uint64_t full_pieces = num_pieces() - 1;
+    return full_pieces * (piece_size_ / block_size_) +
+           blocks_in_piece(num_pieces() - 1);
+  }
+
+  bool operator==(const ContentGeometry&) const = default;
+
+ private:
+  std::uint64_t total_bytes_;
+  std::uint32_t piece_size_;
+  std::uint32_t block_size_;
+};
+
+}  // namespace swarmlab::wire

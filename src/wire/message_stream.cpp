@@ -1,0 +1,40 @@
+#include "wire/message_stream.h"
+
+namespace swarmlab::wire {
+
+std::vector<Message> MessageStream::feed(
+    std::span<const std::uint8_t> data) {
+  if (poisoned_) throw WireError("stream poisoned by earlier decode error");
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+
+  std::vector<Message> out;
+  std::size_t at = 0;
+  try {
+    if (awaiting_handshake_) {
+      if (buffer_.size() < Handshake::kEncodedSize) return out;
+      handshake_ = decode_handshake(
+          std::span<const std::uint8_t>(buffer_.data(), buffer_.size()));
+      at = Handshake::kEncodedSize;
+      awaiting_handshake_ = false;
+    }
+    while (at < buffer_.size()) {
+      std::size_t consumed = 0;
+      auto msg = decode_message(
+          std::span<const std::uint8_t>(buffer_.data() + at,
+                                        buffer_.size() - at),
+          num_pieces_, consumed);
+      if (!msg.has_value()) break;  // incomplete frame: wait for more
+      out.push_back(std::move(*msg));
+      ++decoded_;
+      at += consumed;
+    }
+  } catch (const WireError&) {
+    poisoned_ = true;
+    throw;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(at));
+  return out;
+}
+
+}  // namespace swarmlab::wire

@@ -1,0 +1,56 @@
+// Incremental peer-wire stream decoding.
+//
+// A MessageStream consumes a TCP byte stream in arbitrary chunks and
+// yields complete messages as they become available — what a real client
+// does on every socket read. Handles the leading handshake, partial
+// frames across reads, and malformed input (which poisons the stream, as
+// a client would drop the connection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "wire/messages.h"
+
+namespace swarmlab::wire {
+
+/// Stateful decoder for one direction of a peer-wire connection.
+class MessageStream {
+ public:
+  /// `num_pieces` sizes/validates bitfield payloads; `expect_handshake`
+  /// makes the first kEncodedSize bytes parse as the handshake.
+  explicit MessageStream(std::uint32_t num_pieces,
+                         bool expect_handshake = true)
+      : num_pieces_(num_pieces), awaiting_handshake_(expect_handshake) {}
+
+  /// Appends raw bytes and returns every message completed by them, in
+  /// order. Throws WireError on malformed input; afterwards the stream
+  /// is poisoned and every further feed() throws.
+  std::vector<Message> feed(std::span<const std::uint8_t> data);
+
+  /// The peer's handshake, once received.
+  [[nodiscard]] const std::optional<Handshake>& handshake() const {
+    return handshake_;
+  }
+
+  /// Bytes buffered waiting for the rest of a frame.
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+
+  /// True after a decode error; the connection should be dropped.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+  /// Total messages decoded (diagnostics).
+  [[nodiscard]] std::uint64_t messages_decoded() const { return decoded_; }
+
+ private:
+  std::uint32_t num_pieces_;
+  bool awaiting_handshake_;
+  bool poisoned_ = false;
+  std::optional<Handshake> handshake_;
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t decoded_ = 0;
+};
+
+}  // namespace swarmlab::wire

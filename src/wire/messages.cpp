@@ -1,0 +1,308 @@
+#include "wire/messages.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+namespace swarmlab::wire {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> data, std::size_t at) {
+  return (static_cast<std::uint32_t>(data[at]) << 24) |
+         (static_cast<std::uint32_t>(data[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(data[at + 2]) << 8) |
+         static_cast<std::uint32_t>(data[at + 3]);
+}
+
+std::uint32_t bitfield_bytes(std::uint32_t num_pieces) {
+  return (num_pieces + 7) / 8;
+}
+
+}  // namespace
+
+const char* message_id_name(MessageId id) {
+  switch (id) {
+    case MessageId::kChoke: return "choke";
+    case MessageId::kUnchoke: return "unchoke";
+    case MessageId::kInterested: return "interested";
+    case MessageId::kNotInterested: return "not_interested";
+    case MessageId::kHave: return "have";
+    case MessageId::kBitfield: return "bitfield";
+    case MessageId::kRequest: return "request";
+    case MessageId::kPiece: return "piece";
+    case MessageId::kCancel: return "cancel";
+    case MessageId::kSuggestPiece: return "suggest_piece";
+    case MessageId::kHaveAll: return "have_all";
+    case MessageId::kHaveNone: return "have_none";
+    case MessageId::kRejectRequest: return "reject_request";
+    case MessageId::kAllowedFast: return "allowed_fast";
+  }
+  return "unknown";
+}
+
+const char* message_name(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, KeepAliveMsg>) return "keep_alive";
+        else if constexpr (std::is_same_v<T, ChokeMsg>) return "choke";
+        else if constexpr (std::is_same_v<T, UnchokeMsg>) return "unchoke";
+        else if constexpr (std::is_same_v<T, InterestedMsg>) return "interested";
+        else if constexpr (std::is_same_v<T, NotInterestedMsg>)
+          return "not_interested";
+        else if constexpr (std::is_same_v<T, HaveMsg>) return "have";
+        else if constexpr (std::is_same_v<T, BitfieldMsg>) return "bitfield";
+        else if constexpr (std::is_same_v<T, RequestMsg>) return "request";
+        else if constexpr (std::is_same_v<T, PieceMsg>) return "piece";
+        else if constexpr (std::is_same_v<T, CancelMsg>) return "cancel";
+        else if constexpr (std::is_same_v<T, SuggestPieceMsg>)
+          return "suggest_piece";
+        else if constexpr (std::is_same_v<T, HaveAllMsg>) return "have_all";
+        else if constexpr (std::is_same_v<T, HaveNoneMsg>)
+          return "have_none";
+        else if constexpr (std::is_same_v<T, RejectRequestMsg>)
+          return "reject_request";
+        else return "allowed_fast";
+      },
+      msg);
+}
+
+std::vector<std::uint8_t> encode_message(const Message& msg,
+                                         std::uint32_t num_pieces) {
+  std::vector<std::uint8_t> out;
+  const auto framed = [&out](MessageId id, std::uint32_t payload_len,
+                             auto&& fill) {
+    put_u32(out, 1 + payload_len);
+    out.push_back(static_cast<std::uint8_t>(id));
+    fill();
+  };
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, KeepAliveMsg>) {
+          put_u32(out, 0);
+        } else if constexpr (std::is_same_v<T, ChokeMsg>) {
+          framed(MessageId::kChoke, 0, [] {});
+        } else if constexpr (std::is_same_v<T, UnchokeMsg>) {
+          framed(MessageId::kUnchoke, 0, [] {});
+        } else if constexpr (std::is_same_v<T, InterestedMsg>) {
+          framed(MessageId::kInterested, 0, [] {});
+        } else if constexpr (std::is_same_v<T, NotInterestedMsg>) {
+          framed(MessageId::kNotInterested, 0, [] {});
+        } else if constexpr (std::is_same_v<T, HaveMsg>) {
+          framed(MessageId::kHave, 4, [&] { put_u32(out, m.piece); });
+        } else if constexpr (std::is_same_v<T, BitfieldMsg>) {
+          if (num_pieces == 0 || m.bits.size() != num_pieces) {
+            throw WireError("bitfield: bit count does not match num_pieces");
+          }
+          const std::uint32_t nbytes = bitfield_bytes(num_pieces);
+          framed(MessageId::kBitfield, nbytes, [&] {
+            std::vector<std::uint8_t> packed(nbytes, 0);
+            for (std::uint32_t i = 0; i < num_pieces; ++i) {
+              if (m.bits[i]) packed[i / 8] |= static_cast<std::uint8_t>(
+                  0x80u >> (i % 8));
+            }
+            out.insert(out.end(), packed.begin(), packed.end());
+          });
+        } else if constexpr (std::is_same_v<T, RequestMsg>) {
+          framed(MessageId::kRequest, 12, [&] {
+            put_u32(out, m.piece);
+            put_u32(out, m.begin);
+            put_u32(out, m.length);
+          });
+        } else if constexpr (std::is_same_v<T, PieceMsg>) {
+          framed(MessageId::kPiece,
+                 8 + static_cast<std::uint32_t>(m.data.size()), [&] {
+                   put_u32(out, m.piece);
+                   put_u32(out, m.begin);
+                   out.insert(out.end(), m.data.begin(), m.data.end());
+                 });
+        } else if constexpr (std::is_same_v<T, CancelMsg>) {
+          framed(MessageId::kCancel, 12, [&] {
+            put_u32(out, m.piece);
+            put_u32(out, m.begin);
+            put_u32(out, m.length);
+          });
+        } else if constexpr (std::is_same_v<T, SuggestPieceMsg>) {
+          framed(MessageId::kSuggestPiece, 4,
+                 [&] { put_u32(out, m.piece); });
+        } else if constexpr (std::is_same_v<T, HaveAllMsg>) {
+          framed(MessageId::kHaveAll, 0, [] {});
+        } else if constexpr (std::is_same_v<T, HaveNoneMsg>) {
+          framed(MessageId::kHaveNone, 0, [] {});
+        } else if constexpr (std::is_same_v<T, RejectRequestMsg>) {
+          framed(MessageId::kRejectRequest, 12, [&] {
+            put_u32(out, m.piece);
+            put_u32(out, m.begin);
+            put_u32(out, m.length);
+          });
+        } else {  // AllowedFastMsg
+          framed(MessageId::kAllowedFast, 4,
+                 [&] { put_u32(out, m.piece); });
+        }
+      },
+      msg);
+  return out;
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> data,
+                                      std::uint32_t num_pieces,
+                                      std::size_t& consumed) {
+  consumed = 0;
+  if (data.size() < 4) return std::nullopt;
+  const std::uint32_t len = get_u32(data, 0);
+  // Largest legal frame: piece header + one block; allow generous margin.
+  constexpr std::uint32_t kMaxFrame = 1 + 8 + (1u << 20);
+  if (len > kMaxFrame) throw WireError("frame length too large");
+  if (data.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  consumed = 4 + len;
+  if (len == 0) return Message{KeepAliveMsg{}};
+
+  const auto id = static_cast<MessageId>(data[4]);
+  const std::span<const std::uint8_t> payload = data.subspan(5, len - 1);
+  const auto need = [&](std::size_t n, const char* what) {
+    if (payload.size() != n) {
+      throw WireError(std::string("bad payload length for ") + what);
+    }
+  };
+  const auto need_at_least = [&](std::size_t n, const char* what) {
+    if (payload.size() < n) {
+      throw WireError(std::string("short payload for ") + what);
+    }
+  };
+
+  switch (id) {
+    case MessageId::kChoke:
+      need(0, "choke");
+      return Message{ChokeMsg{}};
+    case MessageId::kUnchoke:
+      need(0, "unchoke");
+      return Message{UnchokeMsg{}};
+    case MessageId::kInterested:
+      need(0, "interested");
+      return Message{InterestedMsg{}};
+    case MessageId::kNotInterested:
+      need(0, "not_interested");
+      return Message{NotInterestedMsg{}};
+    case MessageId::kHave: {
+      need(4, "have");
+      HaveMsg m{get_u32(payload, 0)};
+      if (num_pieces != 0 && m.piece >= num_pieces) {
+        throw WireError("have: piece index out of range");
+      }
+      return Message{m};
+    }
+    case MessageId::kBitfield: {
+      if (num_pieces == 0) throw WireError("bitfield: unknown num_pieces");
+      need(bitfield_bytes(num_pieces), "bitfield");
+      BitfieldMsg m;
+      m.bits.resize(num_pieces);
+      for (std::uint32_t i = 0; i < num_pieces; ++i) {
+        m.bits[i] = (payload[i / 8] & (0x80u >> (i % 8))) != 0;
+      }
+      // Spare bits in the final byte must be zero.
+      for (std::uint32_t i = num_pieces; i < bitfield_bytes(num_pieces) * 8;
+           ++i) {
+        if ((payload[i / 8] & (0x80u >> (i % 8))) != 0) {
+          throw WireError("bitfield: nonzero spare bits");
+        }
+      }
+      return Message{std::move(m)};
+    }
+    case MessageId::kRequest: {
+      need(12, "request");
+      return Message{
+          RequestMsg{get_u32(payload, 0), get_u32(payload, 4),
+                     get_u32(payload, 8)}};
+    }
+    case MessageId::kPiece: {
+      need_at_least(8, "piece");
+      PieceMsg m;
+      m.piece = get_u32(payload, 0);
+      m.begin = get_u32(payload, 4);
+      m.data.assign(payload.begin() + 8, payload.end());
+      return Message{std::move(m)};
+    }
+    case MessageId::kCancel: {
+      need(12, "cancel");
+      return Message{
+          CancelMsg{get_u32(payload, 0), get_u32(payload, 4),
+                    get_u32(payload, 8)}};
+    }
+    case MessageId::kSuggestPiece: {
+      need(4, "suggest_piece");
+      SuggestPieceMsg m{get_u32(payload, 0)};
+      if (num_pieces != 0 && m.piece >= num_pieces) {
+        throw WireError("suggest_piece: piece index out of range");
+      }
+      return Message{m};
+    }
+    case MessageId::kHaveAll:
+      need(0, "have_all");
+      return Message{HaveAllMsg{}};
+    case MessageId::kHaveNone:
+      need(0, "have_none");
+      return Message{HaveNoneMsg{}};
+    case MessageId::kRejectRequest: {
+      need(12, "reject_request");
+      return Message{RejectRequestMsg{get_u32(payload, 0),
+                                      get_u32(payload, 4),
+                                      get_u32(payload, 8)}};
+    }
+    case MessageId::kAllowedFast: {
+      need(4, "allowed_fast");
+      AllowedFastMsg m{get_u32(payload, 0)};
+      if (num_pieces != 0 && m.piece >= num_pieces) {
+        throw WireError("allowed_fast: piece index out of range");
+      }
+      return Message{m};
+    }
+  }
+  throw WireError("unknown message id " + std::to_string(data[4]));
+}
+
+std::vector<std::uint8_t> encode_handshake(const Handshake& hs) {
+  std::vector<std::uint8_t> out;
+  out.reserve(Handshake::kEncodedSize);
+  out.push_back(static_cast<std::uint8_t>(Handshake::kProtocol.size()));
+  out.insert(out.end(), Handshake::kProtocol.begin(),
+             Handshake::kProtocol.end());
+  out.insert(out.end(), hs.reserved.begin(), hs.reserved.end());
+  out.insert(out.end(), hs.info_hash.bytes.begin(), hs.info_hash.bytes.end());
+  out.insert(out.end(), hs.peer_id.begin(), hs.peer_id.end());
+  return out;
+}
+
+Handshake decode_handshake(std::span<const std::uint8_t> data) {
+  if (data.size() < Handshake::kEncodedSize) {
+    throw WireError("handshake: short input");
+  }
+  if (data[0] != Handshake::kProtocol.size() ||
+      !std::equal(Handshake::kProtocol.begin(), Handshake::kProtocol.end(),
+                  data.begin() + 1,
+                  [](char c, std::uint8_t b) {
+                    return static_cast<std::uint8_t>(c) == b;
+                  })) {
+    throw WireError("handshake: bad protocol string");
+  }
+  Handshake hs;
+  std::size_t at = 1 + Handshake::kProtocol.size();
+  std::copy_n(data.begin() + at, hs.reserved.size(), hs.reserved.begin());
+  at += hs.reserved.size();
+  std::copy_n(data.begin() + at, hs.info_hash.bytes.size(),
+              hs.info_hash.bytes.begin());
+  at += hs.info_hash.bytes.size();
+  std::copy_n(data.begin() + at, hs.peer_id.size(), hs.peer_id.begin());
+  return hs;
+}
+
+}  // namespace swarmlab::wire

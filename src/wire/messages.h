@@ -1,0 +1,199 @@
+// The BitTorrent peer wire protocol: message model and binary codec.
+//
+// Framing: a 4-byte big-endian length prefix, then (except for keep-alive,
+// whose length is 0) a 1-byte message id and the payload.
+//
+// The simulator exchanges the typed structs below directly for speed; the
+// binary codec exists so every simulated message has a validated wire
+// form (round-trip tested) and so the library is usable as a real
+// protocol codec.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "wire/geometry.h"
+#include "wire/sha1.h"
+
+namespace swarmlab::wire {
+
+/// Thrown on malformed wire input.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Message ids as they appear on the wire (0-8: BEP 3; 13-17: the Fast
+/// Extension, BEP 6, negotiated via a handshake reserved bit).
+enum class MessageId : std::uint8_t {
+  kChoke = 0,
+  kUnchoke = 1,
+  kInterested = 2,
+  kNotInterested = 3,
+  kHave = 4,
+  kBitfield = 5,
+  kRequest = 6,
+  kPiece = 7,
+  kCancel = 8,
+  kSuggestPiece = 13,
+  kHaveAll = 14,
+  kHaveNone = 15,
+  kRejectRequest = 16,
+  kAllowedFast = 17,
+};
+
+/// Human-readable message-id name (for instrumentation logs).
+const char* message_id_name(MessageId id);
+
+// --- Message payload structs -------------------------------------------
+
+struct KeepAliveMsg {
+  bool operator==(const KeepAliveMsg&) const = default;
+};
+
+struct ChokeMsg {
+  bool operator==(const ChokeMsg&) const = default;
+};
+
+struct UnchokeMsg {
+  bool operator==(const UnchokeMsg&) const = default;
+};
+
+struct InterestedMsg {
+  bool operator==(const InterestedMsg&) const = default;
+};
+
+struct NotInterestedMsg {
+  bool operator==(const NotInterestedMsg&) const = default;
+};
+
+/// Announces possession of one newly completed piece.
+struct HaveMsg {
+  PieceIndex piece = 0;
+  bool operator==(const HaveMsg&) const = default;
+};
+
+/// Initial possession map, one bit per piece, high bit first.
+struct BitfieldMsg {
+  std::vector<bool> bits;
+  bool operator==(const BitfieldMsg&) const = default;
+};
+
+/// Requests one block: piece index, byte offset within piece, length.
+struct RequestMsg {
+  PieceIndex piece = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t length = 0;
+  bool operator==(const RequestMsg&) const = default;
+};
+
+/// Carries one block of data.
+struct PieceMsg {
+  PieceIndex piece = 0;
+  std::uint32_t begin = 0;
+  std::vector<std::uint8_t> data;
+  bool operator==(const PieceMsg&) const = default;
+};
+
+/// Cancels a previously issued request (end game mode).
+struct CancelMsg {
+  PieceIndex piece = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t length = 0;
+  bool operator==(const CancelMsg&) const = default;
+};
+
+// --- Fast Extension (BEP 6) ----------------------------------------------
+
+/// Hints the peer to fetch this piece (e.g., from a cache).
+struct SuggestPieceMsg {
+  PieceIndex piece = 0;
+  bool operator==(const SuggestPieceMsg&) const = default;
+};
+
+/// Replaces an all-ones bitfield (a seed's announcement).
+struct HaveAllMsg {
+  bool operator==(const HaveAllMsg&) const = default;
+};
+
+/// Replaces an all-zero bitfield.
+struct HaveNoneMsg {
+  bool operator==(const HaveNoneMsg&) const = default;
+};
+
+/// Explicitly declines a request (instead of silently dropping it).
+struct RejectRequestMsg {
+  PieceIndex piece = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t length = 0;
+  bool operator==(const RejectRequestMsg&) const = default;
+};
+
+/// Grants download of one piece even while choked.
+struct AllowedFastMsg {
+  PieceIndex piece = 0;
+  bool operator==(const AllowedFastMsg&) const = default;
+};
+
+/// Any peer-wire message.
+using Message =
+    std::variant<KeepAliveMsg, ChokeMsg, UnchokeMsg, InterestedMsg,
+                 NotInterestedMsg, HaveMsg, BitfieldMsg, RequestMsg, PieceMsg,
+                 CancelMsg, SuggestPieceMsg, HaveAllMsg, HaveNoneMsg,
+                 RejectRequestMsg, AllowedFastMsg>;
+
+/// Name of the message's type (for logs).
+const char* message_name(const Message& msg);
+
+/// Serializes `msg` with its length prefix. `num_pieces` sizes the
+/// bitfield payload (required only for BitfieldMsg; pass 0 otherwise).
+std::vector<std::uint8_t> encode_message(const Message& msg,
+                                         std::uint32_t num_pieces = 0);
+
+/// Decodes one framed message from the start of `data`, writing the number
+/// of consumed bytes to `consumed`. `num_pieces` validates/interprets the
+/// bitfield payload. Returns std::nullopt when `data` holds an incomplete
+/// frame (need more bytes); throws WireError on malformed input.
+std::optional<Message> decode_message(std::span<const std::uint8_t> data,
+                                      std::uint32_t num_pieces,
+                                      std::size_t& consumed);
+
+// --- Handshake -----------------------------------------------------------
+
+/// The 68-byte connection preamble.
+struct Handshake {
+  static constexpr std::size_t kEncodedSize = 68;
+  static constexpr std::string_view kProtocol = "BitTorrent protocol";
+  /// Fast Extension flag: bit 0x04 of reserved byte 7 (BEP 6).
+  static constexpr std::uint8_t kFastExtensionBit = 0x04;
+
+  std::array<std::uint8_t, 8> reserved{};
+  Sha1Digest info_hash;
+  std::array<std::uint8_t, 20> peer_id{};
+
+  [[nodiscard]] bool supports_fast_extension() const {
+    return (reserved[7] & kFastExtensionBit) != 0;
+  }
+  void set_fast_extension(bool on) {
+    if (on) {
+      reserved[7] |= kFastExtensionBit;
+    } else {
+      reserved[7] &= static_cast<std::uint8_t>(~kFastExtensionBit);
+    }
+  }
+
+  bool operator==(const Handshake&) const = default;
+};
+
+std::vector<std::uint8_t> encode_handshake(const Handshake& hs);
+Handshake decode_handshake(std::span<const std::uint8_t> data);
+
+}  // namespace swarmlab::wire

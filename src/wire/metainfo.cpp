@@ -1,0 +1,155 @@
+#include "wire/metainfo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+
+#include "wire/messages.h"
+
+namespace swarmlab::wire {
+
+namespace {
+
+BValue info_dict(const Metainfo& meta) {
+  std::string pieces;
+  pieces.reserve(meta.piece_hashes.size() * 20);
+  for (const Sha1Digest& d : meta.piece_hashes) {
+    pieces.append(reinterpret_cast<const char*>(d.bytes.data()),
+                  d.bytes.size());
+  }
+  BValue::Dict info;
+  if (meta.files.empty()) {
+    info.emplace("length", BValue(static_cast<std::int64_t>(meta.length)));
+  } else {
+    BValue::List files;
+    for (const FileEntry& f : meta.files) {
+      BValue::Dict entry;
+      entry.emplace("length",
+                    BValue(static_cast<std::int64_t>(f.length)));
+      // Path as a list of segments, per the spec.
+      BValue::List segments;
+      std::size_t start = 0;
+      while (start <= f.path.size()) {
+        const std::size_t slash = f.path.find('/', start);
+        const std::size_t end =
+            slash == std::string::npos ? f.path.size() : slash;
+        segments.emplace_back(f.path.substr(start, end - start));
+        if (slash == std::string::npos) break;
+        start = slash + 1;
+      }
+      entry.emplace("path", BValue(std::move(segments)));
+      files.emplace_back(std::move(entry));
+    }
+    info.emplace("files", BValue(std::move(files)));
+  }
+  info.emplace("name", BValue(meta.name));
+  info.emplace("piece length",
+               BValue(static_cast<std::int64_t>(meta.piece_length)));
+  info.emplace("pieces", BValue(std::move(pieces)));
+  return BValue(std::move(info));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> synthetic_piece_bytes(const Metainfo& meta,
+                                                PieceIndex p) {
+  const ContentGeometry geo = meta.geometry();
+  assert(p < geo.num_pieces());
+  const std::uint32_t nbytes = geo.piece_bytes(p);
+  std::vector<std::uint8_t> out(nbytes);
+  // A cheap keyed PRF: xorshift seeded from the name hash and piece index.
+  const Sha1Digest name_hash = Sha1::hash(meta.name);
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 8; ++i) {
+    state = (state * 31) ^ name_hash.bytes[i];
+  }
+  state ^= (std::uint64_t{p} + 1) * 0xD1B54A32D192ED03ull;
+  if (state == 0) state = 1;  // xorshift must not start at zero
+  for (std::uint32_t i = 0; i < nbytes; ++i) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    out[i] = static_cast<std::uint8_t>(state);
+  }
+  return out;
+}
+
+Metainfo make_synthetic_metainfo(const std::string& announce,
+                                 const std::string& name,
+                                 std::uint64_t length,
+                                 std::uint32_t piece_length) {
+  Metainfo meta;
+  meta.announce = announce;
+  meta.name = name;
+  meta.length = length;
+  meta.piece_length = piece_length;
+  const std::uint32_t n = meta.geometry().num_pieces();
+  meta.piece_hashes.reserve(n);
+  for (PieceIndex p = 0; p < n; ++p) {
+    const auto bytes = synthetic_piece_bytes(meta, p);
+    meta.piece_hashes.push_back(Sha1::hash(
+        std::span<const std::uint8_t>(bytes.data(), bytes.size())));
+  }
+  return meta;
+}
+
+std::string encode_metainfo(const Metainfo& meta) {
+  BValue::Dict root;
+  root.emplace("announce", BValue(meta.announce));
+  root.emplace("info", info_dict(meta));
+  return bencode(BValue(std::move(root)));
+}
+
+Metainfo decode_metainfo(std::string_view data) {
+  const BValue root = bdecode(data);
+  Metainfo meta;
+  meta.announce = root.at("announce").as_string();
+  const BValue& info = root.at("info");
+  meta.name = info.at("name").as_string();
+  const std::int64_t piece_length = info.at("piece length").as_int();
+  std::int64_t length = 0;
+  if (const BValue* files = info.find("files"); files != nullptr) {
+    // Multi-file form: total length is the sum; paths re-join with '/'.
+    for (const BValue& entry : files->as_list()) {
+      FileEntry f;
+      const std::int64_t file_len = entry.at("length").as_int();
+      if (file_len < 0) throw WireError("metainfo: negative file length");
+      f.length = static_cast<std::uint64_t>(file_len);
+      const auto& segments = entry.at("path").as_list();
+      if (segments.empty()) throw WireError("metainfo: empty file path");
+      for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i > 0) f.path.push_back('/');
+        f.path += segments[i].as_string();
+      }
+      length += file_len;
+      meta.files.push_back(std::move(f));
+    }
+  } else {
+    length = info.at("length").as_int();
+  }
+  if (length <= 0 || piece_length <= 0) {
+    throw WireError("metainfo: non-positive length");
+  }
+  meta.length = static_cast<std::uint64_t>(length);
+  meta.piece_length = static_cast<std::uint32_t>(piece_length);
+  const std::string& pieces = info.at("pieces").as_string();
+  if (pieces.size() % 20 != 0) {
+    throw WireError("metainfo: pieces string not a multiple of 20");
+  }
+  const std::size_t n = pieces.size() / 20;
+  if (n != meta.geometry().num_pieces()) {
+    throw WireError("metainfo: piece hash count mismatch");
+  }
+  meta.piece_hashes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy_n(reinterpret_cast<const std::uint8_t*>(pieces.data()) + i * 20,
+                20, meta.piece_hashes[i].bytes.begin());
+  }
+  return meta;
+}
+
+Sha1Digest info_hash(const Metainfo& meta) {
+  return Sha1::hash(bencode(info_dict(meta)));
+}
+
+}  // namespace swarmlab::wire

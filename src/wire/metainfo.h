@@ -1,0 +1,67 @@
+// .torrent metainfo: construction, bencoding, parsing, and info-hash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wire/bencode.h"
+#include "wire/geometry.h"
+#include "wire/sha1.h"
+
+namespace swarmlab::wire {
+
+/// One file of a multi-file torrent. `path` is the '/'-joined relative
+/// path below the torrent's name directory.
+struct FileEntry {
+  std::string path;
+  std::uint64_t length = 0;
+
+  bool operator==(const FileEntry&) const = default;
+};
+
+/// The metainfo a .torrent file carries. `files` empty = the single-file
+/// form (the paper's torrents are single contents); non-empty = the
+/// multi-file form, where `length` is the total across files and pieces
+/// run over the concatenation.
+struct Metainfo {
+  std::string announce;       // tracker URL
+  std::string name;           // file name / content directory name
+  std::uint64_t length = 0;   // total content size in bytes
+  std::uint32_t piece_length = kDefaultPieceSize;
+  std::vector<Sha1Digest> piece_hashes;  // one per piece
+  std::vector<FileEntry> files;          // multi-file form when non-empty
+
+  /// Geometry implied by length/piece_length.
+  [[nodiscard]] ContentGeometry geometry() const {
+    return ContentGeometry(length, piece_length);
+  }
+
+  bool operator==(const Metainfo&) const = default;
+};
+
+/// Builds a metainfo for synthetic content: piece i's bytes are a
+/// deterministic function of (name, i), so every simulated peer agrees on
+/// hashes without storing content. Returns the metainfo with all piece
+/// hashes filled in.
+Metainfo make_synthetic_metainfo(const std::string& announce,
+                                 const std::string& name,
+                                 std::uint64_t length,
+                                 std::uint32_t piece_length =
+                                     kDefaultPieceSize);
+
+/// Deterministic synthetic bytes for piece `p` of `meta` (the content a
+/// real client would read from disk).
+std::vector<std::uint8_t> synthetic_piece_bytes(const Metainfo& meta,
+                                                PieceIndex p);
+
+/// Serializes to the canonical .torrent bencoding.
+std::string encode_metainfo(const Metainfo& meta);
+
+/// Parses a .torrent; throws BencodeError/WireError on malformed input.
+Metainfo decode_metainfo(std::string_view data);
+
+/// SHA-1 of the bencoded info dictionary — the torrent's identity.
+Sha1Digest info_hash(const Metainfo& meta);
+
+}  // namespace swarmlab::wire

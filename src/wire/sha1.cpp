@@ -1,0 +1,141 @@
+#include "wire/sha1.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace swarmlab::wire {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, unsigned n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+std::string Sha1Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0x0f]);
+  }
+  return out;
+}
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t need = 64 - buffered_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Sha1::update(std::string_view data) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Sha1Digest Sha1::finish() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t rem = static_cast<std::size_t>(total_bytes_ % 64);
+  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  update(std::span<const std::uint8_t>(kPad, pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - i * 8));
+  }
+  update(std::span<const std::uint8_t>(len_bytes, 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest.bytes[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest.bytes[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest.bytes[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Sha1Digest Sha1::hash(std::string_view data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace swarmlab::wire

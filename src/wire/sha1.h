@@ -1,0 +1,55 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// BitTorrent uses SHA-1 for piece integrity (one 20-byte digest per piece
+// in the .torrent metainfo) and for the info-hash identifying a torrent.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace swarmlab::wire {
+
+/// A 20-byte SHA-1 digest.
+struct Sha1Digest {
+  std::array<std::uint8_t, 20> bytes{};
+
+  bool operator==(const Sha1Digest&) const = default;
+
+  /// Lowercase hex rendering, e.g. "a9993e36...".
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  /// Restores the initial state.
+  void reset();
+
+  /// Absorbs `data`.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalizes and returns the digest. The hasher must be reset() before
+  /// further use.
+  Sha1Digest finish();
+
+  /// One-shot convenience.
+  static Sha1Digest hash(std::span<const std::uint8_t> data);
+  static Sha1Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace swarmlab::wire

@@ -1,0 +1,203 @@
+#include "wire/tracker_codec.h"
+
+#include <cctype>
+
+#include "wire/messages.h"  // WireError
+
+namespace swarmlab::wire {
+
+namespace {
+
+bool unreserved(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+const char* event_name(TrackerEvent event) {
+  switch (event) {
+    case TrackerEvent::kStarted: return "started";
+    case TrackerEvent::kStopped: return "stopped";
+    case TrackerEvent::kCompleted: return "completed";
+    case TrackerEvent::kNone: return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string percent_encode(std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (const char c : bytes) {
+    if (unreserved(c)) {
+      out.push_back(c);
+    } else {
+      const auto b = static_cast<std::uint8_t>(c);
+      out.push_back('%');
+      out.push_back(kHex[b >> 4]);
+      out.push_back(kHex[b & 0x0F]);
+    }
+  }
+  return out;
+}
+
+std::string build_announce_url(const std::string& base_url,
+                               const AnnounceRequest& request) {
+  std::string url = base_url;
+  url.push_back('?');
+  url += "info_hash=";
+  url += percent_encode(std::string_view(
+      reinterpret_cast<const char*>(request.info_hash.bytes.data()),
+      request.info_hash.bytes.size()));
+  url += "&peer_id=";
+  url += percent_encode(std::string_view(
+      reinterpret_cast<const char*>(request.peer_id.data()),
+      request.peer_id.size()));
+  url += "&port=" + std::to_string(request.port);
+  url += "&uploaded=" + std::to_string(request.uploaded);
+  url += "&downloaded=" + std::to_string(request.downloaded);
+  url += "&left=" + std::to_string(request.left);
+  url += "&numwant=" + std::to_string(request.numwant);
+  if (request.compact) url += "&compact=1";
+  if (request.event != TrackerEvent::kNone) {
+    url += std::string("&event=") + event_name(request.event);
+  }
+  return url;
+}
+
+std::string encode_announce_response(const AnnounceResponse& response,
+                                     bool compact) {
+  BValue::Dict root;
+  if (response.failure_reason.has_value()) {
+    root.emplace("failure reason", BValue(*response.failure_reason));
+    return bencode(BValue(std::move(root)));
+  }
+  root.emplace("interval",
+               BValue(static_cast<std::int64_t>(response.interval)));
+  root.emplace("complete",
+               BValue(static_cast<std::int64_t>(response.complete)));
+  root.emplace("incomplete",
+               BValue(static_cast<std::int64_t>(response.incomplete)));
+  if (compact) {
+    std::string packed;
+    packed.reserve(response.peers.size() * 6);
+    for (const TrackerPeerEntry& p : response.peers) {
+      packed.push_back(static_cast<char>(p.ipv4 >> 24));
+      packed.push_back(static_cast<char>(p.ipv4 >> 16));
+      packed.push_back(static_cast<char>(p.ipv4 >> 8));
+      packed.push_back(static_cast<char>(p.ipv4));
+      packed.push_back(static_cast<char>(p.port >> 8));
+      packed.push_back(static_cast<char>(p.port));
+    }
+    root.emplace("peers", BValue(std::move(packed)));
+  } else {
+    BValue::List list;
+    for (const TrackerPeerEntry& p : response.peers) {
+      BValue::Dict entry;
+      // Dotted-quad rendering for the dict (non-compact) form.
+      const std::string ip = std::to_string((p.ipv4 >> 24) & 0xFF) + "." +
+                             std::to_string((p.ipv4 >> 16) & 0xFF) + "." +
+                             std::to_string((p.ipv4 >> 8) & 0xFF) + "." +
+                             std::to_string(p.ipv4 & 0xFF);
+      entry.emplace("ip", BValue(ip));
+      entry.emplace("port", BValue(static_cast<std::int64_t>(p.port)));
+      if (p.peer_id.has_value()) {
+        entry.emplace("peer id", BValue(*p.peer_id));
+      }
+      list.emplace_back(std::move(entry));
+    }
+    root.emplace("peers", BValue(std::move(list)));
+  }
+  return bencode(BValue(std::move(root)));
+}
+
+namespace {
+
+std::uint32_t parse_dotted_quad(const std::string& ip) {
+  std::uint32_t out = 0;
+  std::size_t at = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (at >= ip.size() || !std::isdigit(static_cast<unsigned char>(ip[at]))) {
+      throw WireError("tracker: bad ip '" + ip + "'");
+    }
+    std::uint32_t value = 0;
+    while (at < ip.size() &&
+           std::isdigit(static_cast<unsigned char>(ip[at]))) {
+      value = value * 10 + static_cast<std::uint32_t>(ip[at] - '0');
+      if (value > 255) throw WireError("tracker: bad ip '" + ip + "'");
+      ++at;
+    }
+    out = (out << 8) | value;
+    if (octet < 3) {
+      if (at >= ip.size() || ip[at] != '.') {
+        throw WireError("tracker: bad ip '" + ip + "'");
+      }
+      ++at;
+    }
+  }
+  if (at != ip.size()) throw WireError("tracker: bad ip '" + ip + "'");
+  return out;
+}
+
+}  // namespace
+
+AnnounceResponse decode_announce_response(std::string_view data) {
+  const BValue root = bdecode(data);
+  AnnounceResponse out;
+  if (const BValue* failure = root.find("failure reason");
+      failure != nullptr) {
+    out.failure_reason = failure->as_string();
+    return out;
+  }
+  out.interval =
+      static_cast<std::uint32_t>(root.at("interval").as_int());
+  if (const BValue* v = root.find("complete"); v != nullptr) {
+    out.complete = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const BValue* v = root.find("incomplete"); v != nullptr) {
+    out.incomplete = static_cast<std::uint64_t>(v->as_int());
+  }
+  const BValue& peers = root.at("peers");
+  if (peers.is_string()) {
+    // Compact form: 6 bytes per peer.
+    const std::string& packed = peers.as_string();
+    if (packed.size() % 6 != 0) {
+      throw WireError("tracker: compact peers not a multiple of 6");
+    }
+    for (std::size_t at = 0; at < packed.size(); at += 6) {
+      TrackerPeerEntry p;
+      p.ipv4 = (static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(packed[at]))
+                << 24) |
+               (static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(packed[at + 1]))
+                << 16) |
+               (static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(packed[at + 2]))
+                << 8) |
+               static_cast<std::uint32_t>(
+                   static_cast<std::uint8_t>(packed[at + 3]));
+      p.port = static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(
+               static_cast<std::uint8_t>(packed[at + 4]))
+           << 8) |
+          static_cast<std::uint8_t>(packed[at + 5]));
+      out.peers.push_back(p);
+    }
+  } else {
+    for (const BValue& entry : peers.as_list()) {
+      TrackerPeerEntry p;
+      p.ipv4 = parse_dotted_quad(entry.at("ip").as_string());
+      p.port = static_cast<std::uint16_t>(entry.at("port").as_int());
+      if (const BValue* id = entry.find("peer id"); id != nullptr) {
+        p.peer_id = id->as_string();
+      }
+      out.peers.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace swarmlab::wire

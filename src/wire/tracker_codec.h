@@ -1,0 +1,76 @@
+// Tracker HTTP protocol codec (BEP 3 announce + BEP 23 compact peers).
+//
+// The announce is an HTTP GET whose query string carries the binary
+// info-hash and peer-id percent-encoded; the response is a bencoded
+// dictionary with the re-announce interval and the peer list, either as
+// a list of dicts or (compact form) as packed 6-byte IPv4:port entries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wire/bencode.h"
+#include "wire/sha1.h"
+
+namespace swarmlab::wire {
+
+/// Announce `event` parameter values.
+enum class TrackerEvent { kNone, kStarted, kStopped, kCompleted };
+
+/// One announce request (the client -> tracker GET).
+struct AnnounceRequest {
+  Sha1Digest info_hash;
+  std::array<std::uint8_t, 20> peer_id{};
+  std::uint16_t port = 6881;
+  std::uint64_t uploaded = 0;
+  std::uint64_t downloaded = 0;
+  std::uint64_t left = 0;
+  TrackerEvent event = TrackerEvent::kNone;
+  std::uint32_t numwant = 50;
+  bool compact = true;
+};
+
+/// Percent-encodes arbitrary bytes per RFC 3986 (unreserved characters
+/// pass through).
+std::string percent_encode(std::string_view bytes);
+
+/// Builds the full announce URL: `base_url?info_hash=...&peer_id=...&...`.
+/// `base_url` must not already contain a query string.
+std::string build_announce_url(const std::string& base_url,
+                               const AnnounceRequest& request);
+
+/// One peer entry in a tracker response.
+struct TrackerPeerEntry {
+  std::uint32_t ipv4 = 0;  ///< host byte order
+  std::uint16_t port = 0;
+  /// Peer id; present only in the non-compact (dict) form.
+  std::optional<std::string> peer_id;
+
+  bool operator==(const TrackerPeerEntry&) const = default;
+};
+
+/// A tracker announce response.
+struct AnnounceResponse {
+  /// Set when the tracker rejected the announce; other fields undefined.
+  std::optional<std::string> failure_reason;
+  std::uint32_t interval = 1800;
+  std::uint64_t complete = 0;    ///< seeds
+  std::uint64_t incomplete = 0;  ///< leechers
+  std::vector<TrackerPeerEntry> peers;
+
+  bool operator==(const AnnounceResponse&) const = default;
+};
+
+/// Serializes a response; `compact` packs peers as 6-byte entries
+/// (BEP 23), otherwise as a list of dicts with peer ids.
+std::string encode_announce_response(const AnnounceResponse& response,
+                                     bool compact);
+
+/// Parses either form; throws BencodeError/WireError on malformed input.
+AnnounceResponse decode_announce_response(std::string_view data);
+
+}  // namespace swarmlab::wire

@@ -1,0 +1,59 @@
+// Smoke-runs every Table-I scenario at tiny scale: all 26 must run to
+// completion without violating basic invariants, and the local peer must
+// finish everywhere a seed exists.
+#include <gtest/gtest.h>
+
+#include "instrument/analyzers.h"
+#include "instrument/local_log.h"
+#include "swarm/scenario.h"
+
+namespace swarmlab {
+namespace {
+
+class CatalogSmokeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CatalogSmokeTest, RunsCleanly) {
+  const int id = GetParam();
+  swarm::ScaleLimits limits;
+  limits.max_peers = 30;
+  limits.min_leechers = 2;
+  limits.max_pieces = 16;
+  limits.min_pieces = 8;
+  limits.duration = 20000.0;
+  auto cfg = swarm::scenario_from_table1(id, limits);
+  instrument::LocalPeerLog log(cfg.num_pieces);
+  swarm::ScenarioRunner runner(std::move(cfg), 100 + id, &log);
+  const double end = runner.run_until_local_complete(200.0);
+  log.finalize(end);
+
+  if (id == 1) {
+    // Zero seeds and dead pieces: completion is impossible by design.
+    EXPECT_FALSE(runner.local_peer().is_seed());
+  } else {
+    EXPECT_TRUE(runner.local_peer().is_seed())
+        << "torrent " << id << ": " << runner.local_peer().have().count()
+        << " pieces";
+  }
+
+  // Entropy ratios are well-formed whatever the torrent.
+  const auto entropy = instrument::analyze_entropy(log);
+  for (const double r : entropy.local_interest_ratios) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+  for (const double r : entropy.remote_interest_ratios) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+  // Accounting sanity: the local peer downloaded at least its pieces.
+  const auto geo = runner.swarm().geometry();
+  EXPECT_GE(runner.local_peer().total_downloaded(),
+            std::uint64_t{runner.local_peer().have().count()} *
+                geo.block_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTorrents, CatalogSmokeTest,
+                         ::testing::Range(1, 27));
+
+}  // namespace
+}  // namespace swarmlab

@@ -1,0 +1,149 @@
+// Churn and torrent-death scenarios: the protocol must degrade and
+// recover gracefully, never crash or deadlock.
+#include <gtest/gtest.h>
+
+#include "core/choker.h"
+#include "swarm/scenario.h"
+#include "swarm/swarm.h"
+
+namespace swarmlab {
+namespace {
+
+using peer::PeerConfig;
+using peer::PeerId;
+
+TEST(Churn, SeedDeathMidTransientStallsButNeverCrashes) {
+  sim::Simulation sim(1);
+  const wire::ContentGeometry geo(16 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  PeerConfig s;
+  s.start_complete = true;
+  s.upload_capacity = 40e3;
+  const PeerId seed = sw.add_peer(std::move(s));
+  sw.start_peer(seed);
+  std::vector<PeerId> leechers;
+  for (int i = 0; i < 4; ++i) {
+    PeerConfig l;
+    l.upload_capacity = 20e3;
+    leechers.push_back(sw.add_peer(std::move(l)));
+    sw.start_peer(leechers.back());
+  }
+  // Kill the only seed mid-transient: a few pieces are out (the seed has
+  // pushed ~40 kB/s * 160 s = 6 MiB of the 4 MiB content), but not all.
+  sim.schedule_at(160.0, [&] { sw.stop_peer(seed); });
+  sim.run_until(5000.0);
+  EXPECT_FALSE(sw.torrent_alive());
+  std::uint32_t best = 0;
+  for (const PeerId id : leechers) {
+    const peer::Peer* p = sw.find_peer(id);
+    EXPECT_TRUE(p->active());
+    EXPECT_FALSE(p->is_seed());  // not all pieces ever existed
+    best = std::max(best, p->have().count());
+  }
+  // Peers replicated what was available before the death.
+  EXPECT_GT(best, 0u);
+}
+
+TEST(Churn, SeedReturnRevivesTheTorrent) {
+  sim::Simulation sim(2);
+  const wire::ContentGeometry geo(8 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  PeerConfig s;
+  s.start_complete = true;
+  s.upload_capacity = 30e3;
+  const PeerId seed1 = sw.add_peer(PeerConfig(s));
+  sw.start_peer(seed1);
+  PeerConfig l;
+  l.upload_capacity = 30e3;
+  const PeerId leecher = sw.add_peer(std::move(l));
+  sw.start_peer(leecher);
+  sim.schedule_at(20.0, [&] { sw.stop_peer(seed1); });
+  // A fresh seed joins later.
+  sim.schedule_at(200.0, [&] {
+    const PeerId seed2 = sw.add_peer(PeerConfig(s));
+    sw.start_peer(seed2);
+  });
+  sim.run_until(8000.0);
+  EXPECT_TRUE(sw.find_peer(leecher)->is_seed());
+}
+
+TEST(Churn, HeavyAbortChurnStaysConsistent) {
+  swarm::ScenarioConfig cfg;
+  cfg.num_pieces = 16;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 20;
+  cfg.leecher_abort_rate = 1.0 / 300.0;  // most abort before completion
+  cfg.arrival_rate = 0.1;
+  cfg.seed_linger_mean = 100.0;
+  cfg.duration = 4000.0;
+  swarm::ScenarioRunner runner(cfg, 5);
+  runner.run();
+  // The local peer (never aborted, persistent seed present) completes.
+  EXPECT_TRUE(runner.local_peer().is_seed());
+  // Departed peers hold no connections anywhere.
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    if (p->active()) continue;
+    EXPECT_EQ(p->peer_set_size(), 0u) << "peer " << id;
+  }
+}
+
+TEST(Churn, RapidJoinLeaveNoise) {
+  // The paper filters "peers that join and leave the peer set
+  // frequently" (§IV-A.1); the protocol itself must tolerate them.
+  sim::Simulation sim(7);
+  const wire::ContentGeometry geo(8 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  PeerConfig s;
+  s.start_complete = true;
+  s.upload_capacity = 30e3;
+  sw.start_peer(sw.add_peer(std::move(s)));
+  PeerConfig l;
+  l.upload_capacity = 30e3;
+  const PeerId stable = sw.add_peer(std::move(l));
+  sw.start_peer(stable);
+  // A stream of flappers, each alive for 3 seconds.
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule_at(10.0 + i * 5.0, [&sw] {
+      PeerConfig f;
+      f.upload_capacity = 10e3;
+      const PeerId id = sw.add_peer(std::move(f));
+      sw.start_peer(id);
+      sw.simulation().schedule_in(3.0, [&sw, id] { sw.stop_peer(id); });
+    });
+  }
+  sim.run_until(4000.0);
+  EXPECT_TRUE(sw.find_peer(stable)->is_seed());
+}
+
+TEST(OptimisticBias, NewPeersWinTheOptimisticDrawMoreOften) {
+  core::ProtocolParams params;
+  params.optimistic_new_peer_weight = 3;
+  core::LeecherChoker choker(params);
+  sim::Rng rng(11);
+  // 10 old + 10 new peers, all interested, all zero-rate; count OU picks.
+  int new_picks = 0, old_picks = 0;
+  for (std::uint64_t round = 0; round < 3000; round += 3) {
+    std::vector<core::ChokeCandidate> cs;
+    for (core::PeerKey k = 1; k <= 20; ++k) {
+      core::ChokeCandidate c;
+      c.key = k;
+      c.interested = true;
+      c.newly_connected = k > 10;
+      cs.push_back(c);
+    }
+    choker.select(cs, round, rng);  // rotation round: re-draws the OU
+    const auto ou = choker.optimistic_peer();
+    ASSERT_TRUE(ou.has_value());
+    if (*ou > 10) {
+      ++new_picks;
+    } else {
+      ++old_picks;
+    }
+  }
+  // Expected 3:1; allow generous noise.
+  EXPECT_GT(new_picks, old_picks * 2);
+}
+
+}  // namespace
+}  // namespace swarmlab

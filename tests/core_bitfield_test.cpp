@@ -1,0 +1,193 @@
+// Bitfield and availability-map unit + property tests.
+#include <gtest/gtest.h>
+
+#include "core/availability.h"
+#include "core/bitfield.h"
+#include "sim/rng.h"
+
+namespace swarmlab::core {
+namespace {
+
+TEST(Bitfield, StartsEmpty) {
+  const Bitfield b(10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.complete());
+}
+
+TEST(Bitfield, SetAndClearTrackCount) {
+  Bitfield b(5);
+  EXPECT_TRUE(b.set(2));
+  EXPECT_FALSE(b.set(2));  // already set
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_TRUE(b.has(2));
+  EXPECT_TRUE(b.clear(2));
+  EXPECT_FALSE(b.clear(2));
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitfield, FullIsComplete) {
+  const Bitfield b = Bitfield::full(7);
+  EXPECT_TRUE(b.complete());
+  EXPECT_EQ(b.count(), 7u);
+  for (PieceIndex p = 0; p < 7; ++p) EXPECT_TRUE(b.has(p));
+}
+
+TEST(Bitfield, InterestSemantics) {
+  Bitfield a(4), b(4);
+  b.set(1);
+  // a lacks piece 1 that b has: a interested in b, not vice versa.
+  EXPECT_TRUE(a.interested_in(b));
+  EXPECT_FALSE(b.interested_in(a));
+  a.set(1);
+  EXPECT_FALSE(a.interested_in(b));  // now equal sets
+  a.set(2);
+  EXPECT_FALSE(a.interested_in(b));  // a is a superset
+  EXPECT_TRUE(b.interested_in(a));
+}
+
+TEST(Bitfield, SeedNeverInterested) {
+  const Bitfield seed = Bitfield::full(8);
+  Bitfield leecher(8);
+  leecher.set(3);
+  EXPECT_FALSE(seed.interested_in(leecher));
+  EXPECT_TRUE(leecher.interested_in(seed));
+}
+
+TEST(Bitfield, SetIndicesAndMissingFrom) {
+  Bitfield a(6), b(6);
+  a.set(0);
+  a.set(4);
+  b.set(4);
+  b.set(5);
+  EXPECT_EQ(a.set_indices(), (std::vector<PieceIndex>{0, 4}));
+  EXPECT_EQ(a.missing_from(b), (std::vector<PieceIndex>{5}));
+  EXPECT_EQ(b.missing_from(a), (std::vector<PieceIndex>{0}));
+}
+
+TEST(Availability, StartsAllZero) {
+  const AvailabilityMap m(8);
+  EXPECT_EQ(m.min_copies(), 0u);
+  EXPECT_EQ(m.max_copies(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean_copies(), 0.0);
+  EXPECT_EQ(m.rarest_set_size(), 8u);
+}
+
+TEST(Availability, AddPeerCountsPieces) {
+  AvailabilityMap m(4);
+  Bitfield have(4);
+  have.set(1);
+  have.set(3);
+  m.add_peer(have);
+  EXPECT_EQ(m.copies(0), 0u);
+  EXPECT_EQ(m.copies(1), 1u);
+  EXPECT_EQ(m.copies(3), 1u);
+  EXPECT_EQ(m.min_copies(), 0u);
+  EXPECT_EQ(m.max_copies(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_copies(), 0.5);
+}
+
+TEST(Availability, RemovePeerRestoresCounts) {
+  AvailabilityMap m(4);
+  Bitfield have(4);
+  have.set(0);
+  m.add_peer(have);
+  m.remove_peer(have);
+  for (PieceIndex p = 0; p < 4; ++p) EXPECT_EQ(m.copies(p), 0u);
+  EXPECT_EQ(m.rarest_set_size(), 4u);
+}
+
+TEST(Availability, HaveIncrements) {
+  AvailabilityMap m(4);
+  m.add_have(2);
+  m.add_have(2);
+  EXPECT_EQ(m.copies(2), 2u);
+  EXPECT_EQ(m.max_copies(), 2u);
+}
+
+TEST(Availability, RarestSetIdentifiesMinimum) {
+  AvailabilityMap m(4);
+  m.add_have(0);
+  m.add_have(0);
+  m.add_have(1);
+  m.add_have(2);
+  // counts: 2,1,1,0 -> rarest = {3}
+  EXPECT_EQ(m.min_copies(), 0u);
+  EXPECT_EQ(m.rarest_set(), (std::vector<PieceIndex>{3}));
+  EXPECT_EQ(m.rarest_set_size(), 1u);
+  m.add_have(3);
+  // counts: 2,1,1,1 -> rarest = {1,2,3}
+  EXPECT_EQ(m.rarest_set(), (std::vector<PieceIndex>{1, 2, 3}));
+  EXPECT_EQ(m.rarest_set_size(), 3u);
+}
+
+TEST(Availability, SeedAddRaisesFloor) {
+  AvailabilityMap m(3);
+  m.add_peer(Bitfield::full(3));
+  EXPECT_EQ(m.min_copies(), 1u);
+  EXPECT_EQ(m.rarest_set_size(), 3u);
+}
+
+// Property: after any sequence of add/remove/have operations, copy counts
+// equal a straightforward recount and min/max/mean agree with it.
+class AvailabilityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvailabilityPropertyTest, ConsistentUnderRandomOperations) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  constexpr std::uint32_t kPieces = 24;
+  AvailabilityMap m(kPieces);
+  std::vector<std::uint32_t> reference(kPieces, 0);
+  std::vector<Bitfield> members;
+
+  for (int step = 0; step < 300; ++step) {
+    const auto action = rng.index(3);
+    if (action == 0) {  // join
+      Bitfield have(kPieces);
+      for (PieceIndex p = 0; p < kPieces; ++p) {
+        if (rng.chance(0.4)) have.set(p);
+      }
+      m.add_peer(have);
+      for (const PieceIndex p : have.set_indices()) ++reference[p];
+      members.push_back(have);
+    } else if (action == 1 && !members.empty()) {  // leave
+      const std::size_t i = rng.index(members.size());
+      m.remove_peer(members[i]);
+      for (const PieceIndex p : members[i].set_indices()) --reference[p];
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (action == 2 && !members.empty()) {  // HAVE
+      const std::size_t i = rng.index(members.size());
+      const PieceIndex p =
+          static_cast<PieceIndex>(rng.index(kPieces));
+      if (members[i].set(p)) {
+        m.add_have(p);
+        ++reference[p];
+      }
+    }
+  }
+
+  std::uint32_t ref_min = ~0u, ref_max = 0;
+  std::uint64_t total = 0;
+  for (PieceIndex p = 0; p < kPieces; ++p) {
+    EXPECT_EQ(m.copies(p), reference[p]) << "piece " << p;
+    ref_min = std::min(ref_min, reference[p]);
+    ref_max = std::max(ref_max, reference[p]);
+    total += reference[p];
+  }
+  EXPECT_EQ(m.min_copies(), ref_min);
+  EXPECT_EQ(m.max_copies(), ref_max);
+  EXPECT_DOUBLE_EQ(m.mean_copies(),
+                   static_cast<double>(total) / kPieces);
+  std::uint32_t rarest_count = 0;
+  for (const std::uint32_t c : reference) {
+    if (c == ref_min) ++rarest_count;
+  }
+  EXPECT_EQ(m.rarest_set_size(), rarest_count);
+  EXPECT_EQ(m.rarest_set().size(), rarest_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvailabilityPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace swarmlab::core

@@ -1,0 +1,391 @@
+// Choke-algorithm tests (paper §II-C.2): leecher state, both seed-state
+// variants, and the tit-for-tat baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/choker.h"
+#include "sim/rng.h"
+
+namespace swarmlab::core {
+namespace {
+
+ChokeCandidate candidate(PeerKey key, bool interested, double down_rate,
+                         double up_rate = 0.0) {
+  ChokeCandidate c;
+  c.key = key;
+  c.interested = interested;
+  c.download_rate = down_rate;
+  c.upload_rate = up_rate;
+  return c;
+}
+
+bool contains(const std::vector<PeerKey>& v, PeerKey k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+TEST(LeecherChoker, UnchokesThreeFastestInterestedPlusOptimistic) {
+  ProtocolParams params;
+  LeecherChoker choker(params);
+  sim::Rng rng(1);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 10; ++k) {
+    cs.push_back(candidate(k, true, static_cast<double>(k) * 100));
+  }
+  const auto unchoked = choker.select(cs, 0, rng);
+  ASSERT_EQ(unchoked.size(), 4u);  // 3 RU + 1 OU
+  EXPECT_TRUE(contains(unchoked, 10));
+  EXPECT_TRUE(contains(unchoked, 9));
+  EXPECT_TRUE(contains(unchoked, 8));
+}
+
+TEST(LeecherChoker, IgnoresUninterestedPeers) {
+  ProtocolParams params;
+  LeecherChoker choker(params);
+  sim::Rng rng(1);
+  std::vector<ChokeCandidate> cs;
+  cs.push_back(candidate(1, false, 1e9));  // fastest but not interested
+  cs.push_back(candidate(2, true, 100));
+  cs.push_back(candidate(3, true, 50));
+  const auto unchoked = choker.select(cs, 0, rng);
+  EXPECT_FALSE(contains(unchoked, 1));
+  EXPECT_TRUE(contains(unchoked, 2));
+  EXPECT_TRUE(contains(unchoked, 3));
+}
+
+TEST(LeecherChoker, AtMostFourUnchoked) {
+  ProtocolParams params;
+  LeecherChoker choker(params);
+  sim::Rng rng(1);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 40; ++k) cs.push_back(candidate(k, true, k));
+  for (std::uint64_t round = 0; round < 12; ++round) {
+    EXPECT_LE(choker.select(cs, round, rng).size(), 4u);
+  }
+}
+
+TEST(LeecherChoker, OptimisticRotatesEveryThreeRounds) {
+  ProtocolParams params;
+  LeecherChoker choker(params);
+  sim::Rng rng(5);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 30; ++k) {
+    // All equal rates: RU picks the first three consistently; the OU is
+    // the only varying slot.
+    cs.push_back(candidate(k, true, 0.0));
+  }
+  std::optional<PeerKey> ou_in_block;
+  std::set<PeerKey> distinct_ous;
+  for (std::uint64_t round = 0; round < 30; ++round) {
+    choker.select(cs, round, rng);
+    const auto ou = choker.optimistic_peer();
+    ASSERT_TRUE(ou.has_value());
+    if (round % 3 == 0) {
+      ou_in_block = ou;
+      distinct_ous.insert(*ou);
+    } else {
+      // Within a 30-second block the OU must be stable.
+      EXPECT_EQ(ou, ou_in_block);
+    }
+  }
+  EXPECT_GT(distinct_ous.size(), 3u);  // rotation actually explores
+}
+
+TEST(LeecherChoker, ReplacesDepartedOptimistic) {
+  ProtocolParams params;
+  LeecherChoker choker(params);
+  sim::Rng rng(5);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 8; ++k) cs.push_back(candidate(k, true, 0.0));
+  choker.select(cs, 0, rng);
+  const auto ou = choker.optimistic_peer();
+  ASSERT_TRUE(ou.has_value());
+  // The OU leaves the torrent; round 1 is not a rotation round but the
+  // choker must still replace it.
+  std::vector<ChokeCandidate> without;
+  for (const auto& c : cs) {
+    if (c.key != *ou) without.push_back(c);
+  }
+  choker.select(without, 1, rng);
+  const auto replacement = choker.optimistic_peer();
+  ASSERT_TRUE(replacement.has_value());
+  EXPECT_NE(*replacement, *ou);
+}
+
+TEST(LeecherChoker, NoInterestedPeersMeansNoUnchoke) {
+  ProtocolParams params;
+  LeecherChoker choker(params);
+  sim::Rng rng(1);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 5; ++k) cs.push_back(candidate(k, false, k));
+  EXPECT_TRUE(choker.select(cs, 0, rng).empty());
+}
+
+// --- new seed-state algorithm (SKU/SRU) -----------------------------------
+
+TEST(NewSeedChoker, FillsFourSlotsFromInterested) {
+  ProtocolParams params;
+  NewSeedChoker choker(params);
+  sim::Rng rng(2);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 10; ++k) cs.push_back(candidate(k, true, 0.0));
+  EXPECT_EQ(choker.select(cs, 0, rng).size(), 4u);
+}
+
+TEST(NewSeedChoker, KeepsMostRecentlyUnchokedPeers) {
+  ProtocolParams params;
+  NewSeedChoker choker(params);
+  sim::Rng rng(2);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 6; ++k) {
+    ChokeCandidate c = candidate(k, true, 0.0);
+    c.unchoked = k <= 4;
+    c.last_unchoke_time = static_cast<double>(k) * 10.0;  // 4 most recent
+    cs.push_back(c);
+  }
+  // Round 2 (phase 2 of the cycle): keep the 4 most recently unchoked.
+  const auto kept = choker.select(cs, 2, rng);
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_TRUE(contains(kept, 1));
+  EXPECT_TRUE(contains(kept, 2));
+  EXPECT_TRUE(contains(kept, 3));
+  EXPECT_TRUE(contains(kept, 4));
+}
+
+TEST(NewSeedChoker, SruRoundDropsOldestAndAddsRandom) {
+  ProtocolParams params;
+  NewSeedChoker choker(params);
+  sim::Rng rng(2);
+  std::vector<ChokeCandidate> cs;
+  // Peers 1-4 unchoked with 1 the oldest; 5-8 choked and interested.
+  for (PeerKey k = 1; k <= 8; ++k) {
+    ChokeCandidate c = candidate(k, true, 0.0);
+    c.unchoked = k <= 4;
+    c.last_unchoke_time = k <= 4 ? static_cast<double>(k) : -1.0;
+    cs.push_back(c);
+  }
+  // Round 0 is an SRU round: keep the 3 most recent (2,3,4), drop the
+  // oldest (1), unchoke one random choked peer.
+  const auto sel = choker.select(cs, 0, rng);
+  ASSERT_EQ(sel.size(), 4u);
+  EXPECT_FALSE(contains(sel, 1));
+  EXPECT_TRUE(contains(sel, 2));
+  EXPECT_TRUE(contains(sel, 3));
+  EXPECT_TRUE(contains(sel, 4));
+  EXPECT_TRUE(sel[3] >= 5 && sel[3] <= 8);
+}
+
+TEST(NewSeedChoker, IgnoresRatesEntirely) {
+  ProtocolParams params;
+  NewSeedChoker choker(params);
+  sim::Rng rng(2);
+  std::vector<ChokeCandidate> cs;
+  ChokeCandidate fast = candidate(1, true, 1e9, 1e9);  // huge rates
+  ChokeCandidate slow = candidate(2, true, 0.0, 0.0);
+  slow.unchoked = true;
+  slow.last_unchoke_time = 100.0;
+  cs.push_back(fast);
+  cs.push_back(slow);
+  // Phase 2 (keep round): the unchoked slow peer is kept; rates never
+  // enter the ordering.
+  const auto sel = choker.select(cs, 2, rng);
+  EXPECT_TRUE(contains(sel, 2));
+}
+
+TEST(NewSeedChoker, RotationServesEveryoneOverTime) {
+  // The core fairness property (paper §IV-B.3): over a long horizon every
+  // interested peer gets unchoked a similar number of times.
+  ProtocolParams params;
+  NewSeedChoker choker(params);
+  sim::Rng rng(9);
+  constexpr int kPeers = 12;
+  std::map<PeerKey, double> last_unchoke;
+  std::map<PeerKey, bool> unchoked;
+  std::map<PeerKey, int> unchoke_events;
+  for (PeerKey k = 1; k <= kPeers; ++k) {
+    last_unchoke[k] = -1.0;
+    unchoked[k] = false;
+  }
+  for (std::uint64_t round = 0; round < 600; ++round) {
+    const double t = static_cast<double>(round) * 10.0;
+    std::vector<ChokeCandidate> cs;
+    for (PeerKey k = 1; k <= kPeers; ++k) {
+      ChokeCandidate c = candidate(k, true, 0.0);
+      c.unchoked = unchoked[k];
+      c.last_unchoke_time = last_unchoke[k];
+      cs.push_back(c);
+    }
+    const auto sel = choker.select(cs, round, rng);
+    EXPECT_LE(sel.size(), 4u);
+    for (PeerKey k = 1; k <= kPeers; ++k) {
+      const bool now = contains(sel, k);
+      if (now && !unchoked[k]) {
+        last_unchoke[k] = t;
+        ++unchoke_events[k];
+      }
+      unchoked[k] = now;
+    }
+  }
+  int min_events = 1 << 30, max_events = 0;
+  for (PeerKey k = 1; k <= kPeers; ++k) {
+    min_events = std::min(min_events, unchoke_events[k]);
+    max_events = std::max(max_events, unchoke_events[k]);
+  }
+  EXPECT_GT(min_events, 0);
+  // Equal service: spread bounded (no peer starves, none monopolizes).
+  EXPECT_LE(max_events, min_events * 3);
+}
+
+// --- old seed-state algorithm -------------------------------------------------
+
+TEST(OldSeedChoker, FavorsFastestUploads) {
+  ProtocolParams params;
+  OldSeedChoker choker(params);
+  sim::Rng rng(3);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 10; ++k) {
+    cs.push_back(candidate(k, true, 0.0, static_cast<double>(k) * 10));
+  }
+  const auto sel = choker.select(cs, 0, rng);
+  EXPECT_TRUE(contains(sel, 10));
+  EXPECT_TRUE(contains(sel, 9));
+  EXPECT_TRUE(contains(sel, 8));
+}
+
+TEST(OldSeedChoker, FastPeerCanMonopolize) {
+  // The unfairness the new algorithm fixes: a fast downloader keeps its
+  // regular-unchoke slot round after round.
+  ProtocolParams params;
+  OldSeedChoker choker(params);
+  sim::Rng rng(3);
+  std::vector<ChokeCandidate> cs;
+  cs.push_back(candidate(1, true, 0.0, 1e6));  // the fast free rider
+  for (PeerKey k = 2; k <= 20; ++k) cs.push_back(candidate(k, true, 0.0, 10));
+  for (std::uint64_t round = 0; round < 30; ++round) {
+    EXPECT_TRUE(contains(choker.select(cs, round, rng), 1));
+  }
+}
+
+// --- tit-for-tat baseline ----------------------------------------------------
+
+TEST(TitForTatChoker, BlocksPeersOverDeficit) {
+  ProtocolParams params;
+  params.tft_deficit_threshold = 1000;
+  TitForTatChoker choker(params);
+  sim::Rng rng(4);
+  std::vector<ChokeCandidate> cs;
+  ChokeCandidate ok = candidate(1, true, 50.0);
+  ok.uploaded_to = 500;
+  ok.downloaded_from = 0;  // deficit 500 <= 1000
+  ChokeCandidate over = candidate(2, true, 500.0);
+  over.uploaded_to = 5000;
+  over.downloaded_from = 100;  // deficit 4900 > 1000
+  cs.push_back(ok);
+  cs.push_back(over);
+  const auto sel = choker.select(cs, 0, rng);
+  EXPECT_TRUE(contains(sel, 1));
+  EXPECT_FALSE(contains(sel, 2));
+}
+
+TEST(TitForTatChoker, StrandsExcessCapacity) {
+  // The paper's core critique (§IV-B.1): when every interested peer is
+  // over the deficit threshold, slots stay idle even though capacity
+  // exists.
+  ProtocolParams params;
+  params.tft_deficit_threshold = 100;
+  TitForTatChoker choker(params);
+  sim::Rng rng(4);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 6; ++k) {
+    ChokeCandidate c = candidate(k, true, 10.0);
+    c.uploaded_to = 10'000;  // all free riders / slow reciprocators
+    c.downloaded_from = 0;
+    cs.push_back(c);
+  }
+  EXPECT_TRUE(choker.select(cs, 0, rng).empty());
+}
+
+TEST(TitForTatChoker, ReciprocatingPeersServedUpToSlotLimit) {
+  ProtocolParams params;
+  TitForTatChoker choker(params);
+  sim::Rng rng(4);
+  std::vector<ChokeCandidate> cs;
+  for (PeerKey k = 1; k <= 10; ++k) {
+    ChokeCandidate c = candidate(k, true, static_cast<double>(k));
+    c.uploaded_to = 100;
+    c.downloaded_from = 100;  // balanced
+    cs.push_back(c);
+  }
+  EXPECT_EQ(choker.select(cs, 0, rng).size(), 4u);
+}
+
+// --- factories -----------------------------------------------------------------
+
+TEST(ChokerFactory, RespectsParams) {
+  ProtocolParams params;
+  params.leecher_choker = LeecherChokerKind::kTitForTat;
+  params.seed_choker = SeedChokerKind::kOldSeed;
+  EXPECT_NE(dynamic_cast<TitForTatChoker*>(
+                make_leecher_choker(params).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<OldSeedChoker*>(make_seed_choker(params).get()),
+            nullptr);
+  params.leecher_choker = LeecherChokerKind::kChoke;
+  params.seed_choker = SeedChokerKind::kNewSeed;
+  EXPECT_NE(dynamic_cast<LeecherChoker*>(
+                make_leecher_choker(params).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<NewSeedChoker*>(make_seed_choker(params).get()),
+            nullptr);
+}
+
+// Property: every choker returns at most active_set_size peers, all of
+// them interested candidates, with no duplicates.
+class ChokerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChokerPropertyTest, SelectionAlwaysValid) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ProtocolParams params;
+  LeecherChoker leecher(params);
+  NewSeedChoker new_seed(params);
+  OldSeedChoker old_seed(params);
+  TitForTatChoker tft(params);
+  Choker* chokers[] = {&leecher, &new_seed, &old_seed, &tft};
+
+  for (std::uint64_t round = 0; round < 40; ++round) {
+    std::vector<ChokeCandidate> cs;
+    const std::size_t n = rng.index(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      ChokeCandidate c;
+      c.key = i + 1;
+      c.interested = rng.chance(0.6);
+      c.unchoked = rng.chance(0.3);
+      c.download_rate = rng.uniform(0, 1000);
+      c.upload_rate = rng.uniform(0, 1000);
+      c.last_unchoke_time = rng.chance(0.5) ? rng.uniform(0, 100) : -1.0;
+      c.uploaded_to = rng.uniform_int(0, 1 << 20);
+      c.downloaded_from = rng.uniform_int(0, 1 << 20);
+      cs.push_back(c);
+    }
+    for (Choker* choker : chokers) {
+      const auto sel = choker->select(cs, round, rng);
+      EXPECT_LE(sel.size(), params.active_set_size);
+      std::set<PeerKey> unique(sel.begin(), sel.end());
+      EXPECT_EQ(unique.size(), sel.size());
+      for (const PeerKey k : sel) {
+        const auto it = std::find_if(
+            cs.begin(), cs.end(),
+            [k](const ChokeCandidate& c) { return c.key == k; });
+        ASSERT_NE(it, cs.end());
+        EXPECT_TRUE(it->interested);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChokerPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace swarmlab::core

@@ -1,0 +1,200 @@
+// Piece-selection strategy tests (paper §II-C.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/piece_picker.h"
+#include "sim/rng.h"
+
+namespace swarmlab::core {
+namespace {
+
+struct PickerHarness {
+  explicit PickerHarness(std::uint32_t pieces)
+      : local(pieces), remote(pieces), availability(pieces) {}
+
+  std::optional<PieceIndex> pick(PiecePicker& picker, sim::Rng& rng,
+                                 std::uint32_t completed) {
+    const std::function<bool(PieceIndex)> startable =
+        [this](PieceIndex p) { return !blocked.contains(p); };
+    const PickContext ctx{local, remote, availability, startable, completed};
+    return picker.pick(ctx, rng);
+  }
+
+  Bitfield local;
+  Bitfield remote;
+  AvailabilityMap availability;
+  std::set<PieceIndex> blocked;
+};
+
+TEST(RarestFirstPicker, PicksTheRarestEligiblePiece) {
+  PickerHarness h(5);
+  h.remote = Bitfield::full(5);
+  // copies: piece 0 -> 3, 1 -> 2, 2 -> 1, 3 -> 2, 4 -> 3
+  for (int i = 0; i < 3; ++i) h.availability.add_have(0);
+  for (int i = 0; i < 2; ++i) h.availability.add_have(1);
+  h.availability.add_have(2);
+  for (int i = 0; i < 2; ++i) h.availability.add_have(3);
+  for (int i = 0; i < 3; ++i) h.availability.add_have(4);
+
+  RarestFirstPicker picker(/*random_first_threshold=*/0);
+  sim::Rng rng(1);
+  EXPECT_EQ(h.pick(picker, rng, /*completed=*/4), 2u);
+}
+
+TEST(RarestFirstPicker, BreaksTiesRandomlyWithinRarestSet) {
+  PickerHarness h(6);
+  h.remote = Bitfield::full(6);
+  h.availability.add_have(0);  // piece 0 has 1 copy; all others 0 copies
+  RarestFirstPicker picker(0);
+  sim::Rng rng(7);
+  std::set<PieceIndex> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto p = h.pick(picker, rng, 4);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NE(*p, 0u);  // never the more-replicated piece
+    seen.insert(*p);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // every 0-copy piece gets picked eventually
+}
+
+TEST(RarestFirstPicker, RandomFirstPolicyBeforeThreshold) {
+  PickerHarness h(8);
+  h.remote = Bitfield::full(8);
+  // Piece 7 is the clear rarest (0 copies), all others have 5.
+  for (PieceIndex p = 0; p < 7; ++p) {
+    for (int i = 0; i < 5; ++i) h.availability.add_have(p);
+  }
+  RarestFirstPicker picker(/*random_first_threshold=*/4);
+  sim::Rng rng(3);
+  // With fewer than 4 completed pieces the choice is uniform: over many
+  // trials, non-rarest pieces must get picked most of the time.
+  int rarest_picks = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto p = h.pick(picker, rng, /*completed=*/0);
+    ASSERT_TRUE(p.has_value());
+    if (*p == 7) ++rarest_picks;
+  }
+  EXPECT_LT(rarest_picks, 100);  // uniform would give ~37
+  // At the threshold, the picker must switch to rarest first.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(h.pick(picker, rng, /*completed=*/4), 7u);
+  }
+}
+
+TEST(RarestFirstPicker, SkipsOwnedAndBlockedAndAbsentPieces) {
+  PickerHarness h(4);
+  h.remote.set(0);
+  h.remote.set(1);
+  h.remote.set(2);  // remote lacks 3
+  h.local.set(0);   // we own 0
+  h.blocked.insert(1);  // 1 is in flight
+  RarestFirstPicker picker(0);
+  sim::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(h.pick(picker, rng, 4), 2u);
+  }
+}
+
+TEST(RarestFirstPicker, ReturnsNulloptWhenNothingEligible) {
+  PickerHarness h(3);
+  RarestFirstPicker picker(0);
+  sim::Rng rng(1);
+  EXPECT_EQ(h.pick(picker, rng, 4), std::nullopt);  // remote has nothing
+  h.remote.set(1);
+  h.local.set(1);
+  EXPECT_EQ(h.pick(picker, rng, 4), std::nullopt);  // we own it
+  h.remote.set(2);
+  h.blocked.insert(2);
+  EXPECT_EQ(h.pick(picker, rng, 4), std::nullopt);  // in flight
+}
+
+TEST(RandomPicker, UniformOverEligible) {
+  PickerHarness h(10);
+  h.remote = Bitfield::full(10);
+  h.availability.add_have(0);  // rarity must NOT matter
+  RandomPicker picker;
+  sim::Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const auto p = h.pick(picker, rng, 4);
+    ASSERT_TRUE(p.has_value());
+    ++counts[*p];
+  }
+  for (const int c : counts) EXPECT_GT(c, 300);  // ~500 expected each
+}
+
+TEST(SequentialPicker, LowestIndexFirst) {
+  PickerHarness h(5);
+  h.remote = Bitfield::full(5);
+  h.local.set(0);
+  SequentialPicker picker;
+  sim::Rng rng(1);
+  EXPECT_EQ(h.pick(picker, rng, 4), 1u);
+  h.blocked.insert(1);
+  EXPECT_EQ(h.pick(picker, rng, 4), 2u);
+}
+
+TEST(PickerFactory, MakesEveryKind) {
+  ProtocolParams params;
+  EXPECT_NE(make_picker(PickerKind::kRarestFirst, params), nullptr);
+  EXPECT_NE(make_picker(PickerKind::kRandom, params), nullptr);
+  EXPECT_NE(make_picker(PickerKind::kSequential, params), nullptr);
+  EXPECT_NE(make_picker(PickerKind::kGlobalRarest, params), nullptr);
+}
+
+TEST(GlobalRarestPicker, UsesSuppliedAvailabilityWithoutWarmup) {
+  PickerHarness h(4);
+  h.remote = Bitfield::full(4);
+  h.availability.add_have(0);
+  h.availability.add_have(1);
+  h.availability.add_have(2);  // piece 3 rarest
+  ProtocolParams params;
+  auto picker = make_picker(PickerKind::kGlobalRarest, params);
+  sim::Rng rng(5);
+  // completed=0: no random-first phase for the oracle.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(h.pick(*picker, rng, /*completed=*/0), 3u);
+  }
+}
+
+// Property: whatever the availability and possession pattern, a picker
+// never returns an owned, blocked, or remotely-absent piece.
+class PickerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<PickerKind, int>> {};
+
+TEST_P(PickerPropertyTest, NeverPicksIneligiblePiece) {
+  const auto [kind, seed] = GetParam();
+  sim::Rng rng(static_cast<std::uint64_t>(seed));
+  constexpr std::uint32_t kPieces = 32;
+  PickerHarness h(kPieces);
+  for (PieceIndex p = 0; p < kPieces; ++p) {
+    if (rng.chance(0.3)) h.local.set(p);
+    if (rng.chance(0.6)) h.remote.set(p);
+    if (rng.chance(0.2)) h.blocked.insert(p);
+    const auto copies = rng.index(5);
+    for (std::size_t i = 0; i < copies; ++i) h.availability.add_have(p);
+  }
+  ProtocolParams params;
+  auto picker = make_picker(kind, params);
+  for (std::uint32_t completed = 0; completed < 8; ++completed) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto p = h.pick(*picker, rng, completed);
+      if (!p.has_value()) continue;
+      EXPECT_FALSE(h.local.has(*p));
+      EXPECT_TRUE(h.remote.has(*p));
+      EXPECT_FALSE(h.blocked.contains(*p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPickers, PickerPropertyTest,
+    ::testing::Combine(::testing::Values(PickerKind::kRarestFirst,
+                                         PickerKind::kRandom,
+                                         PickerKind::kSequential,
+                                         PickerKind::kGlobalRarest),
+                       ::testing::Range(1, 6)));
+
+}  // namespace
+}  // namespace swarmlab::core

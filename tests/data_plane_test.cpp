@@ -1,0 +1,172 @@
+// Data-plane tests: real content bytes over the swarm, end-to-end SHA-1
+// verification, and real (bit-flip) corruption detection.
+#include <gtest/gtest.h>
+
+#include "swarm/swarm.h"
+
+namespace swarmlab {
+namespace {
+
+using peer::PeerConfig;
+using peer::PeerId;
+
+struct Harness {
+  explicit Harness(std::uint32_t pieces = 4, std::uint64_t seed = 1)
+      : sim(seed),
+        meta(wire::make_synthetic_metainfo("http://t/a", "dp-test",
+                                           std::uint64_t{pieces} * 256 *
+                                               1024)),
+        swarm(sim, meta) {}
+
+  PeerId add(PeerConfig cfg) {
+    const PeerId id = swarm.add_peer(std::move(cfg));
+    swarm.start_peer(id);
+    return id;
+  }
+
+  PeerId add_seed(bool corrupt = false, double up = 50e3) {
+    PeerConfig cfg;
+    cfg.start_complete = true;
+    cfg.upload_capacity = up;
+    cfg.sends_corrupt_data = corrupt;
+    return add(std::move(cfg));
+  }
+
+  sim::Simulation sim;
+  wire::Metainfo meta;
+  swarm::Swarm swarm;
+};
+
+TEST(DataPlane, TransferredContentVerifiesAgainstMetainfo) {
+  Harness h;
+  h.add_seed();
+  PeerConfig cfg;
+  cfg.upload_capacity = 50e3;
+  const PeerId l = h.add(std::move(cfg));
+  h.sim.run_until(2000.0);
+  const peer::Peer* p = h.swarm.find_peer(l);
+  ASSERT_TRUE(p->is_seed());
+  const peer::ContentStore* store = p->content_store();
+  ASSERT_NE(store, nullptr);
+  for (wire::PieceIndex piece = 0; piece < 4; ++piece) {
+    EXPECT_TRUE(store->verify_piece(piece)) << "piece " << piece;
+  }
+  EXPECT_EQ(store->stored_bytes(), h.meta.length);
+}
+
+TEST(DataPlane, DownloadedBytesMatchSyntheticContent) {
+  Harness h;
+  h.add_seed();
+  PeerConfig cfg;
+  cfg.upload_capacity = 50e3;
+  const PeerId l = h.add(std::move(cfg));
+  h.sim.run_until(2000.0);
+  const peer::Peer* p = h.swarm.find_peer(l);
+  ASSERT_TRUE(p->is_seed());
+  // Byte-exact equality with the canonical content, block by block.
+  const auto geo = h.meta.geometry();
+  for (wire::PieceIndex piece = 0; piece < geo.num_pieces(); ++piece) {
+    const auto expect = wire::synthetic_piece_bytes(h.meta, piece);
+    for (wire::BlockIndex b = 0; b < geo.blocks_in_piece(piece); ++b) {
+      const auto got = p->read_block({piece, b});
+      const std::size_t off = geo.block_offset({piece, b});
+      ASSERT_TRUE(std::equal(got.begin(), got.end(), expect.begin() + off))
+          << "piece " << piece << " block " << b;
+    }
+  }
+}
+
+TEST(DataPlane, BitFlipCorruptionDetectedBySha1) {
+  Harness h;
+  h.add_seed(/*corrupt=*/true);  // flips one bit per block
+  PeerConfig cfg;
+  cfg.upload_capacity = 50e3;
+  const PeerId l = h.add(std::move(cfg));
+  h.sim.run_until(1000.0);
+  const peer::Peer* p = h.swarm.find_peer(l);
+  EXPECT_EQ(p->have().count(), 0u);       // nothing passes verification
+  EXPECT_GT(p->corrupted_pieces(), 0u);   // failures were detected
+}
+
+TEST(DataPlane, HonestSeedWinsDespitePolluter) {
+  Harness h(4, 7);
+  h.add_seed(/*corrupt=*/false);
+  h.add_seed(/*corrupt=*/true);
+  PeerConfig cfg;
+  cfg.upload_capacity = 50e3;
+  const PeerId l = h.add(std::move(cfg));
+  h.sim.run_until(10000.0);
+  const peer::Peer* p = h.swarm.find_peer(l);
+  ASSERT_TRUE(p->is_seed());
+  for (wire::PieceIndex piece = 0; piece < 4; ++piece) {
+    EXPECT_TRUE(p->content_store()->verify_piece(piece));
+  }
+}
+
+TEST(DataPlane, WarmStartBytesAreValid) {
+  Harness h;
+  h.add_seed();
+  PeerConfig cfg;
+  cfg.upload_capacity = 50e3;
+  cfg.initial_pieces = {true, false, true, false};
+  const PeerId l = h.add(std::move(cfg));
+  const peer::Peer* p = h.swarm.find_peer(l);
+  EXPECT_TRUE(p->content_store()->verify_piece(0));
+  EXPECT_TRUE(p->content_store()->verify_piece(2));
+  EXPECT_FALSE(p->content_store()->has_piece_bytes(1));
+  h.sim.run_until(2000.0);
+  EXPECT_TRUE(p->is_seed());
+  EXPECT_TRUE(p->content_store()->verify_piece(1));
+}
+
+TEST(DataPlane, MultiHopPropagationStaysValid) {
+  // Seed -> A -> B: B receives pieces relayed through A; every hop
+  // re-serves only verified bytes.
+  Harness h(4, 11);
+  h.add_seed(false, 20e3);
+  PeerConfig a_cfg;
+  a_cfg.upload_capacity = 100e3;
+  h.add(std::move(a_cfg));
+  PeerConfig b_cfg;
+  b_cfg.upload_capacity = 100e3;
+  const PeerId b = h.add(std::move(b_cfg));
+  h.sim.run_until(10000.0);
+  const peer::Peer* pb = h.swarm.find_peer(b);
+  ASSERT_TRUE(pb->is_seed());
+  for (wire::PieceIndex piece = 0; piece < 4; ++piece) {
+    EXPECT_TRUE(pb->content_store()->verify_piece(piece));
+  }
+}
+
+TEST(ContentStoreUnit, PutReadRoundTrip) {
+  const auto meta =
+      wire::make_synthetic_metainfo("t", "unit", 300 * 1024, 256 * 1024);
+  peer::ContentStore store(meta);
+  const auto geo = meta.geometry();
+  // Assemble piece 1 (the short piece: 44 KiB) from blocks.
+  const auto canonical = wire::synthetic_piece_bytes(meta, 1);
+  for (wire::BlockIndex b = 0; b < geo.blocks_in_piece(1); ++b) {
+    const std::size_t off = geo.block_offset({1, b});
+    store.put_block({1, b},
+                    std::span<const std::uint8_t>(
+                        canonical.data() + off, geo.block_bytes({1, b})));
+  }
+  EXPECT_TRUE(store.verify_piece(1));
+  EXPECT_EQ(store.read_block({1, 0}).size(), 16u * 1024);
+  store.drop_piece(1);
+  EXPECT_FALSE(store.has_piece_bytes(1));
+  EXPECT_FALSE(store.verify_piece(1));
+}
+
+TEST(ContentStoreUnit, CorruptedByteFailsVerification) {
+  const auto meta =
+      wire::make_synthetic_metainfo("t", "unit2", 256 * 1024);
+  peer::ContentStore store(meta);
+  auto bytes = wire::synthetic_piece_bytes(meta, 0);
+  bytes[12345] ^= 0x01;
+  store.put_piece(0, std::move(bytes));
+  EXPECT_FALSE(store.verify_piece(0));
+}
+
+}  // namespace
+}  // namespace swarmlab

@@ -1,0 +1,103 @@
+// TraceWriter and ObserverList tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "instrument/local_log.h"
+#include "instrument/trace.h"
+#include "swarm/swarm.h"
+
+namespace swarmlab::instrument {
+namespace {
+
+TEST(TraceWriter, RecordsEventsInOrder) {
+  TraceWriter trace;
+  trace.on_start(0.0);
+  trace.on_peer_joined(1.0, 7);
+  trace.on_message_sent(2.0, 7, wire::Message{wire::InterestedMsg{}});
+  trace.on_block_received(3.0, 7, {4, 2}, 16384);
+  trace.on_piece_complete(4.0, 4);
+  trace.on_became_seed(5.0);
+  const auto& ev = trace.events();
+  ASSERT_EQ(ev.size(), 6u);
+  EXPECT_EQ(ev[0].kind, "start");
+  EXPECT_EQ(ev[1].kind, "peer_joined");
+  EXPECT_EQ(ev[1].remote, 7u);
+  EXPECT_EQ(ev[2].detail, "interested");
+  EXPECT_EQ(ev[3].detail, "4/2:16384");
+  EXPECT_EQ(ev[4].detail, "4");
+  EXPECT_EQ(ev[5].kind, "became_seed");
+}
+
+TEST(TraceWriter, ChokeRoundDetail) {
+  TraceWriter trace;
+  trace.on_choke_round(10.0, true, {3, 1, 4});
+  EXPECT_EQ(trace.events()[0].detail, "seed:3 1 4");
+  trace.on_choke_round(20.0, false, {});
+  EXPECT_EQ(trace.events()[1].detail, "leecher:");
+}
+
+TEST(TraceWriter, CapDropsExcess) {
+  TraceWriter trace(/*max_events=*/2);
+  trace.on_start(0.0);
+  trace.on_end_game(1.0);
+  trace.on_became_seed(2.0);
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 1u);
+}
+
+TEST(TraceWriter, CsvOutput) {
+  TraceWriter trace;
+  trace.on_piece_complete(1.5, 9);
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(), "time,kind,remote,detail\n1.5,piece_done,0,9\n");
+}
+
+TEST(ObserverList, FansOutToAll) {
+  LocalPeerLog log(8);
+  TraceWriter trace;
+  ObserverList list;
+  list.add(&log);
+  list.add(&trace);
+  list.on_start(0.0);
+  list.on_peer_joined(1.0, 3);
+  list.on_piece_complete(2.0, 5);
+  list.on_became_seed(3.0);
+  EXPECT_EQ(log.piece_events().size(), 1u);
+  EXPECT_TRUE(log.local_is_seed());
+  EXPECT_EQ(trace.events().size(), 4u);
+}
+
+TEST(ObserverList, WorksAsPeerObserverInASwarm) {
+  sim::Simulation sim(1);
+  const wire::ContentGeometry geo(4 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  peer::PeerConfig seed_cfg;
+  seed_cfg.start_complete = true;
+  seed_cfg.upload_capacity = 50e3;
+  sw.start_peer(sw.add_peer(std::move(seed_cfg)));
+
+  LocalPeerLog log(4);
+  TraceWriter trace;
+  ObserverList list;
+  list.add(&log);
+  list.add(&trace);
+  peer::PeerConfig cfg;
+  cfg.upload_capacity = 50e3;
+  const peer::PeerId l = sw.add_peer(std::move(cfg), &list);
+  sw.start_peer(l);
+  sim.run_until(2000.0);
+  EXPECT_TRUE(sw.find_peer(l)->is_seed());
+  EXPECT_EQ(log.piece_events().size(), 4u);
+  // The trace saw the same completions plus the message flow around them.
+  std::size_t piece_rows = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == "piece_done") ++piece_rows;
+  }
+  EXPECT_EQ(piece_rows, 4u);
+  EXPECT_GT(trace.events().size(), 20u);
+}
+
+}  // namespace
+}  // namespace swarmlab::instrument

@@ -1,0 +1,104 @@
+// Qiu-Srikant fluid model tests.
+#include <gtest/gtest.h>
+
+#include "model/fluid_model.h"
+
+namespace swarmlab::model {
+namespace {
+
+TEST(FluidModel, PopulationsStayNonNegative) {
+  FluidParams p;
+  p.lambda = 0.0;  // no arrivals: populations must decay to zero
+  p.gamma = 0.1;
+  // Drain time constant ~1/mu = 1000 s; give it many multiples.
+  const auto traj = integrate(p, 50.0, 10.0, 20000.0);
+  for (const FluidState& s : traj) {
+    EXPECT_GE(s.leechers, 0.0);
+    EXPECT_GE(s.seeds, 0.0);
+  }
+  EXPECT_NEAR(traj.back().leechers, 0.0, 0.5);
+  EXPECT_NEAR(traj.back().seeds, 0.0, 0.5);
+}
+
+TEST(FluidModel, ConvergesToEquilibrium) {
+  FluidParams p;
+  p.lambda = 0.05;
+  p.mu = 0.001;
+  p.c = 0.01;     // download not the bottleneck
+  p.gamma = 0.002;
+  p.theta = 0.0;
+  const FluidEquilibrium eq = equilibrium(p);
+  const auto traj = integrate(p, 0.0, 1.0, 60000.0, 100.0);
+  EXPECT_NEAR(traj.back().leechers, eq.leechers, eq.leechers * 0.1 + 1);
+  EXPECT_NEAR(traj.back().seeds, eq.seeds, eq.seeds * 0.1 + 1);
+}
+
+TEST(FluidModel, EquilibriumSeedsFollowLittlesLaw) {
+  FluidParams p;
+  p.lambda = 0.2;
+  p.gamma = 0.01;
+  const FluidEquilibrium eq = equilibrium(p);
+  EXPECT_DOUBLE_EQ(eq.seeds, p.lambda / p.gamma);
+}
+
+TEST(FluidModel, DownloadConstraintDetected) {
+  FluidParams p;
+  p.mu = 0.01;    // abundant upload
+  p.c = 0.0005;   // scarce download
+  p.gamma = 0.01;
+  EXPECT_TRUE(equilibrium(p).download_constrained);
+  EXPECT_DOUBLE_EQ(equilibrium(p).download_time, 1.0 / p.c);
+}
+
+TEST(FluidModel, UploadConstraintDetected) {
+  FluidParams p;
+  p.mu = 0.0005;  // scarce upload
+  p.c = 0.1;
+  p.gamma = 1e9;  // seeds vanish instantly: leechers carry everything
+  const FluidEquilibrium eq = equilibrium(p);
+  EXPECT_FALSE(eq.download_constrained);
+  EXPECT_NEAR(eq.download_time, 1.0 / p.mu, 2.0);
+}
+
+TEST(FluidModel, SeedsExtendCapacity) {
+  // Longer seed linger (smaller gamma) must shorten download time when
+  // upload-constrained.
+  FluidParams slow_leave;
+  slow_leave.mu = 0.001;
+  slow_leave.c = 1.0;
+  slow_leave.gamma = 0.002;
+  FluidParams fast_leave = slow_leave;
+  fast_leave.gamma = 0.02;
+  EXPECT_LT(equilibrium(slow_leave).download_time,
+            equilibrium(fast_leave).download_time);
+}
+
+TEST(FluidModel, ServiceRampsWithGrowingPopulation) {
+  // Capacity grows with the population (the self-scaling property the
+  // analytical studies formalize): starting empty with steady arrivals,
+  // the completion flux — seen as seed production — accelerates while
+  // the leecher population is still ramping toward equilibrium.
+  FluidParams p;
+  p.lambda = 0.05;
+  p.mu = 0.001;
+  p.c = 0.01;
+  p.gamma = 0.0001;  // seeds persist during the ramp
+  const auto traj = integrate(p, 0.0, 1.0, 3000.0, 100.0);
+  const double d1 = traj[10].seeds - traj[5].seeds;    // t in [500, 1000]
+  const double d2 = traj[25].seeds - traj[20].seeds;   // t in [2000, 2500]
+  EXPECT_GT(d2, d1);
+}
+
+TEST(FluidModel, SamplingHonorsHorizonAndSpacing) {
+  FluidParams p;
+  const auto traj = integrate(p, 10.0, 1.0, 1000.0, 50.0);
+  ASSERT_GE(traj.size(), 2u);
+  EXPECT_DOUBLE_EQ(traj.front().t, 0.0);
+  EXPECT_NEAR(traj.back().t, 1000.0, 1e-6);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_GT(traj[i].t, traj[i - 1].t);
+  }
+}
+
+}  // namespace
+}  // namespace swarmlab::model

@@ -1,0 +1,188 @@
+// Fluid-network model tests: rates, sharing, caps, cancellation.
+#include <gtest/gtest.h>
+
+#include "net/fluid_network.h"
+#include "sim/simulation.h"
+
+namespace swarmlab::net {
+namespace {
+
+struct Harness {
+  Harness() : sim(1), net(sim, /*control_latency=*/0.05) {}
+  sim::Simulation sim;
+  FluidNetwork net;
+};
+
+TEST(FluidNetwork, SingleFlowRunsAtBottleneck) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  double completed_at = -1.0;
+  h.net.start_flow(a, b, 1000, [&] { completed_at = h.sim.now(); });
+  h.sim.run();
+  EXPECT_NEAR(completed_at, 10.0, 0.01);  // 1000 B / 100 B/s
+}
+
+TEST(FluidNetwork, ReceiverCapBinds) {
+  Harness h;
+  const NodeId a = h.net.add_node(kUnlimited, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, 50.0);
+  double completed_at = -1.0;
+  h.net.start_flow(a, b, 1000, [&] { completed_at = h.sim.now(); });
+  h.sim.run();
+  EXPECT_NEAR(completed_at, 20.0, 0.01);
+}
+
+TEST(FluidNetwork, UploadSplitsEquallyAcrossFlows) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  const NodeId c = h.net.add_node(kUnlimited, kUnlimited);
+  const FlowId f1 = h.net.start_flow(a, b, 1000, [] {});
+  const FlowId f2 = h.net.start_flow(a, c, 1000, [] {});
+  EXPECT_NEAR(h.net.flow_rate(f1), 50.0, 1e-9);
+  EXPECT_NEAR(h.net.flow_rate(f2), 50.0, 1e-9);
+}
+
+TEST(FluidNetwork, RateRisesWhenCompetitorFinishes) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  const NodeId c = h.net.add_node(kUnlimited, kUnlimited);
+  double b_done = -1.0, c_done = -1.0;
+  h.net.start_flow(a, b, 500, [&] { b_done = h.sim.now(); });
+  h.net.start_flow(a, c, 1000, [&] { c_done = h.sim.now(); });
+  h.sim.run();
+  // Both run at 50 B/s until b finishes at t=10; then c gets 100 B/s for
+  // its remaining 500 bytes: 10 + 5 = 15.
+  EXPECT_NEAR(b_done, 10.0, 0.01);
+  EXPECT_NEAR(c_done, 15.0, 0.01);
+}
+
+TEST(FluidNetwork, ReceiverSharesAcrossInbound) {
+  Harness h;
+  const NodeId a = h.net.add_node(kUnlimited, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  const NodeId r = h.net.add_node(kUnlimited, 100.0);
+  const FlowId f1 = h.net.start_flow(a, r, 1000, [] {});
+  const FlowId f2 = h.net.start_flow(b, r, 1000, [] {});
+  EXPECT_NEAR(h.net.flow_rate(f1), 50.0, 1e-9);
+  EXPECT_NEAR(h.net.flow_rate(f2), 50.0, 1e-9);
+}
+
+TEST(FluidNetwork, MinOfSenderShareAndReceiverShare) {
+  Harness h;
+  const NodeId a = h.net.add_node(80.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, 30.0);
+  const NodeId c = h.net.add_node(kUnlimited, kUnlimited);
+  const FlowId fab = h.net.start_flow(a, b, 1000, [] {});
+  const FlowId fac = h.net.start_flow(a, c, 1000, [] {});
+  // a's share per flow = 40; b's cap 30 binds for fab only.
+  EXPECT_NEAR(h.net.flow_rate(fab), 30.0, 1e-9);
+  EXPECT_NEAR(h.net.flow_rate(fac), 40.0, 1e-9);
+}
+
+TEST(FluidNetwork, CancelStopsCompletion) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  bool completed = false;
+  const FlowId f = h.net.start_flow(a, b, 1000, [&] { completed = true; });
+  h.sim.schedule_in(5.0, [&] { EXPECT_TRUE(h.net.cancel_flow(f)); });
+  h.sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(h.net.active_flows(), 0u);
+}
+
+TEST(FluidNetwork, CancelUnknownFlowReturnsFalse) {
+  Harness h;
+  EXPECT_FALSE(h.net.cancel_flow(999));
+}
+
+TEST(FluidNetwork, CancelFreesCapacityForSiblings) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  const NodeId c = h.net.add_node(kUnlimited, kUnlimited);
+  double done = -1.0;
+  const FlowId f1 = h.net.start_flow(a, b, 10000, [] {});
+  h.net.start_flow(a, c, 1000, [&] { done = h.sim.now(); });
+  h.sim.schedule_in(10.0, [&] { h.net.cancel_flow(f1); });
+  h.sim.run();
+  // 10 s at 50 B/s (500 B), then 500 B at 100 B/s: t = 15.
+  EXPECT_NEAR(done, 15.0, 0.01);
+}
+
+TEST(FluidNetwork, RemoveNodeAbortsItsFlowsSilently) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  bool fired = false;
+  h.net.start_flow(a, b, 1000, [&] { fired = true; });
+  h.net.start_flow(b, a, 1000, [&] { fired = true; });
+  h.net.remove_node(a);
+  h.sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(h.net.active_flows(), 0u);
+  EXPECT_FALSE(h.net.has_node(a));
+  EXPECT_TRUE(h.net.has_node(b));
+}
+
+TEST(FluidNetwork, ControlMessagesArriveAfterLatency) {
+  Harness h;
+  double delivered_at = -1.0;
+  h.net.send_control([&] { delivered_at = h.sim.now(); });
+  h.sim.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.05);
+}
+
+TEST(FluidNetwork, CompletionCallbackCanStartNextFlow) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  double second_done = -1.0;
+  h.net.start_flow(a, b, 500, [&] {
+    h.net.start_flow(a, b, 500, [&] { second_done = h.sim.now(); });
+  });
+  h.sim.run();
+  EXPECT_NEAR(second_done, 10.0, 0.01);
+}
+
+TEST(FluidNetwork, ByteConservationUnderChurn) {
+  // Many overlapping flows with adds/cancels: every completed flow's
+  // bytes must equal its requested size (timing-wise: total completion
+  // time >= bytes / capacity).
+  Harness h;
+  const NodeId src = h.net.add_node(1000.0, kUnlimited);
+  std::vector<NodeId> sinks;
+  for (int i = 0; i < 10; ++i) {
+    sinks.push_back(h.net.add_node(kUnlimited, kUnlimited));
+  }
+  int completed = 0;
+  constexpr int kFlows = 50;
+  constexpr std::uint64_t kBytes = 2000;
+  for (int i = 0; i < kFlows; ++i) {
+    const double start = static_cast<double>(i) * 0.5;
+    h.sim.schedule_at(start, [&, i] {
+      h.net.start_flow(src, sinks[static_cast<std::size_t>(i) % 10], kBytes,
+                       [&] { ++completed; });
+    });
+  }
+  h.sim.run();
+  EXPECT_EQ(completed, kFlows);
+  // 100 kB total at 1000 B/s cannot finish before t=100.
+  EXPECT_GE(h.sim.now(), 100.0 - 0.01);
+}
+
+TEST(FluidNetwork, ZeroLatencyDeliversImmediatelyNextEvent) {
+  sim::Simulation sim(1);
+  FluidNetwork net(sim, 0.0);
+  bool delivered = false;
+  net.send_control([&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace swarmlab::net

@@ -1,0 +1,164 @@
+// Configuration-space sweeps: the protocol must remain live and correct
+// across the tunable ranges (parameterized gtest property suites).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "swarm/swarm.h"
+
+namespace swarmlab {
+namespace {
+
+using peer::PeerConfig;
+using peer::PeerId;
+
+/// Runs a 1-seed/3-leecher swarm with the given params on every peer and
+/// requires full replication.
+void expect_full_replication(const core::ProtocolParams& params,
+                             std::uint32_t pieces = 8,
+                             std::uint64_t seed = 3,
+                             std::uint32_t piece_size = 256 * 1024,
+                             std::uint32_t block_size = 16 * 1024) {
+  sim::Simulation sim(seed);
+  const wire::ContentGeometry geo(std::uint64_t{pieces} * piece_size,
+                                  piece_size, block_size);
+  swarm::Swarm sw(sim, geo);
+  PeerConfig s;
+  s.start_complete = true;
+  s.upload_capacity = 40e3;
+  s.params = params;
+  sw.start_peer(sw.add_peer(std::move(s)));
+  std::vector<PeerId> leechers;
+  for (int i = 0; i < 3; ++i) {
+    PeerConfig l;
+    l.upload_capacity = 30e3;
+    l.params = params;
+    leechers.push_back(sw.add_peer(std::move(l)));
+    sw.start_peer(leechers.back());
+  }
+  sim.run_until(60000.0);
+  for (const PeerId id : leechers) {
+    ASSERT_TRUE(sw.find_peer(id)->is_seed())
+        << sw.find_peer(id)->have().count() << "/" << pieces;
+  }
+}
+
+class PipelineDepthSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PipelineDepthSweep, CompletesAtAnyDepth) {
+  core::ProtocolParams params;
+  params.pipeline_depth = GetParam();
+  expect_full_replication(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipelineDepthSweep,
+                         ::testing::Values(1u, 2u, 5u, 16u, 64u));
+
+class RandomFirstSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomFirstSweep, CompletesAtAnyThreshold) {
+  core::ProtocolParams params;
+  params.random_first_threshold = GetParam();
+  expect_full_replication(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, RandomFirstSweep,
+                         ::testing::Values(0u, 1u, 4u, 8u, 1000u));
+
+class ChokeIntervalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChokeIntervalSweep, CompletesAtAnyInterval) {
+  core::ProtocolParams params;
+  params.choke_interval = GetParam();
+  expect_full_replication(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, ChokeIntervalSweep,
+                         ::testing::Values(1.0, 5.0, 10.0, 60.0));
+
+class ActiveSetSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ActiveSetSweep, CompletesAtAnySize) {
+  core::ProtocolParams params;
+  params.active_set_size = GetParam();
+  params.regular_unchoke_slots = GetParam() > 1 ? GetParam() - 1 : 1;
+  expect_full_replication(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ActiveSetSweep,
+                         ::testing::Values(1u, 2u, 4u, 10u));
+
+class GeometrySweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(GeometrySweep, CompletesAtAnyGeometry) {
+  const auto [pieces, piece_size, block_size] = GetParam();
+  expect_full_replication(core::ProtocolParams{}, pieces, 3, piece_size,
+                          block_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(
+        std::make_tuple(1u, 256u * 1024, 16u * 1024),    // single piece
+        std::make_tuple(4u, 64u * 1024, 16u * 1024),     // small pieces
+        std::make_tuple(16u, 256u * 1024, 256u * 1024),  // 1 block/piece
+        std::make_tuple(8u, 1024u * 1024, 16u * 1024),   // 64 blocks/piece
+        std::make_tuple(32u, 32u * 1024, 8u * 1024)));   // tiny blocks
+
+class PickerCompletionSweep
+    : public ::testing::TestWithParam<core::PickerKind> {};
+
+TEST_P(PickerCompletionSweep, EveryPickerCompletes) {
+  core::ProtocolParams params;
+  params.picker = GetParam();
+  expect_full_replication(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pickers, PickerCompletionSweep,
+                         ::testing::Values(core::PickerKind::kRarestFirst,
+                                           core::PickerKind::kRandom,
+                                           core::PickerKind::kSequential,
+                                           core::PickerKind::kGlobalRarest));
+
+class SeedChokerCompletionSweep
+    : public ::testing::TestWithParam<core::SeedChokerKind> {};
+
+TEST_P(SeedChokerCompletionSweep, BothSeedAlgorithmsServe) {
+  core::ProtocolParams params;
+  params.seed_choker = GetParam();
+  expect_full_replication(params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chokers, SeedChokerCompletionSweep,
+                         ::testing::Values(core::SeedChokerKind::kNewSeed,
+                                           core::SeedChokerKind::kOldSeed));
+
+TEST(ParamsSweep, TftSwarmWithHonestPeersCompletes) {
+  core::ProtocolParams params;
+  params.leecher_choker = core::LeecherChokerKind::kTitForTat;
+  expect_full_replication(params);
+}
+
+TEST(ParamsSweep, LatencyExtremes) {
+  // Control latency from zero to a fat half-second RTT.
+  for (const double latency : {0.0, 0.25, 0.5}) {
+    sim::Simulation sim(9);
+    const wire::ContentGeometry geo(4 * 256 * 1024);
+    swarm::Swarm sw(sim, geo, latency);
+    PeerConfig s;
+    s.start_complete = true;
+    s.upload_capacity = 40e3;
+    sw.start_peer(sw.add_peer(std::move(s)));
+    PeerConfig l;
+    l.upload_capacity = 30e3;
+    const PeerId lid = sw.add_peer(std::move(l));
+    sw.start_peer(lid);
+    sim.run_until(10000.0);
+    EXPECT_TRUE(sw.find_peer(lid)->is_seed()) << "latency=" << latency;
+  }
+}
+
+}  // namespace
+}  // namespace swarmlab

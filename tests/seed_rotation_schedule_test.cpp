@@ -1,0 +1,126 @@
+// The new seed-state choke algorithm's exact 3-round cycle (paper
+// §II-C.2): two consecutive 10 s periods keep the 3 most recently
+// unchoked peers and add one random choked peer; the third period keeps
+// the 4 most recently unchoked.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/choker.h"
+#include "sim/rng.h"
+
+namespace swarmlab::core {
+namespace {
+
+struct Sim {
+  ProtocolParams params;
+  NewSeedChoker choker{params};
+  sim::Rng rng{5};
+  std::map<PeerKey, double> last_unchoke;
+  std::map<PeerKey, bool> unchoked;
+  double t = 0.0;
+
+  explicit Sim(int peers) {
+    for (PeerKey k = 1; k <= static_cast<PeerKey>(peers); ++k) {
+      last_unchoke[k] = -1.0;
+      unchoked[k] = false;
+    }
+  }
+
+  std::vector<PeerKey> round(std::uint64_t n) {
+    t += 10.0;
+    std::vector<ChokeCandidate> cs;
+    for (const auto& [k, lu] : last_unchoke) {
+      ChokeCandidate c;
+      c.key = k;
+      c.interested = true;
+      c.unchoked = unchoked[k];
+      c.last_unchoke_time = lu;
+      cs.push_back(c);
+    }
+    const auto sel = choker.select(cs, n, rng);
+    for (auto& [k, u] : unchoked) {
+      const bool now =
+          std::find(sel.begin(), sel.end(), k) != sel.end();
+      if (now && !u) last_unchoke[k] = t;
+      u = now;
+    }
+    return sel;
+  }
+};
+
+TEST(SeedRotation, SruRoundsKeepThreeAndAddOne) {
+  Sim sim(12);
+  // Warm up until 4 slots are filled.
+  std::vector<PeerKey> prev;
+  for (std::uint64_t r = 0; r < 6; ++r) prev = sim.round(r);
+  ASSERT_EQ(prev.size(), 4u);
+
+  for (std::uint64_t r = 6; r < 60; ++r) {
+    const auto sel = sim.round(r);
+    ASSERT_EQ(sel.size(), 4u);
+    std::vector<PeerKey> kept;
+    for (const PeerKey k : sel) {
+      if (std::find(prev.begin(), prev.end(), k) != prev.end()) {
+        kept.push_back(k);
+      }
+    }
+    if (r % 3 == 2) {
+      // Keep round: all four carried over.
+      EXPECT_EQ(kept.size(), 4u) << "round " << r;
+    } else {
+      // SRU round: at least the 3 most recent survive; the newcomer (if
+      // any) is drawn from the choked pool.
+      EXPECT_GE(kept.size(), 3u) << "round " << r;
+    }
+    prev = sel;
+  }
+}
+
+TEST(SeedRotation, OldestSkuLosesItsSlotToTheSru) {
+  Sim sim(12);
+  for (std::uint64_t r = 0; r < 30; ++r) sim.round(r);
+  // After many rounds, track one full cycle: the peer with the OLDEST
+  // last-unchoke time among the active four is the one displaced on the
+  // next SRU round that brings in a newcomer.
+  for (std::uint64_t r = 30; r < 60; ++r) {
+    std::vector<PeerKey> active;
+    for (const auto& [k, u] : sim.unchoked) {
+      if (u) active.push_back(k);
+    }
+    if (active.size() < 4 || (r % 3) == 2) {
+      sim.round(r);
+      continue;
+    }
+    const PeerKey oldest = *std::min_element(
+        active.begin(), active.end(), [&](PeerKey a, PeerKey b) {
+          return sim.last_unchoke[a] < sim.last_unchoke[b];
+        });
+    const auto sel = sim.round(r);
+    // If somebody new came in, the displaced peer must be the oldest.
+    std::vector<PeerKey> dropped;
+    for (const PeerKey k : active) {
+      if (std::find(sel.begin(), sel.end(), k) == sel.end()) {
+        dropped.push_back(k);
+      }
+    }
+    if (!dropped.empty()) {
+      ASSERT_EQ(dropped.size(), 1u);
+      EXPECT_EQ(dropped[0], oldest) << "round " << r;
+    }
+  }
+}
+
+TEST(SeedRotation, EveryInterestedPeerEventuallyServed) {
+  Sim sim(16);
+  std::set<PeerKey> ever;
+  for (std::uint64_t r = 0; r < 200; ++r) {
+    for (const PeerKey k : sim.round(r)) ever.insert(k);
+  }
+  EXPECT_EQ(ever.size(), 16u);
+}
+
+}  // namespace
+}  // namespace swarmlab::core

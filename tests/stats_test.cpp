@@ -1,0 +1,248 @@
+// Unit tests for the statistics kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cdf.h"
+#include "stats/correlation.h"
+#include "stats/gini.h"
+#include "stats/histogram.h"
+#include "stats/percentile.h"
+#include "stats/rate_estimator.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace swarmlab::stats {
+namespace {
+
+TEST(Summary, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MeanAndVariance) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 100.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 1.75);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Cdf, AtAndQuantile) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(Cdf, IncrementalAdd) {
+  Cdf cdf;
+  cdf.add(3.0);
+  cdf.add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+}
+
+TEST(Cdf, LogSpacedPointsMonotone) {
+  Cdf cdf({0.1, 1.0, 10.0, 100.0});
+  const auto pts = cdf.log_spaced_points(0.01, 1000.0, 20);
+  ASSERT_EQ(pts.size(), 20u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Cdf, DescribeQuantiles) {
+  Cdf cdf({1.0, 2.0, 3.0});
+  EXPECT_NE(describe_quantiles(cdf).find("p50"), std::string::npos);
+  EXPECT_EQ(describe_quantiles(Cdf{}), "(empty)");
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 6.0);
+}
+
+TEST(TimeSeries, ValueAtUsesLastSample) {
+  TimeSeries ts;
+  ts.add(1.0, 10.0);
+  ts.add(2.0, 20.0);
+  ts.add(3.0, 30.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0.5, -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(2.5), 20.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(99.0), 30.0);
+}
+
+TEST(TimeSeries, DownsampleKeepsEndpoints) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.add(i, i * 2.0);
+  const auto ds = ts.downsample(10);
+  ASSERT_EQ(ds.size(), 10u);
+  EXPECT_DOUBLE_EQ(ds.front().time, 0.0);
+  EXPECT_DOUBLE_EQ(ds.back().time, 99.0);
+}
+
+TEST(TimeSeries, DownsampleSmallSeriesReturnsAll) {
+  TimeSeries ts;
+  ts.add(1.0, 1.0);
+  ts.add(2.0, 2.0);
+  EXPECT_EQ(ts.downsample(10).size(), 2u);
+}
+
+TEST(TimeSeries, MinMaxValues) {
+  TimeSeries ts;
+  ts.add(0.0, 5.0);
+  ts.add(1.0, -2.0);
+  ts.add(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(ts.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 7.0);
+}
+
+TEST(RateEstimator, FreshConnectionNotOvercredited) {
+  RateEstimator r(20.0);
+  r.add(100.0, 1000);
+  r.add(101.0, 1000);
+  // 2000 bytes over ~1 second of history, not over the full window.
+  EXPECT_NEAR(r.rate(101.0), 2000.0, 10.0);
+}
+
+TEST(RateEstimator, SteadyRateMatches) {
+  RateEstimator r(20.0);
+  for (int t = 0; t <= 100; ++t) r.add(t, 500);
+  EXPECT_NEAR(r.rate(100.0), 500.0, 50.0);
+}
+
+TEST(RateEstimator, OldEventsExpire) {
+  RateEstimator r(20.0);
+  r.add(0.0, 1'000'000);
+  EXPECT_DOUBLE_EQ(r.rate(100.0), 0.0);
+}
+
+TEST(RateEstimator, TotalsPersistAcrossReset) {
+  RateEstimator r(20.0);
+  r.add(0.0, 100);
+  r.add(1.0, 200);
+  r.reset_window();
+  EXPECT_EQ(r.total_bytes(), 300u);
+  EXPECT_DOUBLE_EQ(r.rate(2.0), 0.0);
+}
+
+TEST(Correlation, PerfectPositive) {
+  EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {2, 4, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(spearman({1, 2, 3}, {10, 20, 30}), 1.0);
+}
+
+TEST(Correlation, PerfectNegative) {
+  EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {6, 4, 2}), -1.0);
+  EXPECT_DOUBLE_EQ(spearman({1, 2, 3}, {3, 2, 1}), -1.0);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(spearman({2, 2, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Correlation, TooFewSamplesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  // y = x^3 is monotone: Spearman 1, Pearson < 1.
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::pow(i, 3));
+  }
+  EXPECT_DOUBLE_EQ(spearman(xs, ys), 1.0);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const std::vector<double> ys{1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(spearman(xs, ys), 1.0);
+}
+
+
+TEST(Gini, EqualSharesAreZero) {
+  EXPECT_DOUBLE_EQ(gini({5, 5, 5, 5}), 0.0);
+}
+
+TEST(Gini, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(gini({7}), 0.0);
+  EXPECT_DOUBLE_EQ(gini({0, 0, 0}), 0.0);
+}
+
+TEST(Gini, MonopolyApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  EXPECT_NEAR(gini(v), 0.99, 0.011);
+}
+
+TEST(Gini, OrderingInvariant) {
+  EXPECT_DOUBLE_EQ(gini({1, 2, 3, 4}), gini({4, 2, 1, 3}));
+}
+
+TEST(Gini, KnownValue) {
+  // {1, 3}: G = |1-3| / (2 * 2 * 2) * 2 = 0.25.
+  EXPECT_DOUBLE_EQ(gini({1.0, 3.0}), 0.25);
+}
+
+}  // namespace
+}  // namespace swarmlab::stats

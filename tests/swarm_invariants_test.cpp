@@ -1,0 +1,145 @@
+// Swarm-wide invariants, checked repeatedly during live runs across many
+// RNG seeds (parameterized property tests).
+#include <gtest/gtest.h>
+
+#include "swarm/scenario.h"
+
+namespace swarmlab {
+namespace {
+
+class SwarmInvariantsTest : public ::testing::TestWithParam<int> {};
+
+/// Checks structural invariants of every active peer at one instant.
+void check_invariants(swarm::Swarm& sw, double t) {
+  const auto ids = sw.peer_ids();
+  for (const peer::PeerId id : ids) {
+    const peer::Peer* p = sw.find_peer(id);
+    ASSERT_NE(p, nullptr);
+    if (!p->active()) continue;
+    const auto& params = p->config().params;
+
+    // Peer set bounded.
+    EXPECT_LE(p->peer_set_size(), params.max_peer_set) << "t=" << t;
+    EXPECT_LE(p->initiated_connections(), params.max_initiated)
+        << "t=" << t;
+
+    // Availability map equals the sum of remote bitfields.
+    core::AvailabilityMap reference(p->have().size());
+    std::size_t unchoked_interested = 0;
+    for (const peer::PeerId remote : p->connected_peers()) {
+      const peer::Connection* conn = p->connection(remote);
+      ASSERT_NE(conn, nullptr);
+      reference.add_peer(conn->remote_have);
+      if (!conn->am_choking && conn->peer_interested) {
+        ++unchoked_interested;
+      }
+
+      // Connection symmetry: the other side sees us too (unless it left
+      // the torrent this very instant, which disconnect() makes atomic).
+      const peer::Peer* other = sw.find_peer(remote);
+      ASSERT_NE(other, nullptr);
+      if (other->active()) {
+        EXPECT_NE(other->connection(id), nullptr)
+            << "asymmetric connection " << id << "<->" << remote;
+      }
+
+      // Interest flag consistency with missing_count semantics.
+      std::uint32_t missing = 0;
+      for (wire::PieceIndex piece = 0; piece < p->have().size(); ++piece) {
+        if (conn->remote_have.has(piece) && !p->have().has(piece)) {
+          ++missing;
+        }
+      }
+      EXPECT_EQ(conn->missing_count, missing);
+      EXPECT_EQ(conn->am_interested, missing > 0);
+
+      // Request pipeline bounded.
+      EXPECT_LE(conn->outstanding.size(), params.pipeline_depth);
+    }
+    for (wire::PieceIndex piece = 0; piece < p->have().size(); ++piece) {
+      EXPECT_EQ(p->availability().copies(piece), reference.copies(piece))
+          << "peer " << id << " piece " << piece << " t=" << t;
+    }
+
+    // The choke algorithm's cardinality bound: at most `active_set_size`
+    // peers unchoked-and-interested (paper §II-C.2).
+    EXPECT_LE(unchoked_interested, params.active_set_size)
+        << "peer " << id << " t=" << t;
+
+    // A seed is never interested in anyone.
+    if (p->is_seed()) {
+      for (const peer::PeerId remote : p->connected_peers()) {
+        EXPECT_FALSE(p->connection(remote)->am_interested);
+      }
+    }
+  }
+}
+
+TEST_P(SwarmInvariantsTest, HoldThroughoutARun) {
+  swarm::ScenarioConfig cfg;
+  cfg.num_pieces = 24;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 14;
+  cfg.leechers_warm = (GetParam() % 2) == 0;
+  cfg.arrival_rate = 0.02;
+  cfg.seed_linger_mean = 200.0;
+  cfg.free_rider_fraction = 0.15;
+  cfg.duration = 6000.0;
+  swarm::ScenarioRunner runner(cfg, static_cast<std::uint64_t>(GetParam()));
+  for (double t = 100.0; t <= cfg.duration; t += 400.0) {
+    runner.simulation().run_until(t);
+    check_invariants(runner.swarm(), t);
+  }
+  // With a persistent initial seed, the local peer always finishes.
+  EXPECT_TRUE(runner.local_peer().is_seed());
+  // Every departed or finished peer downloaded at least the content size
+  // (end-game duplicates may add a few blocks) or nothing relevant.
+  const auto geo = runner.swarm().geometry();
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    if (!p->is_seed() || p->config().start_complete) continue;
+    std::uint64_t initial_bytes = 0;
+    for (wire::PieceIndex piece = 0;
+         piece < static_cast<wire::PieceIndex>(p->config().initial_pieces.size());
+         ++piece) {
+      if (p->config().initial_pieces[piece]) {
+        initial_bytes += geo.piece_bytes(piece);
+      }
+    }
+    EXPECT_GE(p->total_downloaded() + initial_bytes, geo.total_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwarmInvariantsTest, ::testing::Range(1, 9));
+
+class DeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismTest, IdenticalSeedIdenticalTrajectory) {
+  const auto run_digest = [](std::uint64_t seed) {
+    swarm::ScenarioConfig cfg;
+    cfg.num_pieces = 16;
+    cfg.initial_seeds = 1;
+    cfg.initial_leechers = 8;
+    cfg.arrival_rate = 0.05;
+    cfg.duration = 2000.0;
+    swarm::ScenarioRunner runner(cfg, seed);
+    runner.run();
+    // Digest: every peer's byte counters and completion time.
+    std::uint64_t digest = 0;
+    for (const peer::PeerId id : runner.swarm().peer_ids()) {
+      const peer::Peer* p = runner.swarm().find_peer(id);
+      digest = digest * 1000003 + p->total_uploaded();
+      digest = digest * 1000003 + p->total_downloaded();
+      digest = digest * 1000003 +
+               static_cast<std::uint64_t>(p->completion_time() * 1000);
+    }
+    return digest;
+  };
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 7919;
+  EXPECT_EQ(run_digest(seed), run_digest(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace swarmlab

@@ -1,0 +1,270 @@
+// Tracker policy and scenario-catalog tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.h"
+#include "swarm/scenario.h"
+#include "swarm/tracker.h"
+
+namespace swarmlab::swarm {
+namespace {
+
+using peer::AnnounceEvent;
+
+TEST(Tracker, StartedRegistersPeer) {
+  Tracker t;
+  sim::Rng rng(1);
+  t.announce(1, AnnounceEvent::kStarted, false, rng);
+  EXPECT_EQ(t.num_members(), 1u);
+  EXPECT_EQ(t.num_leechers(), 1u);
+  EXPECT_EQ(t.num_seeds(), 0u);
+}
+
+TEST(Tracker, CompletedFlipsToSeed) {
+  Tracker t;
+  sim::Rng rng(1);
+  t.announce(1, AnnounceEvent::kStarted, false, rng);
+  t.announce(1, AnnounceEvent::kCompleted, true, rng);
+  EXPECT_EQ(t.num_seeds(), 1u);
+  EXPECT_EQ(t.num_leechers(), 0u);
+}
+
+TEST(Tracker, StoppedUnregisters) {
+  Tracker t;
+  sim::Rng rng(1);
+  t.announce(1, AnnounceEvent::kStarted, false, rng);
+  t.announce(1, AnnounceEvent::kStopped, false, rng);
+  EXPECT_EQ(t.num_members(), 0u);
+  EXPECT_EQ(t.stats().stopped, 1u);
+}
+
+TEST(Tracker, NeverReturnsTheAnnouncer) {
+  Tracker t;
+  sim::Rng rng(1);
+  for (peer::PeerId id = 1; id <= 10; ++id) {
+    t.announce(id, AnnounceEvent::kStarted, false, rng);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result = t.announce(5, AnnounceEvent::kRegular, false, rng);
+    for (const peer::PeerId id : result.peers) EXPECT_NE(id, 5u);
+  }
+}
+
+TEST(Tracker, ReturnsAtMostConfiguredPeers) {
+  Tracker t(/*peers_per_announce=*/50);
+  sim::Rng rng(1);
+  for (peer::PeerId id = 1; id <= 200; ++id) {
+    t.announce(id, AnnounceEvent::kStarted, false, rng);
+  }
+  const auto result = t.announce(1, AnnounceEvent::kRegular, false, rng);
+  EXPECT_EQ(result.peers.size(), 50u);
+  std::set<peer::PeerId> unique(result.peers.begin(), result.peers.end());
+  EXPECT_EQ(unique.size(), 50u);  // no duplicates
+}
+
+TEST(Tracker, SmallTorrentReturnsEveryoneElse) {
+  Tracker t;
+  sim::Rng rng(1);
+  for (peer::PeerId id = 1; id <= 4; ++id) {
+    t.announce(id, AnnounceEvent::kStarted, false, rng);
+  }
+  EXPECT_EQ(t.announce(2, AnnounceEvent::kRegular, false, rng).peers.size(),
+            3u);
+}
+
+TEST(Tracker, RandomSubsetVariesAcrossAnnounces) {
+  Tracker t(/*peers_per_announce=*/5);
+  sim::Rng rng(1);
+  for (peer::PeerId id = 1; id <= 100; ++id) {
+    t.announce(id, AnnounceEvent::kStarted, false, rng);
+  }
+  std::set<std::vector<peer::PeerId>> distinct;
+  for (int i = 0; i < 10; ++i) {
+    auto peers = t.announce(1, AnnounceEvent::kRegular, false, rng).peers;
+    std::sort(peers.begin(), peers.end());
+    distinct.insert(peers);
+  }
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Tracker, StatsCountEvents) {
+  Tracker t;
+  sim::Rng rng(1);
+  t.announce(1, AnnounceEvent::kStarted, false, rng);
+  t.announce(1, AnnounceEvent::kRegular, false, rng);
+  t.announce(1, AnnounceEvent::kCompleted, true, rng);
+  t.announce(1, AnnounceEvent::kStopped, true, rng);
+  EXPECT_EQ(t.stats().announces, 4u);
+  EXPECT_EQ(t.stats().started, 1u);
+  EXPECT_EQ(t.stats().completed, 1u);
+  EXPECT_EQ(t.stats().stopped, 1u);
+}
+
+// --- Table-I catalog ----------------------------------------------------------
+
+TEST(Table1, HasTwentySixTorrents) {
+  const auto& table = table1_torrents();
+  ASSERT_EQ(table.size(), 26u);
+  EXPECT_EQ(table[0].seeds, 0u);     // torrent 1: no seed
+  EXPECT_EQ(table[0].leechers, 66u);
+  EXPECT_EQ(table[7].leechers, 861u);  // torrent 8 (transient exemplar)
+  EXPECT_EQ(table[7].size_mb, 3000u);
+  EXPECT_EQ(table[25].seeds, 12612u);
+}
+
+TEST(Table1, ScalingPreservesRatioOrdering) {
+  ScaleLimits limits;
+  for (int id = 1; id <= 26; ++id) {
+    const auto cfg = scenario_from_table1(id, limits);
+    const auto& spec = table1_torrents()[static_cast<std::size_t>(id - 1)];
+    EXPECT_LE(cfg.initial_seeds + cfg.initial_leechers,
+              limits.max_peers + 2)
+        << "torrent " << id;
+    if (spec.seeds == 0) {
+      EXPECT_EQ(cfg.initial_seeds, 0u);
+    } else {
+      EXPECT_GE(cfg.initial_seeds, 1u);
+    }
+    EXPECT_GE(cfg.num_pieces, limits.min_pieces);
+    EXPECT_LE(cfg.num_pieces, limits.max_pieces);
+  }
+}
+
+TEST(Table1, TransientTorrentsAreColdStarts) {
+  for (const int id : {2, 4, 5, 6, 8, 9}) {
+    EXPECT_FALSE(scenario_from_table1(id).leechers_warm) << id;
+  }
+  for (const int id : {3, 7, 10, 13, 22}) {
+    EXPECT_TRUE(scenario_from_table1(id).leechers_warm) << id;
+  }
+}
+
+TEST(Table1, TorrentOneHasDeadPieces) {
+  const auto cfg = scenario_from_table1(1);
+  EXPECT_EQ(cfg.initial_seeds, 0u);
+  EXPECT_GT(cfg.dead_piece_fraction, 0.0);
+}
+
+TEST(CapacityClasses, FractionsSumToOne) {
+  double sum = 0.0;
+  for (const auto& c : default_capacity_classes()) sum += c.fraction;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// --- ScenarioRunner ------------------------------------------------------------
+
+TEST(ScenarioRunner, SpawnsConfiguredPopulation) {
+  ScenarioConfig cfg;
+  cfg.num_pieces = 8;
+  cfg.initial_seeds = 2;
+  cfg.initial_leechers = 5;
+  cfg.duration = 10.0;
+  ScenarioRunner runner(cfg, 1);
+  // 2 seeds + 5 leechers + local peer.
+  EXPECT_EQ(runner.swarm().active_peers(), 8u);
+  EXPECT_EQ(runner.swarm().tracker().num_seeds(), 2u);
+}
+
+TEST(ScenarioRunner, WarmLeechersHoldPartialContent) {
+  ScenarioConfig cfg;
+  cfg.num_pieces = 32;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 10;
+  cfg.leechers_warm = true;
+  cfg.warm_min = 0.3;
+  cfg.warm_max = 0.7;
+  cfg.duration = 1.0;
+  ScenarioRunner runner(cfg, 3);
+  int partial = 0;
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    if (id == runner.local_peer_id() || p->config().start_complete) continue;
+    const auto count = p->have().count();
+    EXPECT_GE(count, 32u * 3 / 10 - 4);
+    EXPECT_LE(count, 32u * 7 / 10 + 4);
+    if (count > 0) ++partial;
+  }
+  EXPECT_EQ(partial, 10);
+}
+
+TEST(ScenarioRunner, DeadPiecesAbsentEverywhere) {
+  ScenarioConfig cfg;
+  cfg.num_pieces = 20;
+  cfg.initial_seeds = 0;
+  cfg.initial_leechers = 8;
+  cfg.leechers_warm = true;
+  cfg.dead_piece_fraction = 0.25;
+  cfg.duration = 1.0;
+  ScenarioRunner runner(cfg, 5);
+  std::uint32_t covered = 0;
+  for (wire::PieceIndex p = 0; p < 20; ++p) {
+    if (runner.swarm().global_availability().copies(p) > 0) ++covered;
+  }
+  EXPECT_LE(covered, 15u);  // at least 5 dead pieces
+  EXPECT_FALSE(runner.swarm().torrent_alive());
+}
+
+TEST(ScenarioRunner, ArrivalsGrowPopulation) {
+  ScenarioConfig cfg;
+  cfg.num_pieces = 8;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 2;
+  cfg.arrival_rate = 0.5;  // one every 2 s
+  cfg.max_population = 50;
+  cfg.seed_linger_mean = 0.0;
+  cfg.duration = 60.0;
+  ScenarioRunner runner(cfg, 7);
+  runner.run();
+  EXPECT_GT(runner.swarm().active_peers(), 10u);
+  EXPECT_LE(runner.swarm().active_peers(), 50u);
+}
+
+TEST(ScenarioRunner, FinishedRemotePeersDepart) {
+  ScenarioConfig cfg;
+  cfg.num_pieces = 8;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 4;
+  cfg.seed_linger_mean = 50.0;
+  cfg.duration = 8000.0;
+  ScenarioRunner runner(cfg, 7);
+  runner.run();
+  // Everyone finished long ago; lingering seeds (except the initial seed
+  // and the local peer) must have left.
+  EXPECT_LE(runner.swarm().active_peers(), 2u);
+}
+
+TEST(ScenarioRunner, FreeRiderFractionApplied) {
+  ScenarioConfig cfg;
+  cfg.num_pieces = 8;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 40;
+  cfg.free_rider_fraction = 1.0;
+  cfg.duration = 1.0;
+  ScenarioRunner runner(cfg, 9);
+  int free_riders = 0;
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    if (id == runner.local_peer_id() || p->config().start_complete) continue;
+    if (p->config().free_rider) ++free_riders;
+  }
+  EXPECT_EQ(free_riders, 40);
+}
+
+TEST(ScenarioRunner, LocalJoinTimeHonored) {
+  ScenarioConfig cfg;
+  cfg.num_pieces = 8;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 2;
+  cfg.local_join_time = 100.0;
+  cfg.duration = 500.0;
+  ScenarioRunner runner(cfg, 11);
+  runner.simulation().run_until(50.0);
+  EXPECT_FALSE(runner.local_peer().active());
+  runner.simulation().run_until(150.0);
+  EXPECT_TRUE(runner.local_peer().active());
+  EXPECT_DOUBLE_EQ(runner.local_peer().start_time(), 100.0);
+}
+
+}  // namespace
+}  // namespace swarmlab::swarm

@@ -1,0 +1,127 @@
+// SVG chart rendering tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "viz/svg_plot.h"
+
+namespace swarmlab::viz {
+namespace {
+
+std::size_t count(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+Series ramp(const std::string& label, int n, double slope) {
+  Series s;
+  s.label = label;
+  for (int i = 0; i < n; ++i) {
+    s.points.emplace_back(i, i * slope);
+  }
+  return s;
+}
+
+TEST(SvgPlot, LineChartStructure) {
+  PlotOptions opt;
+  opt.title = "test chart";
+  opt.x_label = "x";
+  opt.y_label = "y";
+  const std::string svg =
+      render_line_chart({ramp("a", 10, 1.0), ramp("b", 10, 2.0)}, opt);
+  EXPECT_EQ(svg.find("<svg "), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(count(svg, "<polyline"), 2u);
+  EXPECT_NE(svg.find("test chart"), std::string::npos);
+  EXPECT_EQ(count(svg, "text-anchor=\"middle\""), 2u + 5u + 1u);
+  // Legend entries for both series.
+  EXPECT_NE(svg.find(">a</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">b</text>"), std::string::npos);
+}
+
+TEST(SvgPlot, ScatterUsesCircles) {
+  const std::string svg = render_scatter({ramp("pts", 7, 1.0)}, {});
+  EXPECT_EQ(count(svg, "<circle"), 7u);
+  EXPECT_EQ(count(svg, "<polyline"), 0u);
+}
+
+TEST(SvgPlot, EmptySeriesStillValid) {
+  const std::string svg = render_line_chart({}, {});
+  EXPECT_EQ(svg.find("<svg "), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlot, ConstantSeriesDoesNotDivideByZero) {
+  Series flat;
+  flat.label = "flat";
+  for (int i = 0; i < 5; ++i) flat.points.emplace_back(i, 42.0);
+  const std::string svg = render_line_chart({flat}, {});
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgPlot, LogAxisSkipsNonPositiveX) {
+  Series s;
+  s.points.emplace_back(0.0, 1.0);   // dropped on a log axis
+  s.points.emplace_back(0.1, 2.0);
+  s.points.emplace_back(10.0, 3.0);
+  PlotOptions opt;
+  opt.log_x = true;
+  const std::string svg = render_scatter({s}, opt);
+  EXPECT_EQ(count(svg, "<circle"), 2u);
+}
+
+TEST(SvgPlot, TitleIsEscaped) {
+  PlotOptions opt;
+  opt.title = "a < b & c";
+  const std::string svg = render_line_chart({ramp("s", 3, 1.0)}, opt);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b & c"), std::string::npos);
+}
+
+TEST(SvgPlot, FromTimeSeriesDownsamples) {
+  stats::TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.add(i, i * 1.0);
+  const Series s = from_time_series(ts, "big", 50);
+  EXPECT_EQ(s.points.size(), 50u);
+  EXPECT_DOUBLE_EQ(s.points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(s.points.back().first, 999.0);
+}
+
+TEST(SvgPlot, FromCdfBuildsStepFunction) {
+  stats::Cdf cdf({1.0, 2.0, 4.0});
+  const Series s = from_cdf(cdf, "cdf");
+  ASSERT_EQ(s.points.size(), 6u);  // two points per sample
+  EXPECT_DOUBLE_EQ(s.points[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(s.points[0].second, 0.0);
+  EXPECT_DOUBLE_EQ(s.points[1].second, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.points.back().first, 4.0);
+  EXPECT_DOUBLE_EQ(s.points.back().second, 1.0);
+}
+
+TEST(SvgPlot, CoordinatesStayInsideCanvas) {
+  PlotOptions opt;
+  opt.width = 300;
+  opt.height = 200;
+  const std::string svg = render_scatter({ramp("s", 20, 5.0)}, opt);
+  // Every circle coordinate must lie within the viewBox.
+  std::size_t at = 0;
+  while ((at = svg.find("<circle cx=\"", at)) != std::string::npos) {
+    at += 12;
+    const double cx = std::stod(svg.substr(at));
+    const std::size_t cy_at = svg.find("cy=\"", at) + 4;
+    const double cy = std::stod(svg.substr(cy_at));
+    EXPECT_GE(cx, 0.0);
+    EXPECT_LE(cx, 300.0);
+    EXPECT_GE(cy, 0.0);
+    EXPECT_LE(cy, 200.0);
+  }
+}
+
+}  // namespace
+}  // namespace swarmlab::viz

@@ -1,0 +1,151 @@
+// Bencode round trips and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "wire/bencode.h"
+
+namespace swarmlab::wire {
+namespace {
+
+TEST(Bencode, EncodeInteger) {
+  EXPECT_EQ(bencode(BValue(42)), "i42e");
+  EXPECT_EQ(bencode(BValue(-7)), "i-7e");
+  EXPECT_EQ(bencode(BValue(0)), "i0e");
+}
+
+TEST(Bencode, EncodeString) {
+  EXPECT_EQ(bencode(BValue("spam")), "4:spam");
+  EXPECT_EQ(bencode(BValue("")), "0:");
+}
+
+TEST(Bencode, EncodeList) {
+  BValue::List list;
+  list.emplace_back("spam");
+  list.emplace_back(42);
+  EXPECT_EQ(bencode(BValue(list)), "l4:spami42ee");
+}
+
+TEST(Bencode, EncodeDictSortsKeys) {
+  BValue::Dict dict;
+  dict.emplace("zebra", BValue(1));
+  dict.emplace("apple", BValue(2));
+  EXPECT_EQ(bencode(BValue(dict)), "d5:applei2e5:zebrai1ee");
+}
+
+TEST(Bencode, DecodeInteger) {
+  EXPECT_EQ(bdecode("i42e").as_int(), 42);
+  EXPECT_EQ(bdecode("i-42e").as_int(), -42);
+  EXPECT_EQ(bdecode("i0e").as_int(), 0);
+}
+
+TEST(Bencode, DecodeString) {
+  EXPECT_EQ(bdecode("4:spam").as_string(), "spam");
+  EXPECT_EQ(bdecode("0:").as_string(), "");
+}
+
+TEST(Bencode, DecodeStringWithBinaryBytes) {
+  const std::string data = std::string("3:") + '\x00' + '\xff' + 'a';
+  EXPECT_EQ(bdecode(data).as_string().size(), 3u);
+}
+
+TEST(Bencode, DecodeNestedCompact) {
+  const BValue v = bdecode("d4:listli1ei2ee3:str3:abce");
+  EXPECT_EQ(v.at("list").as_list().size(), 2u);
+  EXPECT_EQ(v.at("list").as_list()[1].as_int(), 2);
+  EXPECT_EQ(v.at("str").as_string(), "abc");
+}
+
+TEST(Bencode, RoundTripComplexValue) {
+  BValue::Dict info;
+  info.emplace("length", BValue(123456789));
+  info.emplace("name", BValue("content.bin"));
+  BValue::List tiers;
+  tiers.emplace_back("http://tracker/announce");
+  BValue::Dict root;
+  root.emplace("announce-list", BValue(tiers));
+  root.emplace("info", BValue(info));
+  const BValue original{root};
+  EXPECT_EQ(bdecode(bencode(original)), original);
+}
+
+TEST(Bencode, FindReturnsNullForMissingKey) {
+  const BValue v = bdecode("d1:ai1ee");
+  EXPECT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_THROW((void)v.at("b"), BencodeError);
+}
+
+TEST(Bencode, TypeMismatchThrows) {
+  EXPECT_THROW((void)bdecode("i1e").as_string(), BencodeError);
+  EXPECT_THROW((void)bdecode("1:a").as_int(), BencodeError);
+  EXPECT_THROW((void)bdecode("le").as_dict(), BencodeError);
+  EXPECT_THROW((void)bdecode("de").as_list(), BencodeError);
+}
+
+TEST(Bencode, RejectsTruncatedInput) {
+  EXPECT_THROW(bdecode("i42"), BencodeError);
+  EXPECT_THROW(bdecode("4:spa"), BencodeError);
+  EXPECT_THROW(bdecode("l"), BencodeError);
+  EXPECT_THROW(bdecode("d3:key"), BencodeError);
+  EXPECT_THROW(bdecode(""), BencodeError);
+}
+
+TEST(Bencode, RejectsTrailingBytes) {
+  EXPECT_THROW(bdecode("i42ei43e"), BencodeError);
+}
+
+TEST(Bencode, PrefixDecodeAllowsTrailingBytes) {
+  std::size_t pos = 0;
+  EXPECT_EQ(bdecode_prefix("i42ei43e", pos).as_int(), 42);
+  EXPECT_EQ(pos, 4u);
+  EXPECT_EQ(bdecode_prefix("i42ei43e", pos).as_int(), 43);
+  EXPECT_EQ(pos, 8u);
+}
+
+TEST(Bencode, RejectsNonCanonicalIntegers) {
+  EXPECT_THROW(bdecode("i042e"), BencodeError);
+  EXPECT_THROW(bdecode("i-0e"), BencodeError);
+  EXPECT_THROW(bdecode("i--1e"), BencodeError);
+  EXPECT_THROW(bdecode("ie"), BencodeError);
+  EXPECT_THROW(bdecode("i1xe"), BencodeError);
+}
+
+TEST(Bencode, RejectsNonCanonicalStringLength) {
+  EXPECT_THROW(bdecode("04:spam"), BencodeError);
+}
+
+TEST(Bencode, RejectsHugeStringLength) {
+  EXPECT_THROW(bdecode("999999999999:x"), BencodeError);
+}
+
+TEST(Bencode, RejectsIntegerOverflow) {
+  EXPECT_THROW(bdecode("i99999999999999999999e"), BencodeError);
+}
+
+TEST(Bencode, RejectsUnsortedDictKeys) {
+  EXPECT_THROW(bdecode("d1:bi1e1:ai2ee"), BencodeError);
+}
+
+TEST(Bencode, RejectsDuplicateDictKeys) {
+  EXPECT_THROW(bdecode("d1:ai1e1:ai2ee"), BencodeError);
+}
+
+TEST(Bencode, RejectsNonStringDictKey) {
+  EXPECT_THROW(bdecode("di1ei2ee"), BencodeError);
+}
+
+TEST(Bencode, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "l";
+  for (int i = 0; i < 100; ++i) deep += "e";
+  EXPECT_THROW(bdecode(deep), BencodeError);
+}
+
+TEST(Bencode, EmptyContainers) {
+  EXPECT_EQ(bdecode("le").as_list().size(), 0u);
+  EXPECT_EQ(bdecode("de").as_dict().size(), 0u);
+  EXPECT_EQ(bencode(BValue(BValue::List{})), "le");
+  EXPECT_EQ(bencode(BValue(BValue::Dict{})), "de");
+}
+
+}  // namespace
+}  // namespace swarmlab::wire

@@ -1,0 +1,95 @@
+// Fast Extension (BEP 6) codec tests.
+#include <gtest/gtest.h>
+
+#include "wire/messages.h"
+
+namespace swarmlab::wire {
+namespace {
+
+constexpr std::uint32_t kPieces = 20;
+
+Message round_trip(const Message& msg) {
+  const auto bytes = encode_message(msg, kPieces);
+  std::size_t consumed = 0;
+  const auto decoded = decode_message(bytes, kPieces, consumed);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  return *decoded;
+}
+
+TEST(FastExtension, SuggestPieceRoundTrip) {
+  const auto m = std::get<SuggestPieceMsg>(round_trip(SuggestPieceMsg{7}));
+  EXPECT_EQ(m.piece, 7u);
+}
+
+TEST(FastExtension, HaveAllHaveNoneRoundTrip) {
+  EXPECT_TRUE(std::holds_alternative<HaveAllMsg>(round_trip(HaveAllMsg{})));
+  EXPECT_TRUE(
+      std::holds_alternative<HaveNoneMsg>(round_trip(HaveNoneMsg{})));
+}
+
+TEST(FastExtension, WireIdsMatchBep6) {
+  EXPECT_EQ(encode_message(Message{HaveAllMsg{}})[4], 14);
+  EXPECT_EQ(encode_message(Message{HaveNoneMsg{}})[4], 15);
+  EXPECT_EQ(encode_message(Message{SuggestPieceMsg{0}})[4], 13);
+  EXPECT_EQ(encode_message(Message{RejectRequestMsg{}})[4], 16);
+  EXPECT_EQ(encode_message(Message{AllowedFastMsg{0}})[4], 17);
+}
+
+TEST(FastExtension, RejectRequestRoundTrip) {
+  const auto m = std::get<RejectRequestMsg>(
+      round_trip(RejectRequestMsg{3, 16384, 16384}));
+  EXPECT_EQ(m.piece, 3u);
+  EXPECT_EQ(m.begin, 16384u);
+  EXPECT_EQ(m.length, 16384u);
+}
+
+TEST(FastExtension, AllowedFastRoundTrip) {
+  const auto m = std::get<AllowedFastMsg>(round_trip(AllowedFastMsg{19}));
+  EXPECT_EQ(m.piece, 19u);
+}
+
+TEST(FastExtension, OutOfRangeIndicesRejected) {
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_message(
+                   encode_message(Message{SuggestPieceMsg{kPieces}}),
+                   kPieces, consumed),
+               WireError);
+  EXPECT_THROW(decode_message(
+                   encode_message(Message{AllowedFastMsg{kPieces}}),
+                   kPieces, consumed),
+               WireError);
+}
+
+TEST(FastExtension, BadPayloadLengthsRejected) {
+  // have_all with payload.
+  const std::vector<std::uint8_t> bad{0, 0, 0, 2, 14, 1};
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_message(bad, kPieces, consumed), WireError);
+}
+
+TEST(FastExtension, MessageNames) {
+  EXPECT_STREQ(message_name(Message{HaveAllMsg{}}), "have_all");
+  EXPECT_STREQ(message_name(Message{AllowedFastMsg{}}), "allowed_fast");
+  EXPECT_STREQ(message_id_name(MessageId::kRejectRequest),
+               "reject_request");
+}
+
+TEST(FastExtension, HandshakeBitNegotiation) {
+  Handshake hs;
+  EXPECT_FALSE(hs.supports_fast_extension());
+  hs.set_fast_extension(true);
+  EXPECT_TRUE(hs.supports_fast_extension());
+  // The flag survives the wire.
+  const Handshake decoded = decode_handshake(encode_handshake(hs));
+  EXPECT_TRUE(decoded.supports_fast_extension());
+  hs.set_fast_extension(false);
+  EXPECT_FALSE(hs.supports_fast_extension());
+  // Other reserved bits are untouched.
+  hs.reserved[7] = 0xFF;
+  hs.set_fast_extension(false);
+  EXPECT_EQ(hs.reserved[7], 0xFB);
+}
+
+}  // namespace
+}  // namespace swarmlab::wire

@@ -1,0 +1,145 @@
+// Property/fuzz tests for the wire codecs: random well-formed values
+// round-trip; random bytes never crash.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "sim/rng.h"
+#include "wire/bencode.h"
+#include "wire/message_stream.h"
+#include "wire/messages.h"
+#include "wire/tracker_codec.h"
+
+namespace swarmlab::wire {
+namespace {
+
+/// Generates a random bencode value of bounded depth.
+BValue random_bvalue(sim::Rng& rng, int depth) {
+  const auto kind = depth <= 0 ? rng.index(2) : rng.index(4);
+  switch (kind) {
+    case 0:
+      return BValue(static_cast<std::int64_t>(
+          rng.uniform_int(0, 1u << 30)) -
+          (rng.chance(0.5) ? (1 << 29) : 0));
+    case 1: {
+      std::string s;
+      const auto len = rng.index(20);
+      for (std::size_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      }
+      return BValue(std::move(s));
+    }
+    case 2: {
+      BValue::List list;
+      const auto n = rng.index(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        list.push_back(random_bvalue(rng, depth - 1));
+      }
+      return BValue(std::move(list));
+    }
+    default: {
+      BValue::Dict dict;
+      const auto n = rng.index(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        dict.emplace("k" + std::to_string(rng.uniform_int(0, 1000)),
+                     random_bvalue(rng, depth - 1));
+      }
+      return BValue(std::move(dict));
+    }
+  }
+}
+
+class BencodeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BencodeFuzz, RandomValuesRoundTrip) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const BValue value = random_bvalue(rng, 4);
+    const std::string encoded = bencode(value);
+    EXPECT_EQ(bdecode(encoded), value);
+    // Canonical form: re-encoding the decoded value is stable.
+    EXPECT_EQ(bencode(bdecode(encoded)), encoded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BencodeFuzz, ::testing::Range(1, 6));
+
+class BencodeGarbageFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BencodeGarbageFuzz, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 500; ++i) {
+    std::string junk(1 + rng() % 64, '\0');
+    for (auto& c : junk) c = static_cast<char>(rng());
+    try {
+      (void)bdecode(junk);
+    } catch (const BencodeError&) {
+      // expected for nearly all inputs
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BencodeGarbageFuzz, ::testing::Range(1, 4));
+
+class BencodeMutationFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BencodeMutationFuzz, MutatedValidInputNeverCrashes) {
+  // Start from valid encodings and flip bytes: the decoder must either
+  // parse or throw, never crash/hang.
+  sim::Rng vrng(7);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    std::string encoded = bencode(random_bvalue(vrng, 3));
+    const std::size_t flips = 1 + rng() % 3;
+    for (std::size_t f = 0; f < flips && !encoded.empty(); ++f) {
+      encoded[rng() % encoded.size()] = static_cast<char>(rng());
+    }
+    try {
+      (void)bdecode(encoded);
+    } catch (const BencodeError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BencodeMutationFuzz, ::testing::Range(1, 4));
+
+TEST(MessageFuzz, MutatedFramesNeverCrashStream) {
+  std::mt19937_64 rng(99);
+  constexpr std::uint32_t kPieces = 16;
+  for (int trial = 0; trial < 300; ++trial) {
+    // A valid little session...
+    std::vector<std::uint8_t> bytes;
+    for (const Message& m :
+         {Message{HaveMsg{3}}, Message{RequestMsg{1, 0, 16384}},
+          Message{InterestedMsg{}}}) {
+      const auto enc = encode_message(m, kPieces);
+      bytes.insert(bytes.end(), enc.begin(), enc.end());
+    }
+    // ...with a few corrupted bytes.
+    for (int f = 0; f < 2; ++f) {
+      bytes[rng() % bytes.size()] = static_cast<std::uint8_t>(rng());
+    }
+    MessageStream stream(kPieces, /*expect_handshake=*/false);
+    try {
+      (void)stream.feed(bytes);
+    } catch (const WireError&) {
+    }
+  }
+}
+
+TEST(TrackerFuzz, GarbageResponsesNeverCrash) {
+  std::mt19937_64 rng(4242);
+  for (int i = 0; i < 300; ++i) {
+    std::string junk(1 + rng() % 80, '\0');
+    for (auto& c : junk) c = static_cast<char>(rng());
+    try {
+      (void)decode_announce_response(junk);
+    } catch (const BencodeError&) {
+    } catch (const WireError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swarmlab::wire

@@ -1,0 +1,194 @@
+// Peer-wire message codec: round trips, framing, and malformed frames.
+#include <gtest/gtest.h>
+
+#include "wire/messages.h"
+
+namespace swarmlab::wire {
+namespace {
+
+constexpr std::uint32_t kPieces = 37;  // odd count exercises spare bits
+
+Message round_trip(const Message& msg, std::uint32_t num_pieces = kPieces) {
+  const auto bytes = encode_message(msg, num_pieces);
+  std::size_t consumed = 0;
+  const auto decoded = decode_message(bytes, num_pieces, consumed);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  return *decoded;
+}
+
+TEST(Messages, KeepAliveRoundTrip) {
+  const auto bytes = encode_message(Message{KeepAliveMsg{}});
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0, 0, 0, 0}));
+  EXPECT_TRUE(std::holds_alternative<KeepAliveMsg>(
+      round_trip(Message{KeepAliveMsg{}})));
+}
+
+TEST(Messages, FlagMessagesRoundTrip) {
+  EXPECT_TRUE(std::holds_alternative<ChokeMsg>(round_trip(ChokeMsg{})));
+  EXPECT_TRUE(std::holds_alternative<UnchokeMsg>(round_trip(UnchokeMsg{})));
+  EXPECT_TRUE(
+      std::holds_alternative<InterestedMsg>(round_trip(InterestedMsg{})));
+  EXPECT_TRUE(std::holds_alternative<NotInterestedMsg>(
+      round_trip(NotInterestedMsg{})));
+}
+
+TEST(Messages, FlagMessageWireFormat) {
+  const auto bytes = encode_message(Message{UnchokeMsg{}});
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0, 0, 0, 1, 1}));
+}
+
+TEST(Messages, HaveRoundTrip) {
+  const auto m = std::get<HaveMsg>(round_trip(HaveMsg{31}));
+  EXPECT_EQ(m.piece, 31u);
+}
+
+TEST(Messages, HaveOutOfRangeRejected) {
+  const auto bytes = encode_message(Message{HaveMsg{kPieces}});
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_message(bytes, kPieces, consumed), WireError);
+}
+
+TEST(Messages, BitfieldRoundTrip) {
+  BitfieldMsg msg;
+  msg.bits.assign(kPieces, false);
+  msg.bits[0] = msg.bits[7] = msg.bits[8] = msg.bits[36] = true;
+  const auto m = std::get<BitfieldMsg>(round_trip(Message{msg}));
+  EXPECT_EQ(m.bits, msg.bits);
+}
+
+TEST(Messages, BitfieldPacksHighBitFirst) {
+  BitfieldMsg msg;
+  msg.bits.assign(8, false);
+  msg.bits[0] = true;
+  const auto bytes = encode_message(Message{msg}, 8);
+  // frame: len=2, id=5, payload 0b10000000
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{0, 0, 0, 2, 5, 0x80}));
+}
+
+TEST(Messages, BitfieldSizeMismatchThrowsOnEncode) {
+  BitfieldMsg msg;
+  msg.bits.assign(10, true);
+  EXPECT_THROW(encode_message(Message{msg}, 8), WireError);
+  EXPECT_THROW(encode_message(Message{msg}, 0), WireError);
+}
+
+TEST(Messages, BitfieldNonzeroSpareBitsRejected) {
+  // 3 pieces -> 1 byte; set an illegal 4th bit.
+  const std::vector<std::uint8_t> frame{0, 0, 0, 2, 5, 0b00010000};
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_message(frame, 3, consumed), WireError);
+}
+
+TEST(Messages, RequestRoundTrip) {
+  const auto m = std::get<RequestMsg>(
+      round_trip(RequestMsg{5, 16384, 16384}));
+  EXPECT_EQ(m.piece, 5u);
+  EXPECT_EQ(m.begin, 16384u);
+  EXPECT_EQ(m.length, 16384u);
+}
+
+TEST(Messages, PieceRoundTripWithData) {
+  PieceMsg msg;
+  msg.piece = 9;
+  msg.begin = 32768;
+  msg.data = {1, 2, 3, 4, 5};
+  const auto m = std::get<PieceMsg>(round_trip(Message{msg}));
+  EXPECT_EQ(m.piece, 9u);
+  EXPECT_EQ(m.begin, 32768u);
+  EXPECT_EQ(m.data, msg.data);
+}
+
+TEST(Messages, CancelRoundTrip) {
+  const auto m =
+      std::get<CancelMsg>(round_trip(CancelMsg{2, 0, 16384}));
+  EXPECT_EQ(m.piece, 2u);
+  EXPECT_EQ(m.length, 16384u);
+}
+
+TEST(Messages, IncompleteFrameReturnsNullopt) {
+  const auto bytes = encode_message(Message{RequestMsg{1, 2, 3}});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::size_t consumed = 99;
+    const auto partial = decode_message(
+        std::span<const std::uint8_t>(bytes.data(), cut), kPieces, consumed);
+    EXPECT_FALSE(partial.has_value()) << "cut=" << cut;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(Messages, BackToBackFramesDecodeSequentially) {
+  auto bytes = encode_message(Message{HaveMsg{1}});
+  const auto second = encode_message(Message{InterestedMsg{}});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  std::size_t consumed = 0;
+  auto msg1 = decode_message(bytes, kPieces, consumed);
+  ASSERT_TRUE(msg1.has_value());
+  EXPECT_TRUE(std::holds_alternative<HaveMsg>(*msg1));
+  const std::span<const std::uint8_t> rest(bytes.data() + consumed,
+                                           bytes.size() - consumed);
+  std::size_t consumed2 = 0;
+  auto msg2 = decode_message(rest, kPieces, consumed2);
+  ASSERT_TRUE(msg2.has_value());
+  EXPECT_TRUE(std::holds_alternative<InterestedMsg>(*msg2));
+}
+
+TEST(Messages, BadPayloadLengthsRejected) {
+  // have with 3-byte payload
+  const std::vector<std::uint8_t> bad_have{0, 0, 0, 4, 4, 0, 0, 1};
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_message(bad_have, kPieces, consumed), WireError);
+  // choke with payload
+  const std::vector<std::uint8_t> bad_choke{0, 0, 0, 2, 0, 9};
+  EXPECT_THROW(decode_message(bad_choke, kPieces, consumed), WireError);
+}
+
+TEST(Messages, UnknownIdRejected) {
+  const std::vector<std::uint8_t> frame{0, 0, 0, 1, 99};
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_message(frame, kPieces, consumed), WireError);
+}
+
+TEST(Messages, OversizedFrameRejected) {
+  const std::vector<std::uint8_t> frame{0xFF, 0xFF, 0xFF, 0xFF};
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_message(frame, kPieces, consumed), WireError);
+}
+
+TEST(Messages, MessageNames) {
+  EXPECT_STREQ(message_name(Message{KeepAliveMsg{}}), "keep_alive");
+  EXPECT_STREQ(message_name(Message{HaveMsg{}}), "have");
+  EXPECT_STREQ(message_name(Message{PieceMsg{}}), "piece");
+  EXPECT_STREQ(message_id_name(MessageId::kCancel), "cancel");
+  EXPECT_STREQ(message_id_name(MessageId::kBitfield), "bitfield");
+}
+
+TEST(Handshake, RoundTrip) {
+  Handshake hs;
+  hs.reserved[7] = 0x01;
+  hs.info_hash = Sha1::hash("some torrent");
+  for (std::size_t i = 0; i < hs.peer_id.size(); ++i) {
+    hs.peer_id[i] = static_cast<std::uint8_t>('A' + i);
+  }
+  const auto bytes = encode_handshake(hs);
+  ASSERT_EQ(bytes.size(), Handshake::kEncodedSize);
+  EXPECT_EQ(decode_handshake(bytes), hs);
+}
+
+TEST(Handshake, BadProtocolStringRejected) {
+  Handshake hs;
+  auto bytes = encode_handshake(hs);
+  bytes[1] = 'X';
+  EXPECT_THROW(decode_handshake(bytes), WireError);
+  bytes[1] = 'B';
+  bytes[0] = 18;
+  EXPECT_THROW(decode_handshake(bytes), WireError);
+}
+
+TEST(Handshake, ShortInputRejected) {
+  const std::vector<std::uint8_t> short_input(10, 0);
+  EXPECT_THROW(decode_handshake(short_input), WireError);
+}
+
+}  // namespace
+}  // namespace swarmlab::wire

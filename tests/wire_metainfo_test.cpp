@@ -1,0 +1,112 @@
+// Content geometry and .torrent metainfo tests.
+#include <gtest/gtest.h>
+
+#include "wire/geometry.h"
+#include "wire/messages.h"  // WireError
+#include "wire/metainfo.h"
+
+namespace swarmlab::wire {
+namespace {
+
+TEST(Geometry, EvenSplit) {
+  const ContentGeometry geo(1024 * 1024, 256 * 1024, 16 * 1024);
+  EXPECT_EQ(geo.num_pieces(), 4u);
+  EXPECT_EQ(geo.piece_bytes(3), 256u * 1024);
+  EXPECT_EQ(geo.blocks_in_piece(0), 16u);
+  EXPECT_EQ(geo.total_blocks(), 64u);
+}
+
+TEST(Geometry, ShortLastPiece) {
+  // 1 MiB + 100 KiB: 5 pieces, last one short.
+  const ContentGeometry geo(1024 * 1024 + 100 * 1024, 256 * 1024, 16 * 1024);
+  EXPECT_EQ(geo.num_pieces(), 5u);
+  EXPECT_EQ(geo.piece_bytes(4), 100u * 1024);
+  EXPECT_EQ(geo.blocks_in_piece(4), 7u);  // 100 KiB / 16 KiB = 6.25
+}
+
+TEST(Geometry, ShortLastBlock) {
+  // last piece 100 KiB: 6 full blocks + one 4 KiB block.
+  const ContentGeometry geo(1024 * 1024 + 100 * 1024, 256 * 1024, 16 * 1024);
+  EXPECT_EQ(geo.block_bytes({4, 5}), 16u * 1024);
+  EXPECT_EQ(geo.block_bytes({4, 6}), 4u * 1024);
+  EXPECT_EQ(geo.total_blocks(), 4u * 16 + 7);
+}
+
+TEST(Geometry, BlockOffsets) {
+  const ContentGeometry geo(1024 * 1024, 256 * 1024, 16 * 1024);
+  EXPECT_EQ(geo.block_offset({0, 0}), 0u);
+  EXPECT_EQ(geo.block_offset({0, 3}), 3u * 16 * 1024);
+  EXPECT_EQ(geo.block_at_offset(3u * 16 * 1024), 3u);
+}
+
+TEST(Geometry, SinglePieceContent) {
+  const ContentGeometry geo(10 * 1024, 256 * 1024, 16 * 1024);
+  EXPECT_EQ(geo.num_pieces(), 1u);
+  EXPECT_EQ(geo.piece_bytes(0), 10u * 1024);
+  EXPECT_EQ(geo.blocks_in_piece(0), 1u);
+  EXPECT_EQ(geo.block_bytes({0, 0}), 10u * 1024);
+}
+
+TEST(Metainfo, SyntheticHashesVerify) {
+  const Metainfo meta = make_synthetic_metainfo(
+      "http://tracker.example/announce", "content", 600 * 1024, 256 * 1024);
+  ASSERT_EQ(meta.piece_hashes.size(), 3u);
+  for (PieceIndex p = 0; p < 3; ++p) {
+    const auto bytes = synthetic_piece_bytes(meta, p);
+    EXPECT_EQ(Sha1::hash(std::span<const std::uint8_t>(bytes)).hex(),
+              meta.piece_hashes[p].hex());
+  }
+}
+
+TEST(Metainfo, SyntheticPiecesDiffer) {
+  const Metainfo meta =
+      make_synthetic_metainfo("t", "content", 512 * 1024, 256 * 1024);
+  EXPECT_NE(meta.piece_hashes[0], meta.piece_hashes[1]);
+  const Metainfo other =
+      make_synthetic_metainfo("t", "other-name", 512 * 1024, 256 * 1024);
+  EXPECT_NE(meta.piece_hashes[0], other.piece_hashes[0]);
+}
+
+TEST(Metainfo, EncodeDecodeRoundTrip) {
+  const Metainfo meta = make_synthetic_metainfo(
+      "http://tracker.example/announce", "movie.mkv", 1000 * 1000);
+  const std::string torrent = encode_metainfo(meta);
+  EXPECT_EQ(decode_metainfo(torrent), meta);
+}
+
+TEST(Metainfo, InfoHashStableAndSensitive) {
+  const Metainfo a = make_synthetic_metainfo("t", "n", 512 * 1024);
+  Metainfo b = a;
+  EXPECT_EQ(info_hash(a), info_hash(b));
+  b.name = "other";
+  EXPECT_NE(info_hash(a), info_hash(b));
+  // announce is outside the info dict: same identity.
+  Metainfo c = a;
+  c.announce = "http://other/announce";
+  EXPECT_EQ(info_hash(a), info_hash(c));
+}
+
+TEST(Metainfo, RejectsMalformed) {
+  EXPECT_THROW(decode_metainfo("garbage"), BencodeError);
+  EXPECT_THROW(decode_metainfo("de"), BencodeError);
+  // Piece-hash string length not a multiple of 20.
+  const std::string bad =
+      "d8:announce1:t4:infod6:lengthi1024e4:name1:n12:piece "
+      "lengthi512e6:pieces3:abcee";
+  EXPECT_THROW(decode_metainfo(bad), WireError);
+}
+
+TEST(Metainfo, RejectsHashCountMismatch) {
+  Metainfo meta = make_synthetic_metainfo("t", "n", 512 * 1024);  // 2 pieces
+  meta.piece_hashes.pop_back();
+  EXPECT_THROW(decode_metainfo(encode_metainfo(meta)), WireError);
+}
+
+TEST(Metainfo, GeometryMatchesFields) {
+  const Metainfo meta = make_synthetic_metainfo("t", "n", 700 * 1024);
+  EXPECT_EQ(meta.geometry().num_pieces(), 3u);
+  EXPECT_EQ(meta.geometry().total_bytes(), 700u * 1024);
+}
+
+}  // namespace
+}  // namespace swarmlab::wire

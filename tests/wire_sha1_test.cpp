@@ -1,0 +1,78 @@
+// SHA-1 against the FIPS 180-1 / RFC 3174 test vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wire/sha1.h"
+
+namespace swarmlab::wire {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::hash("").hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::hash("abc").hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .hex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finish().hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64 bytes: padding goes into a second block.
+  const std::string msg(64, 'x');
+  EXPECT_EQ(Sha1::hash(msg).hex(), Sha1::hash(msg).hex());
+  EXPECT_NE(Sha1::hash(msg), Sha1::hash(std::string(63, 'x')));
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly and often.";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finish(), Sha1::hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha1, ResetReusesHasher) {
+  Sha1 h;
+  h.update("garbage");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finish().hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, DigestEqualityAndHex) {
+  const Sha1Digest a = Sha1::hash("x");
+  const Sha1Digest b = Sha1::hash("x");
+  const Sha1Digest c = Sha1::hash("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hex().size(), 40u);
+}
+
+TEST(Sha1, SpanOverloadMatchesStringOverload) {
+  const std::string msg = "span equivalence";
+  const auto bytes = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  EXPECT_EQ(Sha1::hash(bytes), Sha1::hash(msg));
+}
+
+}  // namespace
+}  // namespace swarmlab::wire

@@ -1,0 +1,129 @@
+// MessageStream: incremental peer-wire decoding across arbitrary chunk
+// boundaries.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "wire/message_stream.h"
+
+namespace swarmlab::wire {
+namespace {
+
+constexpr std::uint32_t kPieces = 12;
+
+std::vector<std::uint8_t> session_bytes(Handshake& hs_out) {
+  hs_out.info_hash = Sha1::hash("stream test torrent");
+  std::vector<std::uint8_t> bytes = encode_handshake(hs_out);
+  BitfieldMsg bf;
+  bf.bits.assign(kPieces, false);
+  bf.bits[3] = true;
+  for (const Message& m :
+       {Message{bf}, Message{InterestedMsg{}}, Message{UnchokeMsg{}},
+        Message{RequestMsg{3, 0, 16384}},
+        Message{PieceMsg{3, 0, std::vector<std::uint8_t>(100, 9)}},
+        Message{KeepAliveMsg{}}, Message{HaveMsg{5}}}) {
+    const auto enc = encode_message(m, kPieces);
+    bytes.insert(bytes.end(), enc.begin(), enc.end());
+  }
+  return bytes;
+}
+
+TEST(MessageStream, DecodesWholeSessionAtOnce) {
+  Handshake hs;
+  const auto bytes = session_bytes(hs);
+  MessageStream stream(kPieces);
+  const auto msgs = stream.feed(bytes);
+  ASSERT_TRUE(stream.handshake().has_value());
+  EXPECT_EQ(*stream.handshake(), hs);
+  ASSERT_EQ(msgs.size(), 7u);
+  EXPECT_TRUE(std::holds_alternative<BitfieldMsg>(msgs[0]));
+  EXPECT_TRUE(std::holds_alternative<HaveMsg>(msgs[6]));
+  EXPECT_EQ(stream.buffered_bytes(), 0u);
+  EXPECT_EQ(stream.messages_decoded(), 7u);
+}
+
+TEST(MessageStream, ByteAtATime) {
+  Handshake hs;
+  const auto bytes = session_bytes(hs);
+  MessageStream stream(kPieces);
+  std::size_t total = 0;
+  for (const std::uint8_t b : bytes) {
+    total += stream.feed(std::span<const std::uint8_t>(&b, 1)).size();
+  }
+  EXPECT_EQ(total, 7u);
+  EXPECT_TRUE(stream.handshake().has_value());
+  EXPECT_EQ(stream.buffered_bytes(), 0u);
+}
+
+TEST(MessageStream, RandomChunking) {
+  Handshake hs;
+  const auto bytes = session_bytes(hs);
+  for (const std::size_t chunk : {2u, 3u, 7u, 13u, 64u, 1000u}) {
+    MessageStream stream(kPieces);
+    std::size_t total = 0;
+    for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+      const std::size_t n = std::min(chunk, bytes.size() - at);
+      total += stream
+                   .feed(std::span<const std::uint8_t>(bytes.data() + at, n))
+                   .size();
+    }
+    EXPECT_EQ(total, 7u) << "chunk=" << chunk;
+  }
+}
+
+TEST(MessageStream, NoHandshakeMode) {
+  MessageStream stream(kPieces, /*expect_handshake=*/false);
+  const auto enc = encode_message(Message{HaveMsg{1}}, kPieces);
+  const auto msgs = stream.feed(enc);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_FALSE(stream.handshake().has_value());
+}
+
+TEST(MessageStream, PartialFrameIsBuffered) {
+  MessageStream stream(kPieces, /*expect_handshake=*/false);
+  const auto enc = encode_message(Message{RequestMsg{1, 0, 16384}}, kPieces);
+  const std::size_t half = enc.size() / 2;
+  EXPECT_TRUE(
+      stream.feed(std::span<const std::uint8_t>(enc.data(), half)).empty());
+  EXPECT_EQ(stream.buffered_bytes(), half);
+  const auto rest = stream.feed(std::span<const std::uint8_t>(
+      enc.data() + half, enc.size() - half));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(stream.buffered_bytes(), 0u);
+}
+
+TEST(MessageStream, MalformedInputPoisons) {
+  MessageStream stream(kPieces, /*expect_handshake=*/false);
+  const std::vector<std::uint8_t> bad{0, 0, 0, 1, 99};  // unknown id
+  EXPECT_THROW(stream.feed(bad), WireError);
+  EXPECT_TRUE(stream.poisoned());
+  const std::vector<std::uint8_t> good =
+      encode_message(Message{KeepAliveMsg{}});
+  EXPECT_THROW(stream.feed(good), WireError);
+}
+
+TEST(MessageStream, BadHandshakePoisons) {
+  MessageStream stream(kPieces);
+  std::vector<std::uint8_t> bytes(Handshake::kEncodedSize, 0);
+  EXPECT_THROW(stream.feed(bytes), WireError);
+  EXPECT_TRUE(stream.poisoned());
+}
+
+TEST(MessageStream, RandomGarbageNeverCrashes) {
+  // Fuzz-ish property: arbitrary bytes either decode or throw WireError;
+  // they never crash or loop.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    MessageStream stream(kPieces, /*expect_handshake=*/false);
+    std::vector<std::uint8_t> junk(1 + rng() % 200);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    try {
+      (void)stream.feed(junk);
+    } catch (const WireError&) {
+      // acceptable
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swarmlab::wire

@@ -1,0 +1,130 @@
+// Tracker HTTP codec tests (BEP 3 announce, BEP 23 compact peers).
+#include <gtest/gtest.h>
+
+#include "wire/messages.h"  // WireError
+#include "wire/tracker_codec.h"
+
+namespace swarmlab::wire {
+namespace {
+
+TEST(PercentEncode, UnreservedPassThrough) {
+  EXPECT_EQ(percent_encode("AZaz09-._~"), "AZaz09-._~");
+}
+
+TEST(PercentEncode, EncodesEverythingElse) {
+  EXPECT_EQ(percent_encode(" "), "%20");
+  EXPECT_EQ(percent_encode("/"), "%2F");
+  const char binary[] = {'\x00', '\xff', '\x10'};
+  EXPECT_EQ(percent_encode(std::string_view(binary, 3)), "%00%FF%10");
+}
+
+TEST(AnnounceUrl, ContainsAllParameters) {
+  AnnounceRequest req;
+  req.info_hash = Sha1::hash("some torrent");
+  req.peer_id.fill('A');
+  req.port = 6881;
+  req.uploaded = 100;
+  req.downloaded = 200;
+  req.left = 300;
+  req.event = TrackerEvent::kStarted;
+  const std::string url =
+      build_announce_url("http://tracker.example/announce", req);
+  EXPECT_EQ(url.find("http://tracker.example/announce?info_hash="), 0u);
+  EXPECT_NE(url.find("&peer_id=AAAAAAAAAAAAAAAAAAAA"), std::string::npos);
+  EXPECT_NE(url.find("&port=6881"), std::string::npos);
+  EXPECT_NE(url.find("&uploaded=100"), std::string::npos);
+  EXPECT_NE(url.find("&downloaded=200"), std::string::npos);
+  EXPECT_NE(url.find("&left=300"), std::string::npos);
+  EXPECT_NE(url.find("&numwant=50"), std::string::npos);
+  EXPECT_NE(url.find("&compact=1"), std::string::npos);
+  EXPECT_NE(url.find("&event=started"), std::string::npos);
+}
+
+TEST(AnnounceUrl, NoEventParamWhenNone) {
+  AnnounceRequest req;
+  req.event = TrackerEvent::kNone;
+  const std::string url = build_announce_url("http://t/a", req);
+  EXPECT_EQ(url.find("&event="), std::string::npos);
+}
+
+AnnounceResponse sample_response() {
+  AnnounceResponse resp;
+  resp.interval = 1800;
+  resp.complete = 3;
+  resp.incomplete = 17;
+  resp.peers.push_back({0xC0A80001u, 6881, std::nullopt});   // 192.168.0.1
+  resp.peers.push_back({0x0A000001u, 51413, std::nullopt});  // 10.0.0.1
+  return resp;
+}
+
+TEST(AnnounceResponse, CompactRoundTrip) {
+  const AnnounceResponse resp = sample_response();
+  const std::string encoded = encode_announce_response(resp, true);
+  EXPECT_EQ(decode_announce_response(encoded), resp);
+}
+
+TEST(AnnounceResponse, DictRoundTrip) {
+  AnnounceResponse resp = sample_response();
+  resp.peers[0].peer_id = "M4-0-2--aaaaaaaaaaaa";
+  const std::string encoded = encode_announce_response(resp, false);
+  const AnnounceResponse decoded = decode_announce_response(encoded);
+  EXPECT_EQ(decoded, resp);
+  EXPECT_EQ(decoded.peers[0].peer_id, "M4-0-2--aaaaaaaaaaaa");
+}
+
+TEST(AnnounceResponse, CompactEncodingIsSixBytesPerPeer) {
+  const std::string encoded =
+      encode_announce_response(sample_response(), true);
+  const BValue root = bdecode(encoded);
+  EXPECT_EQ(root.at("peers").as_string().size(), 12u);
+}
+
+TEST(AnnounceResponse, FailureReasonShortCircuits) {
+  AnnounceResponse resp;
+  resp.failure_reason = "torrent not registered";
+  const std::string encoded = encode_announce_response(resp, true);
+  const AnnounceResponse decoded = decode_announce_response(encoded);
+  ASSERT_TRUE(decoded.failure_reason.has_value());
+  EXPECT_EQ(*decoded.failure_reason, "torrent not registered");
+}
+
+TEST(AnnounceResponse, MalformedCompactPeersRejected) {
+  BValue::Dict root;
+  root.emplace("interval", BValue(1800));
+  root.emplace("peers", BValue(std::string("12345")));  // not 6-aligned
+  EXPECT_THROW(decode_announce_response(bencode(BValue(root))), WireError);
+}
+
+TEST(AnnounceResponse, MalformedIpRejected) {
+  BValue::Dict entry;
+  entry.emplace("ip", BValue("999.1.1.1"));
+  entry.emplace("port", BValue(1));
+  BValue::List peers;
+  peers.emplace_back(entry);
+  BValue::Dict root;
+  root.emplace("interval", BValue(1800));
+  root.emplace("peers", BValue(peers));
+  EXPECT_THROW(decode_announce_response(bencode(BValue(root))), WireError);
+
+  entry["ip"] = BValue("1.2.3");
+  peers.clear();
+  peers.emplace_back(entry);
+  root["peers"] = BValue(peers);
+  EXPECT_THROW(decode_announce_response(bencode(BValue(root))), WireError);
+}
+
+TEST(AnnounceResponse, MissingIntervalRejected) {
+  EXPECT_THROW(decode_announce_response("de"), BencodeError);
+}
+
+TEST(AnnounceResponse, PortBoundariesSurvive) {
+  AnnounceResponse resp;
+  resp.interval = 60;
+  resp.peers.push_back({0xFFFFFFFFu, 65535, std::nullopt});
+  resp.peers.push_back({0u, 1, std::nullopt});
+  EXPECT_EQ(decode_announce_response(encode_announce_response(resp, true)),
+            resp);
+}
+
+}  // namespace
+}  // namespace swarmlab::wire
