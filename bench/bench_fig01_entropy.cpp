@@ -6,17 +6,20 @@
 // Bottom graph: ratio c/d (c = time the remote is interested in the local
 // peer). The paper reports 20th percentile, median, 80th percentile per
 // torrent; ideal entropy puts all three at 1.
+//
+// Runs through the parallel BatchRunner (--jobs N / --json PATH); output
+// is identical for any worker count.
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace swarmlab;
-  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const auto opts = bench::parse_bench_options(argc, argv);
   const auto limits = bench::sweep_limits();
 
   std::printf("=== Fig. 1: entropy characterization ===\n");
   std::printf("seed=%llu  scale: max_peers=%u max_pieces=%u  "
               "residency filter=10s\n\n",
-              static_cast<unsigned long long>(seed), limits.max_peers,
+              static_cast<unsigned long long>(opts.seed), limits.max_peers,
               limits.max_pieces);
   std::printf("%3s %5s | %-28s | %-28s | %s\n", "ID", "n",
               "local->remote  p20  med  p80", "remote->local  p20  med  p80",
@@ -24,28 +27,50 @@ int main(int argc, char** argv) {
   std::printf("---------------------------------------------------------"
               "--------------------------------------\n");
 
+  const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
+  const auto results = bench::run_sweep(
+      "bench_fig01_entropy", opts, jobs, [](const runner::BatchJob& job) {
+        return runner::run_scenario_job(
+            job, 1000.0,
+            [&job](const swarm::ScenarioRunner& sr,
+                   const instrument::LocalPeerLog& log,
+                   runner::RunResult& res) {
+              const auto& cfg = sr.config();
+              const bool transient =
+                  !cfg.leechers_warm || cfg.initial_seeds == 0;
+              const auto entropy = instrument::analyze_entropy(log);
+              bench::appendf(
+                  res.text,
+                  "%3d %5zu |            %5.2f %5.2f %5.2f |            "
+                  "%5.2f %5.2f %5.2f | %s%s\n",
+                  job.id, entropy.local_interest_ratios.size(),
+                  entropy.p20_local, entropy.median_local, entropy.p80_local,
+                  entropy.p20_remote, entropy.median_remote,
+                  entropy.p80_remote, bench::bar(entropy.median_local).c_str(),
+                  transient ? "  (transient)" : "");
+              res.metrics["n"] = static_cast<unsigned long long>(
+                  entropy.local_interest_ratios.size());
+              res.metrics["p20_local"] = entropy.p20_local;
+              res.metrics["median_local"] = entropy.median_local;
+              res.metrics["p80_local"] = entropy.p80_local;
+              res.metrics["p20_remote"] = entropy.p20_remote;
+              res.metrics["median_remote"] = entropy.median_remote;
+              res.metrics["p80_remote"] = entropy.p80_remote;
+              res.metrics["transient"] = transient;
+            });
+      });
+
   double steady_medians = 0.0;
   int steady_count = 0;
   double transient_medians = 0.0;
   int transient_count = 0;
-
-  for (int id = 1; id <= 26; ++id) {
-    auto cfg = swarm::scenario_from_table1(id, limits);
-    const bool transient = !cfg.leechers_warm || cfg.initial_seeds == 0;
-    auto run = bench::run_scenario(std::move(cfg), seed + id, 1000.0);
-    const auto entropy = instrument::analyze_entropy(*run.log);
-    std::printf("%3d %5zu |            %5.2f %5.2f %5.2f |            "
-                "%5.2f %5.2f %5.2f | %s%s\n",
-                id, entropy.local_interest_ratios.size(), entropy.p20_local,
-                entropy.median_local, entropy.p80_local, entropy.p20_remote,
-                entropy.median_remote, entropy.p80_remote,
-                bench::bar(entropy.median_local).c_str(),
-                transient ? "  (transient)" : "");
-    if (transient) {
-      transient_medians += entropy.median_local;
+  for (const auto& res : results) {
+    const double median = res.metrics.find("median_local")->as_double();
+    if (res.metrics.find("transient")->as_bool()) {
+      transient_medians += median;
       ++transient_count;
     } else {
-      steady_medians += entropy.median_local;
+      steady_medians += median;
       ++steady_count;
     }
   }

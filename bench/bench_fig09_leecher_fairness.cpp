@@ -6,17 +6,20 @@
 // Paper shape: the black (top-5) set dominates both directions — the
 // choke algorithm fosters reciprocation — except for low-entropy
 // (transient) torrents, where a larger set of peers is served.
+//
+// Runs through the parallel BatchRunner (--jobs N / --json PATH); output
+// is identical for any worker count.
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace swarmlab;
-  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const auto opts = bench::parse_bench_options(argc, argv);
   const auto limits = bench::sweep_limits();
 
   std::printf("=== Fig. 9: choke-algorithm fairness, leecher state ===\n");
   std::printf("seed=%llu  scale: max_peers=%u max_pieces=%u  sets of 5 "
               "remote peers, best downloaders first\n\n",
-              static_cast<unsigned long long>(seed), limits.max_peers,
+              static_cast<unsigned long long>(opts.seed), limits.max_peers,
               limits.max_pieces);
   std::printf("%3s | %-35s | %-35s | %s\n", "ID",
               "upload share  s0   s1   s2   s3   s4",
@@ -24,25 +27,52 @@ int main(int argc, char** argv) {
   std::printf("-----------------------------------------------------------"
               "-----------------------------------------\n");
 
+  const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
+  const auto results = bench::run_sweep(
+      "bench_fig09_leecher_fairness", opts, jobs,
+      [](const runner::BatchJob& job) {
+        return runner::run_scenario_job(
+            job, 500.0,
+            [&job](const swarm::ScenarioRunner& sr,
+                   const instrument::LocalPeerLog& log,
+                   runner::RunResult& res) {
+              const auto& cfg = sr.config();
+              const bool transient =
+                  !cfg.leechers_warm || cfg.initial_seeds == 0;
+              const auto sets =
+                  instrument::analyze_leecher_fairness(log, 5, 6);
+              bench::appendf(res.text, "%3d |          ", job.id);
+              for (int s = 0; s < 5; ++s) {
+                bench::appendf(res.text, " %4.2f", sets.upload_fraction[s]);
+              }
+              bench::appendf(res.text, " |           ");
+              for (int s = 0; s < 5; ++s) {
+                bench::appendf(res.text, " %4.2f",
+                               sets.download_fraction[s]);
+              }
+              bench::appendf(res.text, " | %s%s\n",
+                             bench::bar(sets.upload_fraction[0]).c_str(),
+                             transient ? " (transient)" : "");
+              // Reciprocation: correlate upload and download shares.
+              const double corr = stats::pearson(sets.upload_fraction,
+                                                 sets.download_fraction);
+              auto upload = runner::json::Value::array();
+              auto download = runner::json::Value::array();
+              for (int s = 0; s < 5; ++s) {
+                upload.push_back(sets.upload_fraction[s]);
+                download.push_back(sets.download_fraction[s]);
+              }
+              res.metrics["upload_fraction"] = std::move(upload);
+              res.metrics["download_fraction"] = std::move(download);
+              res.metrics["pearson"] = corr;
+              res.metrics["transient"] = transient;
+            });
+      });
+
   double corr_sum = 0.0;
   int corr_n = 0;
-  for (int id = 1; id <= 26; ++id) {
-    auto cfg = swarm::scenario_from_table1(id, limits);
-    const bool transient = !cfg.leechers_warm || cfg.initial_seeds == 0;
-    auto run = bench::run_scenario(std::move(cfg), seed + id, 500.0);
-    const auto sets = instrument::analyze_leecher_fairness(*run.log, 5, 6);
-    std::printf("%3d |          ", id);
-    for (int s = 0; s < 5; ++s) {
-      std::printf(" %4.2f", sets.upload_fraction[s]);
-    }
-    std::printf(" |           ");
-    for (int s = 0; s < 5; ++s) {
-      std::printf(" %4.2f", sets.download_fraction[s]);
-    }
-    std::printf(" | %s%s\n", bench::bar(sets.upload_fraction[0]).c_str(),
-                transient ? " (transient)" : "");
-    // Reciprocation: correlate upload and download shares across sets.
-    corr_sum += stats::pearson(sets.upload_fraction, sets.download_fraction);
+  for (const auto& res : results) {
+    corr_sum += res.metrics.find("pearson")->as_double();
     ++corr_n;
   }
   std::printf("\npaper check — the same sets that receive the most bytes "

@@ -5,18 +5,21 @@
 // so the per-set shares are far more uniform than in leecher state —
 // except for torrents where fewer than ~10 peers ever downloaded from the
 // local seed.
+//
+// Runs through the parallel BatchRunner (--jobs N / --json PATH); output
+// is identical for any worker count.
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace swarmlab;
-  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const auto opts = bench::parse_bench_options(argc, argv);
   const auto limits = bench::sweep_limits();
 
   std::printf("=== Fig. 11: seed-state contribution per sets of 5 remote "
               "peers ===\n");
   std::printf("seed=%llu  scale: max_peers=%u max_pieces=%u  (new seed "
               "choke algorithm, mainline >= 4.0.0)\n\n",
-              static_cast<unsigned long long>(seed), limits.max_peers,
+              static_cast<unsigned long long>(opts.seed), limits.max_peers,
               limits.max_pieces);
   std::printf("%3s %6s | %-30s | %s\n", "ID", "peers",
               "upload share  s0   s1   s2   s3   s4",
@@ -24,30 +27,50 @@ int main(int argc, char** argv) {
   std::printf("-----------------------------------------------------------"
               "--------------\n");
 
+  const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
+  const auto results = bench::run_sweep(
+      "bench_fig11_seed_fairness", opts, jobs,
+      [](const runner::BatchJob& job) {
+        // Long seeding tail so the rotation serves many peers.
+        return runner::run_scenario_job(
+            job, 6000.0,
+            [&job](const swarm::ScenarioRunner&,
+                   const instrument::LocalPeerLog& log,
+                   runner::RunResult& res) {
+              const auto sets = instrument::analyze_seed_fairness(log, 5, 6);
+              std::size_t served = 0;
+              std::vector<double> per_peer;
+              for (const auto& [pid, r] : log.records()) {
+                if (r.up_bytes_seed > 0) {
+                  ++served;
+                  per_peer.push_back(static_cast<double>(r.up_bytes_seed));
+                }
+              }
+              const double g = stats::gini(per_peer);
+              bench::appendf(res.text, "%3d %6zu |          ", job.id,
+                             served);
+              for (int s = 0; s < 5; ++s) {
+                bench::appendf(res.text, " %4.2f", sets.upload_fraction[s]);
+              }
+              bench::appendf(res.text, " | gini=%.2f %s\n", g,
+                             bench::bar(sets.upload_fraction[0]).c_str());
+              auto upload = runner::json::Value::array();
+              for (int s = 0; s < 5; ++s) {
+                upload.push_back(sets.upload_fraction[s]);
+              }
+              res.metrics["served"] =
+                  static_cast<unsigned long long>(served);
+              res.metrics["upload_fraction"] = std::move(upload);
+              res.metrics["gini"] = g;
+            });
+      });
+
   double top_share_sum = 0.0;
   int counted = 0;
-  for (int id = 1; id <= 26; ++id) {
-    auto cfg = swarm::scenario_from_table1(id, limits);
-    // Long seeding tail so the rotation serves many peers.
-    auto run = bench::run_scenario(std::move(cfg), seed + id, 6000.0);
-    const auto sets = instrument::analyze_seed_fairness(*run.log, 5, 6);
-    std::size_t served = 0;
-    std::vector<double> per_peer;
-    for (const auto& [pid, r] : run.log->records()) {
-      if (r.up_bytes_seed > 0) {
-        ++served;
-        per_peer.push_back(static_cast<double>(r.up_bytes_seed));
-      }
-    }
-    const double g = stats::gini(per_peer);
-    std::printf("%3d %6zu |          ", id, served);
-    for (int s = 0; s < 5; ++s) {
-      std::printf(" %4.2f", sets.upload_fraction[s]);
-    }
-    std::printf(" | gini=%.2f %s\n", g,
-                bench::bar(sets.upload_fraction[0]).c_str());
-    if (served >= 10) {
-      top_share_sum += sets.upload_fraction[0];
+  for (const auto& res : results) {
+    if (res.metrics.find("served")->as_uint64() >= 10) {
+      top_share_sum +=
+          res.metrics.find("upload_fraction")->at(0).as_double();
       ++counted;
     }
   }

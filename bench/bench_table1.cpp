@@ -4,16 +4,20 @@
 // alongside the scaled scenario actually simulated and the observed
 // maximum peer set size of the local peer in leecher state (column 5 of
 // the paper's table is an observed quantity).
+//
+// Runs the 26 torrents through the parallel BatchRunner; pass --jobs N
+// to use N workers (output and JSON results are identical for any N)
+// and --json PATH for the machine-readable report.
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace swarmlab;
-  const std::uint64_t seed = bench::bench_seed(argc, argv);
+  const auto opts = bench::parse_bench_options(argc, argv);
   const auto limits = bench::sweep_limits();
 
   std::printf("=== Table I: torrent characteristics (paper vs scaled) ===\n");
   std::printf("seed=%llu  scale: max_peers=%u max_pieces=%u\n\n",
-              static_cast<unsigned long long>(seed), limits.max_peers,
+              static_cast<unsigned long long>(opts.seed), limits.max_peers,
               limits.max_pieces);
   std::printf("%3s | %7s %7s %8s %7s | %5s %5s %6s %7s | %6s\n", "ID",
               "S(pap)", "L(pap)", "S/L", "MB", "S(sim)", "L(sim)", "pieces",
@@ -21,24 +25,43 @@ int main(int argc, char** argv) {
   std::printf("-----------------------------------------------------------"
               "--------------------\n");
 
-  for (int id = 1; id <= 26; ++id) {
-    const auto& spec =
-        swarm::table1_torrents()[static_cast<std::size_t>(id - 1)];
-    auto cfg = swarm::scenario_from_table1(id, limits);
-    const double sim_mb = static_cast<double>(cfg.num_pieces) *
-                          cfg.piece_size / (1024.0 * 1024.0);
-    const std::uint32_t sim_seeds = cfg.initial_seeds;
-    const std::uint32_t sim_leechers = cfg.initial_leechers;
-    auto run = bench::run_scenario(std::move(cfg), seed + id, 500.0);
-    const double ratio =
-        spec.leechers > 0
-            ? static_cast<double>(spec.seeds) / spec.leechers
-            : 0.0;
-    std::printf("%3d | %7u %7u %8.5f %7u | %5u %5u %6u %7.0f | %6zu\n", id,
-                spec.seeds, spec.leechers, ratio, spec.size_mb, sim_seeds,
-                sim_leechers, run.runner->config().num_pieces, sim_mb,
-                run.runner->local_peer().max_peer_set_leecher());
-  }
+  const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
+  bench::run_sweep(
+      "bench_table1", opts, jobs, [](const runner::BatchJob& job) {
+        return runner::run_scenario_job(
+            job, 500.0,
+            [&job](const swarm::ScenarioRunner& sr,
+                   const instrument::LocalPeerLog&, runner::RunResult& res) {
+              const auto& spec = swarm::table1_torrents()
+                  [static_cast<std::size_t>(job.id - 1)];
+              const auto& cfg = sr.config();
+              const double sim_mb = static_cast<double>(cfg.num_pieces) *
+                                    cfg.piece_size / (1024.0 * 1024.0);
+              const double ratio =
+                  spec.leechers > 0
+                      ? static_cast<double>(spec.seeds) / spec.leechers
+                      : 0.0;
+              const std::size_t max_ps =
+                  sr.local_peer().max_peer_set_leecher();
+              bench::appendf(res.text,
+                             "%3d | %7u %7u %8.5f %7u | %5u %5u %6u %7.0f "
+                             "| %6zu\n",
+                             job.id, spec.seeds, spec.leechers, ratio,
+                             spec.size_mb, cfg.initial_seeds,
+                             cfg.initial_leechers, cfg.num_pieces, sim_mb,
+                             max_ps);
+              res.metrics["paper_seeds"] = spec.seeds;
+              res.metrics["paper_leechers"] = spec.leechers;
+              res.metrics["paper_size_mb"] = spec.size_mb;
+              res.metrics["sim_seeds"] = cfg.initial_seeds;
+              res.metrics["sim_leechers"] = cfg.initial_leechers;
+              res.metrics["sim_pieces"] = cfg.num_pieces;
+              res.metrics["sim_mb"] = sim_mb;
+              res.metrics["max_peer_set_leecher"] =
+                  static_cast<unsigned long long>(max_ps);
+            });
+      });
+
   std::printf("\nMaxPS = observed maximum peer set size of the local peer "
               "in leecher state\n(caps at the mainline default of 80; "
               "smaller torrents saturate below it, as in the paper).\n");

@@ -2,22 +2,120 @@
 // table/figure; see DESIGN.md §3).
 #pragma once
 
+#include <cerrno>
+#include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "swarmlab/swarmlab.h"
 
 namespace swarmlab::bench {
 
+/// Strict decimal uint64 parse: the whole token must be digits (no sign,
+/// no trailing junk) and fit in 64 bits.
+inline bool parse_u64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Usage message shared by every bench binary.
+[[noreturn]] inline void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [SEED] [--seed N] [--jobs N] [--json PATH]\n"
+               "  SEED / --seed N  master RNG seed (decimal; default "
+               "20061025)\n"
+               "  --jobs N         worker threads (26-torrent sweep benches "
+               "only, default 1);\n"
+               "                   results are identical for any N\n"
+               "  --json PATH      write the machine-readable batch report "
+               "(sweep benches only)\n",
+               argv0);
+  std::exit(2);
+}
+
 /// Seed used by every bench unless overridden with argv[1]; printed so a
-/// run can be reproduced exactly.
+/// run can be reproduced exactly. Non-numeric input is rejected with the
+/// shared usage message instead of silently parsing to 0.
 inline std::uint64_t bench_seed(int argc, char** argv,
                                 std::uint64_t fallback = 20061025) {
   // Default commemorates the paper's IMC 2006 presentation date.
-  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : fallback;
+  if (argc <= 1) return fallback;
+  std::uint64_t seed = 0;
+  if (!parse_u64(argv[1], &seed)) {
+    std::fprintf(stderr, "%s: invalid seed '%s'\n", argv[0], argv[1]);
+    usage(argv[0]);
+  }
+  return seed;
+}
+
+/// Options shared by the sweep benches: master seed (positional for
+/// backwards compatibility or --seed), worker count, JSON report path.
+struct BenchOptions {
+  std::uint64_t seed = 20061025;
+  int jobs = 1;
+  std::string json_path;
+};
+
+inline BenchOptions parse_bench_options(int argc, char** argv,
+                                        std::uint64_t fallback = 20061025) {
+  BenchOptions opts;
+  opts.seed = fallback;
+  const auto next = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) usage(argv[0]);
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t v = 0;
+    if (arg == "--seed") {
+      if (!parse_u64(next(&i), &opts.seed)) usage(argv[0]);
+    } else if (arg == "--jobs") {
+      if (!parse_u64(next(&i), &v) || v == 0 || v > 512) usage(argv[0]);
+      opts.jobs = static_cast<int>(v);
+    } else if (arg == "--json") {
+      opts.json_path = next(&i);
+    } else if (i == 1 && parse_u64(argv[1], &v)) {
+      opts.seed = v;  // historical positional seed
+    } else {
+      std::fprintf(stderr, "%s: invalid argument '%s'\n", argv[0],
+                   arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  return opts;
+}
+
+/// printf-appends to a std::string (for building RunResult::text rows
+/// that are byte-identical to what printf would have emitted).
+inline void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+inline void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (n > 0) {
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + old, static_cast<std::size_t>(n) + 1, fmt,
+                   args);
+    out.resize(old + static_cast<std::size_t>(n));
+  }
+  va_end(args);
 }
 
 /// Scale used by the 26-torrent sweep benches (Figs. 1, 9, 11; Table I):
@@ -70,6 +168,50 @@ inline ScenarioRun run_scenario(swarm::ScenarioConfig cfg,
   run.end_time = run.runner->run_until_local_complete(extra_after);
   run.log->finalize(run.end_time);
   return run;
+}
+
+/// The Table-I job list with the benches' historical per-torrent seed
+/// derivation (`seed + id`), so default single-threaded output matches
+/// the pre-batch binaries byte for byte.
+inline std::vector<runner::BatchJob> table1_bench_jobs(
+    std::uint64_t seed, const swarm::ScaleLimits& limits) {
+  std::vector<runner::BatchJob> jobs;
+  jobs.reserve(26);
+  for (int id = 1; id <= 26; ++id) {
+    runner::BatchJob job;
+    job.id = id;
+    job.config = swarm::scenario_from_table1(id, limits);
+    job.name = job.config.name;
+    job.seed = seed + static_cast<std::uint64_t>(id);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Runs a sweep through the BatchRunner: rows stream to stdout in
+/// submission order (so output is identical for any --jobs value) and
+/// the aggregate JSON report is written when --json was given.
+inline std::vector<runner::RunResult> run_sweep(
+    const char* tool, const BenchOptions& opts,
+    const std::vector<runner::BatchJob>& jobs, const runner::JobFn& fn) {
+  runner::BatchOptions bopts;
+  bopts.jobs = opts.jobs;
+  bopts.master_seed = opts.seed;
+  runner::BatchRunner batch(bopts);
+  auto results = batch.run(jobs, fn, [](const runner::RunResult& r) {
+    std::fputs(r.text.c_str(), stdout);
+    std::fflush(stdout);
+  });
+  if (!opts.json_path.empty()) {
+    const auto report =
+        runner::make_report(tool, bopts, results, batch.wall_seconds());
+    std::string error;
+    if (!runner::write_report(opts.json_path, report, &error)) {
+      std::fprintf(stderr, "%s: %s\n", tool, error.c_str());
+      std::exit(1);
+    }
+  }
+  return results;
 }
 
 /// Renders a 0..1 value as a small ASCII bar (for figure-like output).

@@ -1,0 +1,244 @@
+#include "runner/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+#include "peer/peer.h"
+#include "sim/rng.h"
+
+#ifndef SWARMLAB_GIT_DESCRIBE
+#define SWARMLAB_GIT_DESCRIBE "unknown"
+#endif
+
+namespace swarmlab::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+RunResult guarded(const JobFn& fn, const BatchJob& job) {
+  try {
+    return fn(job);
+  } catch (const std::exception& e) {
+    RunResult r;
+    r.id = job.id;
+    r.name = job.name;
+    r.seed = job.seed;
+    r.error = e.what();
+    return r;
+  } catch (...) {
+    RunResult r;
+    r.id = job.id;
+    r.name = job.name;
+    r.seed = job.seed;
+    r.error = "unknown exception";
+    return r;
+  }
+}
+
+}  // namespace
+
+std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
+                                        const JobFn& fn,
+                                        const ResultFn& on_result) {
+  const auto start = Clock::now();
+  const std::size_t n = jobs.size();
+  std::vector<RunResult> results(n);
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          n, static_cast<std::size_t>(opts_.jobs > 1 ? opts_.jobs : 1)));
+  if (workers <= 1) {
+    // Inline path: identical semantics (results stream in submission
+    // order), no thread machinery.
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = guarded(fn, jobs[i]);
+      if (on_result) on_result(results[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::vector<char> done(n, 0);
+
+    const auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        RunResult r = guarded(fn, jobs[i]);
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          results[i] = std::move(r);
+          done[i] = 1;
+        }
+        done_cv.notify_one();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+
+    // The calling thread merges: it emits each result as soon as every
+    // earlier one has been emitted, so downstream consumers see
+    // submission order regardless of completion order.
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      for (std::size_t emit = 0; emit < n; ++emit) {
+        done_cv.wait(lock, [&] { return done[emit] != 0; });
+        if (on_result) {
+          lock.unlock();
+          on_result(results[emit]);
+          lock.lock();
+        }
+      }
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  wall_seconds_ = seconds_since(start);
+  for (const auto& r : results) {
+    if (!r.error.empty()) {
+      throw std::runtime_error("batch job " + std::to_string(r.id) +
+                               " failed: " + r.error);
+    }
+  }
+  return results;
+}
+
+RunResult run_scenario_job(const BatchJob& job, double extra_after,
+                           const AnalyzeFn& analyze) {
+  RunResult res;
+  res.id = job.id;
+  res.name = job.name;
+  res.seed = job.seed;
+
+  const auto t0 = Clock::now();
+  instrument::LocalPeerLog log(job.config.num_pieces);
+  swarm::ScenarioRunner runner(job.config, job.seed, &log);
+  const auto t1 = Clock::now();
+
+  res.end_time = runner.run_until_local_complete(extra_after);
+  log.finalize(res.end_time);
+  const auto t2 = Clock::now();
+
+  res.local_completion =
+      log.local_is_seed() ? runner.local_peer().completion_time() : -1.0;
+  res.events_executed = runner.simulation().events_executed();
+  if (analyze) analyze(runner, log, res);
+  if (res.metrics.is_null()) res.metrics = json::Value::object();
+
+  res.setup_seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.sim_seconds = std::chrono::duration<double>(t2 - t1).count();
+  res.analyze_seconds = seconds_since(t2);
+  return res;
+}
+
+std::vector<BatchJob> table1_jobs(std::uint64_t master,
+                                  const swarm::ScaleLimits& limits) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(26);
+  for (int id = 1; id <= 26; ++id) {
+    BatchJob job;
+    job.id = id;
+    job.config = swarm::scenario_from_table1(id, limits);
+    job.name = job.config.name;
+    job.seed = sim::fork_seed(master, static_cast<std::uint64_t>(id));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+json::Value make_report(const std::string& tool, const BatchOptions& opts,
+                        const std::vector<RunResult>& results,
+                        double wall_seconds) {
+  json::Value report = json::Value::object();
+  report["schema"] = kReportSchema;
+  report["tool"] = tool;
+  report["git"] = SWARMLAB_GIT_DESCRIBE;
+  report["master_seed"] = opts.master_seed;
+  report["scenarios"] = static_cast<unsigned long long>(results.size());
+
+  json::Value host = json::Value::object();
+#if defined(__unix__) || defined(__APPLE__)
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    host["sysname"] = uts.sysname;
+    host["release"] = uts.release;
+    host["machine"] = uts.machine;
+  }
+#endif
+  host["hardware_threads"] = std::thread::hardware_concurrency();
+  report["host"] = std::move(host);
+  report["jobs"] = opts.jobs;
+  report["wall_seconds"] = wall_seconds;
+
+  json::Value arr = json::Value::array();
+  for (const auto& r : results) {
+    json::Value entry = json::Value::object();
+    entry["id"] = r.id;
+    entry["name"] = r.name;
+    entry["seed"] = r.seed;
+    entry["end_time"] = r.end_time;
+    entry["local_completion"] = r.local_completion;
+    entry["events"] = r.events_executed;
+    entry["metrics"] = r.metrics;
+    json::Value wall = json::Value::object();
+    wall["setup"] = r.setup_seconds;
+    wall["sim"] = r.sim_seconds;
+    wall["analyze"] = r.analyze_seconds;
+    entry["wall"] = std::move(wall);
+    arr.push_back(std::move(entry));
+  }
+  report["results"] = std::move(arr);
+  return report;
+}
+
+json::Value deterministic_view(const json::Value& report) {
+  json::Value core = report;
+  core.erase("host");
+  core.erase("jobs");
+  core.erase("wall_seconds");
+  if (const json::Value* results = core.find("results")) {
+    json::Value stripped = json::Value::array();
+    for (const auto& entry : results->items()) {
+      json::Value e = entry;
+      e.erase("wall");
+      stripped.push_back(std::move(e));
+    }
+    core["results"] = std::move(stripped);
+  }
+  return core;
+}
+
+bool write_report(const std::string& path, const json::Value& report,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << dump(report, 2) << '\n';
+  if (!out) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace swarmlab::runner

@@ -1,0 +1,130 @@
+// BatchRunner: executes a set of independent (ScenarioConfig, seed) jobs
+// across a std::thread worker pool and merges the results in submission
+// order, so output is bit-identical regardless of worker count.
+//
+// Determinism contract (see docs/batch_runner.md):
+//  - every job owns its Simulation/Swarm/Rng, seeded only from the job's
+//    own seed (fork per-job seeds from a master with sim::fork_seed);
+//  - the job function must not touch shared mutable state or the
+//    terminal — it returns preformatted text and metrics instead;
+//  - results (and the on_result callback, which runs on the calling
+//    thread) are delivered in submission order, never completion order.
+// Under those rules the RunResult sequence — and therefore stdout and the
+// deterministic sections of the JSON report — is a pure function of
+// (jobs, master seed). Only wall-clock timings and host info vary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "instrument/local_log.h"
+#include "runner/json.h"
+#include "swarm/scenario.h"
+
+namespace swarmlab::runner {
+
+/// One unit of work: an independent scenario run under its own seed.
+struct BatchJob {
+  int id = 0;          ///< caller-meaningful id (e.g. Table-I row 1-26)
+  std::string name;    ///< scenario label for the report
+  swarm::ScenarioConfig config;
+  std::uint64_t seed = 0;
+};
+
+/// What one job produced. `text` carries the job's preformatted
+/// per-scenario stdout (printed by the caller in submission order);
+/// `metrics` is the machine-readable summary embedded in the JSON report.
+struct RunResult {
+  int id = 0;
+  std::string name;
+  std::uint64_t seed = 0;
+
+  // --- deterministic simulation outcomes -----------------------------------
+  double end_time = 0.0;           ///< simulated stop time (seconds)
+  double local_completion = -1.0;  ///< local-peer completion; -1 if never
+  std::uint64_t events_executed = 0;
+  json::Value metrics;             ///< bench-specific summary (object)
+  std::string text;                ///< preformatted row(s) for stdout
+
+  // --- non-deterministic per-phase wall clock (seconds) --------------------
+  double setup_seconds = 0.0;    ///< scenario/peer construction
+  double sim_seconds = 0.0;      ///< event-loop execution
+  double analyze_seconds = 0.0;  ///< post-run analyzers + formatting
+
+  std::string error;  ///< non-empty if the job threw
+};
+
+struct BatchOptions {
+  int jobs = 1;                  ///< worker threads (1 = run inline)
+  std::uint64_t master_seed = 0; ///< recorded in the report
+};
+
+using JobFn = std::function<RunResult(const BatchJob&)>;
+using ResultFn = std::function<void(const RunResult&)>;
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions opts) : opts_(opts) {}
+
+  /// Runs every job across the worker pool. `on_result` (optional) fires
+  /// on the calling thread in submission order, as early as ordering
+  /// allows — with one worker this streams exactly like a sequential
+  /// loop. Throws std::runtime_error if any job threw; the returned
+  /// vector is always indexed like `jobs`.
+  std::vector<RunResult> run(const std::vector<BatchJob>& jobs,
+                             const JobFn& fn,
+                             const ResultFn& on_result = nullptr);
+
+  [[nodiscard]] const BatchOptions& options() const { return opts_; }
+  /// Wall-clock duration of the last run() call.
+  [[nodiscard]] double wall_seconds() const { return wall_seconds_; }
+
+ private:
+  BatchOptions opts_;
+  double wall_seconds_ = 0.0;
+};
+
+/// Phase-timing analyzer hook: inspect the finished run and fill
+/// `result.metrics` / `result.text`.
+using AnalyzeFn = std::function<void(const swarm::ScenarioRunner& runner,
+                                     const instrument::LocalPeerLog& log,
+                                     RunResult& result)>;
+
+/// Canonical job function: runs `job.config` under `job.seed` with an
+/// instrumented local peer until the local peer completes (plus
+/// `extra_after` simulated seconds), then invokes `analyze` (if any) and
+/// fills the standard RunResult fields including per-phase wall clock.
+RunResult run_scenario_job(const BatchJob& job, double extra_after = 2500.0,
+                           const AnalyzeFn& analyze = nullptr);
+
+/// The 26-torrent Table-I job list with per-job seeds forked from
+/// `master` via sim::fork_seed(master, id).
+std::vector<BatchJob> table1_jobs(std::uint64_t master,
+                                  const swarm::ScaleLimits& limits);
+
+// --- report assembly ---------------------------------------------------------
+
+/// Current report schema identifier (bump on breaking layout changes).
+inline constexpr const char* kReportSchema = "swarmlab.batch/1";
+
+/// Assembles the aggregate report: schema version, tool name, git
+/// describe (baked in at build time), host info, master seed, worker
+/// count, total wall clock, and one entry per result. All
+/// non-deterministic fields live under the "host", "jobs",
+/// "wall_seconds" and per-result "wall" keys; everything else is
+/// byte-identical across worker counts.
+json::Value make_report(const std::string& tool, const BatchOptions& opts,
+                        const std::vector<RunResult>& results,
+                        double wall_seconds);
+
+/// Returns `report` with every non-deterministic field removed — the
+/// byte-comparable core used by determinism checks.
+json::Value deterministic_view(const json::Value& report);
+
+/// Writes `report` to `path` (pretty-printed, trailing newline).
+bool write_report(const std::string& path, const json::Value& report,
+                  std::string* error = nullptr);
+
+}  // namespace swarmlab::runner

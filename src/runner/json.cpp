@@ -1,0 +1,473 @@
+#include "runner/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <system_error>
+
+namespace swarmlab::runner::json {
+
+std::int64_t Value::as_int64() const {
+  switch (kind_) {
+    case Kind::kInt: return int_;
+    case Kind::kUint: return static_cast<std::int64_t>(uint_);
+    case Kind::kDouble: return static_cast<std::int64_t>(double_);
+    default: return 0;
+  }
+}
+
+std::uint64_t Value::as_uint64() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<std::uint64_t>(int_);
+    case Kind::kUint: return uint_;
+    case Kind::kDouble: return static_cast<std::uint64_t>(double_);
+    default: return 0;
+  }
+}
+
+double Value::as_double() const {
+  switch (kind_) {
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kUint: return static_cast<double>(uint_);
+    case Kind::kDouble: return double_;
+    default: return 0.0;
+  }
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+void Value::push_back(Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  assert(kind_ == Kind::kArray);
+  array_.push_back(std::move(v));
+}
+
+Value& Value::operator[](std::string_view key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  assert(kind_ == Kind::kObject);
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(std::string(key), Value());
+  return object_.back().second;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Value::erase(std::string_view key) {
+  if (kind_ != Kind::kObject) return false;
+  for (auto it = object_.begin(); it != object_.end(); ++it) {
+    if (it->first == key) {
+      object_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    // Compare numerically so parse(dump(x)) == x even when an integral
+    // double re-parses as an integer.
+    if (a.kind_ == Value::Kind::kDouble || b.kind_ == Value::Kind::kDouble) {
+      return a.as_double() == b.as_double();
+    }
+    if (a.kind_ == Value::Kind::kUint || b.kind_ == Value::Kind::kUint) {
+      if (a.kind_ == Value::Kind::kInt && a.int_ < 0) return false;
+      if (b.kind_ == Value::Kind::kInt && b.int_ < 0) return false;
+      return a.as_uint64() == b.as_uint64();
+    }
+    return a.int_ == b.int_;
+  }
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::kNull: return true;
+    case Value::Kind::kBool: return a.bool_ == b.bool_;
+    case Value::Kind::kString: return a.string_ == b.string_;
+    case Value::Kind::kArray: return a.array_ == b.array_;
+    case Value::Kind::kObject: return a.object_ == b.object_;
+    default: return false;  // numbers handled above
+  }
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest round-trip representation, locale-independent — the
+  // foundation of the byte-stable output guarantee.
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void dump_to(const Value& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kInt: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, v.as_int64());
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Value::Kind::kUint: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, v.as_uint64());
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Value::Kind::kDouble:
+      append_double(out, v.as_double());
+      break;
+    case Value::Kind::kString:
+      append_quoted(out, v.as_string());
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        dump_to(item, out, indent, depth + 1);
+      }
+      if (!first) newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        newline_pad(depth + 1);
+        append_quoted(out, key);
+        out += pretty ? ": " : ":";
+        dump_to(member, out, indent, depth + 1);
+      }
+      if (!first) newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+// --- parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool run(Value* out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      if (error) *error = fail_.empty() ? "malformed JSON" : fail_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error) *error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (fail_.empty()) {
+      fail_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value* out) {
+    if (depth_ > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't':
+        if (!expect_literal("true")) return false;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (!expect_literal("false")) return false;
+        *out = Value(false);
+        return true;
+      case 'n':
+        if (!expect_literal("null")) return false;
+        *out = Value();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value* out) {
+    ++pos_;  // '{'
+    ++depth_;
+    *out = Value::object();
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      Value member;
+      if (!parse_value(&member)) return false;
+      (*out)[key] = std::move(member);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    --depth_;
+    return true;
+  }
+
+  bool parse_array(Value* out) {
+    ++pos_;  // '['
+    ++depth_;
+    *out = Value::array();
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value item;
+      if (!parse_value(&item)) return false;
+      out->push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    --depth_;
+    return true;
+  }
+
+  bool parse_string_value(Value* out) {
+    std::string s;
+    if (!parse_string(&s)) return false;
+    *out = Value(std::move(s));
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (at_end()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("invalid \\u escape");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  static void append_utf8(std::string* out, unsigned code) {
+    // BMP only; surrogate pairs are beyond what reports need.
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return fail("invalid number");
+    const char* first = tok.data();
+    const char* last = tok.data() + tok.size();
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto res = std::from_chars(first, last, i);
+        if (res.ec == std::errc() && res.ptr == last) {
+          *out = Value(static_cast<long long>(i));
+          return true;
+        }
+      } else {
+        std::uint64_t u = 0;
+        const auto res = std::from_chars(first, last, u);
+        if (res.ec == std::errc() && res.ptr == last) {
+          if (u <= static_cast<std::uint64_t>(
+                       std::numeric_limits<std::int64_t>::max())) {
+            *out = Value(static_cast<long long>(u));
+          } else {
+            *out = Value(static_cast<unsigned long long>(u));
+          }
+          return true;
+        }
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(first, last, d);
+    if (res.ec != std::errc() || res.ptr != last) return fail("invalid number");
+    *out = Value(d);
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 200;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string fail_;
+};
+
+}  // namespace
+
+std::string dump(const Value& v, int indent) {
+  std::string out;
+  dump_to(v, out, indent, 0);
+  return out;
+}
+
+bool parse(std::string_view text, Value* out, std::string* error) {
+  return Parser(text).run(out, error);
+}
+
+}  // namespace swarmlab::runner::json

@@ -1,0 +1,123 @@
+// Minimal dependency-free JSON model, writer and parser for the batch
+// runner's machine-readable reports.
+//
+// Design constraints (see docs/batch_runner.md):
+//  - Deterministic, byte-stable output: objects keep insertion order and
+//    numbers are rendered with std::to_chars (shortest round-trip form,
+//    locale-independent), so two runs that produce equal Values produce
+//    equal bytes. This is what lets CI diff reports across worker counts.
+//  - No external dependencies; the parser exists so tests (and tools) can
+//    round-trip reports, not to be a general-purpose validator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swarmlab::runner::json {
+
+/// A JSON value: null, bool, integer (signed/unsigned), double, string,
+/// array, or object (insertion-ordered key/value members).
+class Value {
+ public:
+  enum class Kind {
+    kNull,
+    kBool,
+    kInt,     ///< stored as int64
+    kUint,    ///< stored as uint64 (only used when > INT64_MAX territory)
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Value(int v) : kind_(Kind::kInt), int_(v) {}  // NOLINT
+  Value(long v) : kind_(Kind::kInt), int_(v) {}  // NOLINT
+  Value(long long v) : kind_(Kind::kInt), int_(v) {}  // NOLINT
+  Value(unsigned v) : kind_(Kind::kUint), uint_(v) {}  // NOLINT
+  Value(unsigned long v) : kind_(Kind::kUint), uint_(v) {}  // NOLINT
+  Value(unsigned long long v) : kind_(Kind::kUint), uint_(v) {}  // NOLINT
+  Value(double v) : kind_(Kind::kDouble), double_(v) {}  // NOLINT
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  Value(std::string_view s) : kind_(Kind::kString), string_(s) {}  // NOLINT
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}  // NOLINT
+
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  /// Numeric value as double (coerces integers).
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  // --- array interface ------------------------------------------------------
+  [[nodiscard]] std::size_t size() const;
+  void push_back(Value v);
+  [[nodiscard]] const std::vector<Value>& items() const { return array_; }
+  [[nodiscard]] const Value& at(std::size_t i) const { return array_[i]; }
+
+  // --- object interface -----------------------------------------------------
+  /// Inserts (or finds) `key`, turning a null value into an object.
+  /// Insertion order is preserved in the serialized output.
+  Value& operator[](std::string_view key);
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<Member>& members() const { return object_; }
+  /// Removes a member if present; returns true when something was removed.
+  bool erase(std::string_view key);
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<Member> object_;
+};
+
+/// Serializes `v`. `indent` < 0 produces compact one-line output; >= 0
+/// pretty-prints with that many spaces per level. Output is byte-stable:
+/// equal Values always serialize to equal strings.
+[[nodiscard]] std::string dump(const Value& v, int indent = -1);
+
+/// Appends a JSON-escaped, quoted copy of `s` to `out`.
+void append_quoted(std::string& out, std::string_view s);
+
+/// Parses `text` into `*out`. Returns false (with a human-readable
+/// message in `*error` if given) on malformed input or trailing garbage.
+bool parse(std::string_view text, Value* out, std::string* error = nullptr);
+
+}  // namespace swarmlab::runner::json

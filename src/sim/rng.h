@@ -15,6 +15,19 @@
 
 namespace swarmlab::sim {
 
+/// Derives an independent per-stream seed from a master seed (SplitMix64
+/// over the (master, stream) pair). Batch runs give every job the stream
+/// seed `fork_seed(master, job_index)` so each job's Rng is fully
+/// determined by (master, index) — independent of thread count, scheduling
+/// or completion order — while distinct streams stay statistically
+/// uncorrelated even for adjacent master seeds.
+inline std::uint64_t fork_seed(std::uint64_t master, std::uint64_t stream) {
+  std::uint64_t z = master + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// Seeded pseudo-random source with the distribution helpers the
 /// simulator needs. Copyable (copies fork the stream state).
 class Rng {

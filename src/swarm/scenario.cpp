@@ -156,6 +156,12 @@ peer::Peer& ScenarioRunner::local_peer() {
   return *p;
 }
 
+const peer::Peer& ScenarioRunner::local_peer() const {
+  const peer::Peer* p = swarm_->find_peer(local_id_);
+  assert(p != nullptr);
+  return *p;
+}
+
 void ScenarioRunner::spawn_initial_population() {
   // Initial seeds.
   for (std::uint32_t i = 0; i < cfg_.initial_seeds; ++i) {

@@ -136,10 +136,13 @@ class ScenarioRunner {
   ScenarioRunner& operator=(const ScenarioRunner&) = delete;
 
   [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
+  [[nodiscard]] const sim::Simulation& simulation() const { return *sim_; }
   [[nodiscard]] Swarm& swarm() { return *swarm_; }
+  [[nodiscard]] const Swarm& swarm() const { return *swarm_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] peer::PeerId local_peer_id() const { return local_id_; }
   [[nodiscard]] peer::Peer& local_peer();
+  [[nodiscard]] const peer::Peer& local_peer() const;
   /// Peers spawned as initial seeds (empty for zero-seed scenarios).
   [[nodiscard]] const std::vector<peer::PeerId>& initial_seed_ids() const {
     return initial_seed_ids_;

@@ -24,6 +24,8 @@
 #include "stats/percentile.h"
 #include "viz/svg_plot.h"           // SVG figure rendering
 #include "model/fluid_model.h"    // Qiu-Srikant analytical baseline
+#include "runner/batch_runner.h"  // parallel batch scenario runner
+#include "runner/json.h"          // machine-readable report writer
 #include "swarm/entropy.h"        // swarm-wide entropy index
 #include "swarm/scenario.h"       // Table-I catalog & scenario runner
 #include "swarm/swarm.h"          // the torrent fabric
