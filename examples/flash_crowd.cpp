@@ -7,21 +7,43 @@
 // exponentially once pieces leave the initial seed (Yang & de Veciana's
 // result, which the paper builds on).
 //
+// With --seed-death T the initial seed crashes abruptly at T simulated
+// seconds (no Stopped announce, no disconnects): if T falls inside the
+// transient phase some pieces never replicate and the crowd stalls; past
+// the transient the swarm finishes without it (paper §IV-A.2.a).
+//
 // Usage: flash_crowd [leechers=120] [pieces=96] [seed_kbs=40] [rng=1]
+//                    [--seed-death T]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "swarmlab/swarmlab.h"
 
 int main(int argc, char** argv) {
   using namespace swarmlab;
+  double seed_death = -1.0;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed-death") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --seed-death needs a time in seconds\n",
+                     argv[0]);
+        return 2;
+      }
+      seed_death = std::atof(argv[++i]);
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
   const std::uint32_t leechers =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 120;
+      pos.size() > 0 ? static_cast<std::uint32_t>(std::atoi(pos[0])) : 120;
   const std::uint32_t pieces =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 96;
-  const double seed_kbs = argc > 3 ? std::atof(argv[3]) : 40.0;
+      pos.size() > 1 ? static_cast<std::uint32_t>(std::atoi(pos[1])) : 96;
+  const double seed_kbs = pos.size() > 2 ? std::atof(pos[2]) : 40.0;
   const std::uint64_t rng_seed =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+      pos.size() > 3 ? std::strtoull(pos[3], nullptr, 10) : 1;
 
   swarm::ScenarioConfig cfg;
   cfg.name = "flash-crowd";
@@ -32,6 +54,7 @@ int main(int argc, char** argv) {
   cfg.initial_seed_upload = seed_kbs * 1024;
   cfg.seed_linger_mean = 0.0;  // finished peers stay and seed
   cfg.duration = 60000.0;
+  if (seed_death >= 0.0) cfg.faults.initial_seed_death_time = seed_death;
 
   std::printf("flash crowd: %u leechers + local peer, %u pieces x 256 KiB, "
               "initial seed %.0f kB/s, rng=%llu\n",
@@ -40,9 +63,19 @@ int main(int argc, char** argv) {
   const double first_copy_floor =
       static_cast<double>(pieces) * cfg.piece_size / cfg.initial_seed_upload;
   std::printf("lower bound for the transient phase (one full copy at seed "
-              "capacity): %.0f s\n\n", first_copy_floor);
+              "capacity): %.0f s\n", first_copy_floor);
+  if (seed_death >= 0.0) {
+    std::printf("initial seed crashes abruptly at t=%.0f s (%s the "
+                "one-copy floor)\n",
+                seed_death, seed_death < first_copy_floor ? "BEFORE" : "after");
+  }
+  std::printf("\n");
 
   swarm::ScenarioRunner runner(cfg, rng_seed);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (cfg.faults.any()) {
+    injector = std::make_unique<fault::FaultInjector>(runner, rng_seed);
+  }
 
   // Watch the swarm: transient ends when every piece has a copy besides
   // the initial seed's.
@@ -51,10 +84,11 @@ int main(int argc, char** argv) {
               "done peers", "swarm MB/s");
   std::uint64_t prev_bytes = 0;
   double prev_t = 0.0;
+  std::size_t done = 0;
   for (double t = 250.0; t <= cfg.duration; t += 250.0) {
     runner.simulation().run_until(t);
     std::uint64_t bytes = 0;
-    std::size_t done = 0;
+    done = 0;
     for (const peer::PeerId id : runner.swarm().peer_ids()) {
       const peer::Peer* p = runner.swarm().find_peer(id);
       bytes += p->total_uploaded();
@@ -72,15 +106,35 @@ int main(int argc, char** argv) {
     prev_bytes = bytes;
     prev_t = t;
     if (done >= leechers + 1) break;  // crowd fully served
+    // A stalled post-death swarm never progresses again; stop polling
+    // once every surviving piece is fully replicated among survivors.
+    if (injector != nullptr && injector->stats().seed_deaths > 0 &&
+        rate == 0.0 && t - seed_death > 1000.0) {
+      break;
+    }
   }
 
-  std::printf("\ntransient phase ended at ~%.0f s (floor %.0f s): the "
-              "duration is set by the initial seed's upload capacity, not "
-              "by the piece-selection strategy (paper §IV-A.2.a).\n",
-              transient_end, first_copy_floor);
+  if (transient_end >= 0) {
+    std::printf("\ntransient phase ended at ~%.0f s (floor %.0f s): the "
+                "duration is set by the initial seed's upload capacity, not "
+                "by the piece-selection strategy (paper §IV-A.2.a).\n",
+                transient_end, first_copy_floor);
+  } else {
+    std::printf("\ntransient phase never ended: at least one piece has no "
+                "copy outside the initial seed.\n");
+  }
+  if (injector != nullptr) {
+    std::printf("faults: initial seed died at t=%.0f s; %zu of %u crowd "
+                "peers %s\n",
+                seed_death, done, leechers + 1,
+                done >= leechers + 1 ? "finished anyway"
+                                     : "finished before the swarm starved");
+  }
   if (runner.local_peer().completion_time() >= 0) {
     std::printf("local peer finished at %.0f s.\n",
                 runner.local_peer().completion_time());
+  } else {
+    std::printf("local peer never finished (stalled).\n");
   }
   return 0;
 }

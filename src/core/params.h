@@ -92,6 +92,29 @@ struct ProtocolParams {
   // silently discarded, letting the requester re-route immediately.
   // Off by default: the paper's mainline 4.0.2 predates BEP 6.
   bool fast_extension = false;
+
+  // --- liveness timers (keepalive / silence / request timeout) ---
+  // Mainline sends a keepalive after 2 minutes without traffic and drops
+  // peers silent for several minutes. The simulator's graceful departures
+  // need none of that (both endpoints always learn of a disconnect), so
+  // the timers are OFF by default — keeping fault-free runs byte-identical
+  // to pre-fault builds. Fault scenarios (src/fault) enable them swarm-
+  // wide: abrupt crashes are detected by silence, lost requests by
+  // timeout. Enable on ALL peers or none — a timer-running peer evicts
+  // quiet neighbours that never send keepalives.
+  bool liveness_timers = false;
+  double keepalive_interval = 120.0;      ///< send after this much tx silence
+  double silence_timeout = 240.0;         ///< drop a peer silent this long
+  double liveness_check_interval = 30.0;  ///< timer granularity
+  /// An unchoked link with outstanding requests but no block (and no new
+  /// request) for this long returns its blocks to the picker so other
+  /// links can re-request them.
+  double request_timeout = 60.0;
+
+  // --- tracker announce retry (only reachable when announces can fail,
+  // i.e. under injected tracker outages) ---
+  double announce_retry_base = 15.0;  ///< first retry delay (doubles)
+  double announce_retry_max = 600.0;  ///< backoff cap
 };
 
 }  // namespace swarmlab::core

@@ -1,0 +1,128 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "swarm/scenario.h"
+#include "swarm/swarm.h"
+
+namespace swarmlab::fault {
+
+FaultInjector::FaultInjector(sim::Simulation& sim, swarm::Swarm& swarm,
+                             FaultPlan plan, std::uint64_t fault_seed,
+                             std::vector<peer::PeerId> never_crash,
+                             std::vector<peer::PeerId> initial_seeds)
+    : sim_(sim),
+      swarm_(swarm),
+      plan_(std::move(plan)),
+      rng_(fault_seed),
+      never_crash_(std::move(never_crash)),
+      initial_seeds_(std::move(initial_seeds)) {
+  install();
+}
+
+FaultInjector::FaultInjector(swarm::ScenarioRunner& runner,
+                             std::uint64_t scenario_seed)
+    : FaultInjector(runner.simulation(), runner.swarm(),
+                    runner.config().faults,
+                    sim::fork_seed(scenario_seed, kFaultRngStream),
+                    {runner.local_peer_id()}, runner.initial_seed_ids()) {}
+
+FaultInjector::~FaultInjector() {
+  if (hook_installed_) swarm_.set_control_fault(nullptr);
+  swarm_.tracker().set_online(true);
+  if (crash_event_ != 0) sim_.cancel(crash_event_);
+  if (flow_kill_event_ != 0) sim_.cancel(flow_kill_event_);
+  for (const sim::EventId e : one_shot_events_) sim_.cancel(e);
+}
+
+void FaultInjector::install() {
+  if (plan_.initial_seed_death_time >= 0.0) {
+    const double at = std::max(plan_.initial_seed_death_time, sim_.now());
+    one_shot_events_.push_back(
+        sim_.schedule_at(at, [this] { kill_initial_seeds(); }));
+  }
+  if (plan_.peer_crash_rate > 0.0) schedule_crash_tick();
+  if (plan_.flow_kill_rate > 0.0) schedule_flow_kill_tick();
+  for (const TrackerOutage& o : plan_.tracker_outages) {
+    if (o.duration <= 0.0) continue;
+    const double start = std::max(o.start, sim_.now());
+    one_shot_events_.push_back(sim_.schedule_at(start, [this] {
+      ++stats_.outages;
+      swarm_.tracker().set_online(false);
+    }));
+    one_shot_events_.push_back(sim_.schedule_at(
+        start + o.duration, [this] { swarm_.tracker().set_online(true); }));
+  }
+  if (plan_.message_loss_rate > 0.0 || plan_.message_delay_jitter > 0.0) {
+    hook_installed_ = true;
+    swarm_.set_control_fault([this](double* extra_delay) {
+      if (plan_.message_loss_rate > 0.0 &&
+          rng_.chance(plan_.message_loss_rate)) {
+        ++stats_.messages_dropped;
+        return false;
+      }
+      if (plan_.message_delay_jitter > 0.0) {
+        const double jitter = rng_.uniform(0.0, plan_.message_delay_jitter);
+        if (jitter > 0.0) {
+          *extra_delay = jitter;
+          ++stats_.messages_delayed;
+        }
+      }
+      return true;
+    });
+  }
+}
+
+void FaultInjector::schedule_crash_tick() {
+  const double gap = rng_.exponential(1.0 / plan_.peer_crash_rate);
+  crash_event_ = sim_.schedule_in(gap, [this] {
+    crash_random_peer();
+    schedule_crash_tick();
+  });
+}
+
+void FaultInjector::schedule_flow_kill_tick() {
+  const double gap = rng_.exponential(1.0 / plan_.flow_kill_rate);
+  flow_kill_event_ = sim_.schedule_in(gap, [this] {
+    kill_random_flow();
+    schedule_flow_kill_tick();
+  });
+}
+
+void FaultInjector::kill_initial_seeds() {
+  for (const peer::PeerId id : initial_seeds_) {
+    if (swarm_.crash_peer(id)) ++stats_.seed_deaths;
+  }
+}
+
+void FaultInjector::crash_random_peer() {
+  const auto spared = [this](peer::PeerId id) {
+    if (std::find(never_crash_.begin(), never_crash_.end(), id) !=
+        never_crash_.end()) {
+      return true;
+    }
+    return plan_.crash_spares_initial_seeds &&
+           std::find(initial_seeds_.begin(), initial_seeds_.end(), id) !=
+               initial_seeds_.end();
+  };
+  std::vector<peer::PeerId> candidates;
+  for (const peer::PeerId id : swarm_.peer_ids()) {
+    const peer::Peer* p = swarm_.find_peer(id);
+    if (p != nullptr && p->active() && !spared(id)) candidates.push_back(id);
+  }
+  if (candidates.empty()) return;
+  if (swarm_.crash_peer(candidates[rng_.index(candidates.size())])) {
+    ++stats_.peer_crashes;
+  }
+}
+
+void FaultInjector::kill_random_flow() {
+  // active_flow_ids() is sorted, so victim selection is deterministic.
+  const std::vector<net::FlowId> flows = swarm_.network().active_flow_ids();
+  if (flows.empty()) return;
+  if (swarm_.network().cancel_flow(flows[rng_.index(flows.size())])) {
+    ++stats_.flows_killed;
+  }
+}
+
+}  // namespace swarmlab::fault

@@ -1,0 +1,85 @@
+// FaultInjector: executes a FaultPlan against a live Swarm.
+//
+// The injector is pure scheduling glue: it owns no protocol state. It
+// drives crashes/flow kills from self-rescheduling Poisson events,
+// installs the control-message fault hook on the swarm, and toggles the
+// tracker's online flag for outage windows. Every random draw comes from
+// its private Rng (forked stream), never from the simulation Rng — a run
+// with a given plan perturbs the no-fault event sequence only through the
+// faults themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "peer/types.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace swarmlab::swarm {
+class Swarm;
+class ScenarioRunner;
+}  // namespace swarmlab::swarm
+
+namespace swarmlab::fault {
+
+/// What the injector actually did (all sim-deterministic; embedded in
+/// batch reports under metrics.faults).
+struct FaultStats {
+  std::uint64_t seed_deaths = 0;       ///< initial seeds crashed at T
+  std::uint64_t peer_crashes = 0;      ///< random abrupt crashes
+  std::uint64_t messages_dropped = 0;  ///< control messages lost
+  std::uint64_t messages_delayed = 0;  ///< control messages jittered
+  std::uint64_t flows_killed = 0;      ///< block transfers aborted
+  std::uint64_t outages = 0;           ///< tracker outage windows entered
+};
+
+class FaultInjector {
+ public:
+  /// Wires `plan` into `swarm`. `never_crash` peers (e.g. the
+  /// instrumented local peer) are exempt from random crashes;
+  /// `initial_seeds` are the targets of initial_seed_death_time.
+  FaultInjector(sim::Simulation& sim, swarm::Swarm& swarm, FaultPlan plan,
+                std::uint64_t fault_seed,
+                std::vector<peer::PeerId> never_crash = {},
+                std::vector<peer::PeerId> initial_seeds = {});
+
+  /// Convenience: injects `runner.config().faults` into the runner's
+  /// swarm, sparing the local peer, with the fault RNG forked from
+  /// `scenario_seed` via kFaultRngStream.
+  FaultInjector(swarm::ScenarioRunner& runner, std::uint64_t scenario_seed);
+
+  /// Uninstalls the control hook, restores the tracker, and cancels all
+  /// pending injection events (safe to destroy before the Simulation).
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  void install();
+  void schedule_crash_tick();
+  void schedule_flow_kill_tick();
+  void kill_initial_seeds();
+  void crash_random_peer();
+  void kill_random_flow();
+
+  sim::Simulation& sim_;
+  swarm::Swarm& swarm_;
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::vector<peer::PeerId> never_crash_;
+  std::vector<peer::PeerId> initial_seeds_;
+  FaultStats stats_;
+  bool hook_installed_ = false;
+
+  sim::EventId crash_event_ = 0;
+  sim::EventId flow_kill_event_ = 0;
+  std::vector<sim::EventId> one_shot_events_;  // seed death + outage edges
+};
+
+}  // namespace swarmlab::fault

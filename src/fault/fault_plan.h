@@ -1,0 +1,82 @@
+// FaultPlan: a declarative schedule of environment failures for one
+// scenario run.
+//
+// The plan is plain data carried on swarm::ScenarioConfig; it does
+// nothing by itself. A fault::FaultInjector executes it against a running
+// swarm, drawing every stochastic choice from its own RNG stream (forked
+// from the scenario seed with kFaultRngStream) so that
+//  - an all-zero plan leaves the run byte-identical to a build without
+//    the fault subsystem (no injector, no extra events, no extra draws);
+//  - a faulted run is a pure function of (config, seed), independent of
+//    batch worker count.
+// See docs/fault_injection.md for the full determinism contract.
+//
+// Header-only on purpose: swarm::ScenarioConfig embeds a FaultPlan, while
+// the injector library (swarmlab_fault) sits *above* swarmlab_swarm — the
+// plan must not drag the injector into the swarm layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swarmlab::fault {
+
+/// RNG stream id for the injector's forked seed:
+/// fault_seed = sim::fork_seed(scenario_seed, kFaultRngStream).
+inline constexpr std::uint64_t kFaultRngStream = 0xFA017;
+
+/// One tracker outage window: every announce in
+/// [start, start + duration) fails (the peer retries with backoff).
+struct TrackerOutage {
+  double start = 0.0;     ///< simulated seconds
+  double duration = 0.0;  ///< window length; <= 0 disables the window
+};
+
+/// The full fault schedule. All defaults are "off".
+struct FaultPlan {
+  // --- abrupt peer crashes ---------------------------------------------
+  /// Kill every initial seed at this time (< 0: never). The paper's
+  /// transient state hinges on the initial seed surviving (§IV-A.2.a);
+  /// this knob creates the rare-piece regime Khan et al. study.
+  double initial_seed_death_time = -1.0;
+  /// Poisson hazard (crashes/second) of an abrupt crash of one random
+  /// active peer. A crash sends no Stopped announce and no disconnect
+  /// callbacks: remote peer sets keep ghost entries until their liveness
+  /// timers evict them.
+  double peer_crash_rate = 0.0;
+  /// Random crashes skip initial seeds (so initial_seed_death_time stays
+  /// the only seed-killing knob; set false for fully uniform carnage).
+  bool crash_spares_initial_seeds = true;
+
+  // --- control-message faults ------------------------------------------
+  /// Probability that any single control message (HAVE, CHOKE, REQUEST,
+  /// ...) is silently lost in transit.
+  double message_loss_rate = 0.0;
+  /// Extra one-way delay, uniform in [0, message_delay_jitter] seconds,
+  /// added to each delivered control message.
+  double message_delay_jitter = 0.0;
+
+  // --- data-plane faults -----------------------------------------------
+  /// Poisson hazard (kills/second) of aborting one random in-flight
+  /// block transfer mid-stream (no completion callback fires; the
+  /// receiver recovers via request timeout, the sender via its liveness
+  /// tick).
+  double flow_kill_rate = 0.0;
+
+  // --- tracker outages -------------------------------------------------
+  std::vector<TrackerOutage> tracker_outages;
+
+  /// True when any fault is enabled. The gate for creating an injector —
+  /// and for ScenarioRunner enabling the liveness timers.
+  [[nodiscard]] bool any() const {
+    if (initial_seed_death_time >= 0.0) return true;
+    if (peer_crash_rate > 0.0 || flow_kill_rate > 0.0) return true;
+    if (message_loss_rate > 0.0 || message_delay_jitter > 0.0) return true;
+    for (const TrackerOutage& o : tracker_outages) {
+      if (o.duration > 0.0) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace swarmlab::fault

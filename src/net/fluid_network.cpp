@@ -41,6 +41,27 @@ double FluidNetwork::node_up(NodeId node) const {
   return it == nodes_.end() ? 0.0 : it->second.up;
 }
 
+void FluidNetwork::set_node_capacity(NodeId node, double up_bytes_per_sec,
+                                     double down_bytes_per_sec) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  it->second.up = std::max(0.0, up_bytes_per_sec);
+  it->second.down = std::max(0.0, down_bytes_per_sec);
+  // reallocate(node, node) covers exactly the affected set — the node's
+  // outgoing plus incoming flows — settling each at its old rate and
+  // rescheduling it at the new one. This is the guaranteed wake-up for
+  // flows parked at rate 0 (see reschedule()).
+  reallocate(node, node);
+}
+
+std::vector<FlowId> FluidNetwork::active_flow_ids() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 FlowId FluidNetwork::start_flow(NodeId from, NodeId to, std::uint64_t bytes,
                                 std::function<void()> on_complete) {
   assert(nodes_.contains(from) && nodes_.contains(to));
@@ -83,8 +104,10 @@ double FluidNetwork::flow_rate(FlowId id) const {
   return it == flows_.end() ? 0.0 : it->second.rate;
 }
 
-void FluidNetwork::send_control(std::function<void()> deliver) {
-  sim_.schedule_in(control_latency_, std::move(deliver));
+void FluidNetwork::send_control(std::function<void()> deliver,
+                                double extra_delay) {
+  sim_.schedule_in(control_latency_ + std::max(0.0, extra_delay),
+                   std::move(deliver));
 }
 
 void FluidNetwork::settle(Flow& flow) {
@@ -116,7 +139,12 @@ void FluidNetwork::reschedule(FlowId id, Flow& flow) {
     sim_.cancel(flow.completion_event);
     flow.completion_event = 0;
   }
-  if (flow.rate <= 0.0) return;  // stalled; will be rescheduled on change
+  // A flow at rate <= 0 is parked with no completion event. Every path
+  // that changes its share — start_flow/cancel_flow/complete_flow at
+  // either endpoint and set_node_capacity — goes through reallocate(),
+  // which re-rates and reschedules it, so a parked flow is guaranteed to
+  // resume when capacity returns (tests: FluidNetwork.StalledFlow*).
+  if (flow.rate <= 0.0) return;
   const double secs = std::max(0.0, flow.remaining - kByteEpsilon) / flow.rate;
   flow.completion_event =
       sim_.schedule_in(secs, [this, id] { complete_flow(id); });

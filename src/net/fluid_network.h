@@ -59,9 +59,29 @@ class FluidNetwork {
   /// callbacks fire).
   void remove_node(NodeId node);
 
+  /// Changes a node's capacities mid-run (fault injection, throttling).
+  /// Every flow touching the node is settled at its old rate, re-rated,
+  /// and rescheduled — including flows parked at rate 0, which resume the
+  /// moment capacity returns. Zero is allowed (parks all flows); negative
+  /// values clamp to zero. Unknown nodes are ignored.
+  void set_node_capacity(NodeId node, double up_bytes_per_sec,
+                         double down_bytes_per_sec);
+
   [[nodiscard]] bool has_node(NodeId node) const {
     return nodes_.contains(node);
   }
+
+  /// True while the flow is in transit (neither completed nor
+  /// cancelled). Lets a sender detect an upload aborted by fault
+  /// injection, which fires no callback.
+  [[nodiscard]] bool has_flow(FlowId flow) const {
+    return flows_.contains(flow);
+  }
+
+  /// Ids of all in-transit flows, sorted ascending — a deterministic
+  /// enumeration (the internal map is unordered) for fault injection's
+  /// random victim pick.
+  [[nodiscard]] std::vector<FlowId> active_flow_ids() const;
 
   /// Starts a transfer of `bytes` from `from` to `to`; `on_complete` fires
   /// when the last byte arrives. Returns the flow id.
@@ -75,10 +95,11 @@ class FluidNetwork {
   /// Current rate of a flow in bytes/second (0 if unknown/finished).
   [[nodiscard]] double flow_rate(FlowId flow) const;
 
-  /// Delivers `deliver` to the destination after the control latency.
-  /// The destination is not checked for liveness here; higher layers
-  /// guard against delivery to departed peers.
-  void send_control(std::function<void()> deliver);
+  /// Delivers `deliver` to the destination after the control latency
+  /// plus `extra_delay` (fault-injected jitter; default none). The
+  /// destination is not checked for liveness here; higher layers guard
+  /// against delivery to departed peers.
+  void send_control(std::function<void()> deliver, double extra_delay = 0.0);
 
   [[nodiscard]] double control_latency() const { return control_latency_; }
 

@@ -46,6 +46,17 @@ struct Connection {
   /// choke ordering.
   double last_unchoke_time = -1.0;
 
+  // --- liveness (only consulted when params.liveness_timers is on) ---
+  /// When we last heard anything from them (any message; set to the
+  /// connect time on establishment).
+  double last_seen = -1.0;
+  /// When we last sent them anything (drives keepalive sends).
+  double last_sent = -1.0;
+  /// When this link last hit the request timeout (-1: never); a recently
+  /// timed-out link is skipped by fill_requests so the freed blocks go to
+  /// other peers first. Cleared when a block arrives.
+  double last_request_timeout = -1.0;
+
   // --- rate estimation (mainline: trailing 20 s window) ---
   stats::RateEstimator download_rate{20.0};  ///< bytes they send us
   stats::RateEstimator upload_rate{20.0};    ///< bytes we send them

@@ -22,6 +22,9 @@ namespace swarmlab::peer {
 /// Tracker announce verdict: the peers handed back.
 struct AnnounceResult {
   std::vector<PeerId> peers;
+  /// False when the announce failed (tracker outage): `peers` is empty
+  /// and the peer retries with exponential backoff.
+  bool ok = true;
 };
 
 /// What a tracker announce reports (paper §II-B).

@@ -111,6 +111,7 @@ void Peer::start() {
       fabric_.simulation().rng().uniform(0.0, cfg_.params.choke_interval);
   choke_event_ =
       fabric_.simulation().schedule_in(phase, [this] { run_choke_round(); });
+  if (cfg_.params.liveness_timers) schedule_liveness_tick();
 }
 
 void Peer::stop() {
@@ -118,12 +119,37 @@ void Peer::stop() {
   stopped_ = true;
   if (choke_event_ != 0) fabric_.simulation().cancel(choke_event_);
   if (announce_event_ != 0) fabric_.simulation().cancel(announce_event_);
+  if (announce_retry_event_ != 0) {
+    fabric_.simulation().cancel(announce_retry_event_);
+  }
+  if (liveness_event_ != 0) fabric_.simulation().cancel(liveness_event_);
   choke_event_ = 0;
   announce_event_ = 0;
+  announce_retry_event_ = 0;
+  liveness_event_ = 0;
   do_announce(AnnounceEvent::kStopped);
   // Disconnect everything; fabric calls back into on_disconnected.
   const std::vector<PeerId> remotes = connected_peers();
   for (const PeerId r : remotes) fabric_.disconnect(cfg_.id, r);
+  if (observer_ != nullptr) observer_->on_stop(now());
+}
+
+void Peer::crash() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  if (choke_event_ != 0) fabric_.simulation().cancel(choke_event_);
+  if (announce_event_ != 0) fabric_.simulation().cancel(announce_event_);
+  if (announce_retry_event_ != 0) {
+    fabric_.simulation().cancel(announce_retry_event_);
+  }
+  if (liveness_event_ != 0) fabric_.simulation().cancel(liveness_event_);
+  choke_event_ = 0;
+  announce_event_ = 0;
+  announce_retry_event_ = 0;
+  liveness_event_ = 0;
+  // Deliberately NO Stopped announce and NO disconnects: the tracker
+  // keeps our entry until its member expiry, and every remote peer keeps
+  // a ghost Connection until its silence timeout evicts it.
   if (observer_ != nullptr) observer_->on_stop(now());
 }
 
@@ -140,6 +166,8 @@ void Peer::on_connected(PeerId remote, bool initiated_by_us) {
   conn.remote = remote;
   conn.initiated_by_us = initiated_by_us;
   conn.connected_at = now();
+  conn.last_seen = now();
+  conn.last_sent = now();
   conn.remote_have = core::Bitfield(geo_.num_pieces());
   auto [it, inserted] = conns_.emplace(remote, std::move(conn));
   assert(inserted);
@@ -188,6 +216,9 @@ void Peer::on_disconnected(PeerId remote) {
 // --- messages --------------------------------------------------------------
 
 void Peer::send(PeerId to, wire::Message msg) {
+  if (Connection* conn = find_conn(to); conn != nullptr) {
+    conn->last_sent = now();
+  }
   if (observer_ != nullptr) observer_->on_message_sent(now(), to, msg);
   fabric_.send_control(cfg_.id, to, std::move(msg));
 }
@@ -196,6 +227,7 @@ void Peer::handle_message(PeerId from, const wire::Message& msg) {
   if (!active()) return;
   Connection* conn = find_conn(from);
   if (conn == nullptr) return;  // stale delivery after disconnect
+  conn->last_seen = now();
   if (observer_ != nullptr) observer_->on_message_received(now(), from, msg);
 
   if (const auto* m = std::get_if<wire::BitfieldMsg>(&msg)) {
@@ -228,7 +260,9 @@ void Peer::handle_message(PeerId from, const wire::Message& msg) {
   } else if (const auto* m = std::get_if<wire::RejectRequestMsg>(&msg)) {
     handle_reject(*conn, *m);
   }
-  // KeepAliveMsg: no liveness timers. SuggestPiece/AllowedFast: received
+  // KeepAliveMsg carries no payload: its receipt already refreshed
+  // conn->last_seen above, which is all the liveness machinery needs
+  // (see run_liveness_tick). SuggestPiece/AllowedFast: received
   // gracefully (logged via the observer) but not acted upon — the
   // simulator has no web-seed caches and models no choked fast-allowed
   // downloads.
@@ -354,6 +388,7 @@ void Peer::handle_block(Connection& conn, const wire::PieceMsg& msg) {
   const std::uint32_t bytes = geo_.block_bytes(block);
   conn.download_rate.add(now(), bytes);
   conn.last_block_time = now();
+  conn.last_request_timeout = -1.0;  // the link is delivering again
   downloaded_ += bytes;
   // Without the data plane, the simulator marks blocks from a corrupting
   // sender with a non-empty payload; a real client discovers corruption
@@ -463,6 +498,12 @@ void Peer::release_request(wire::BlockRef block) {
 
 void Peer::fill_requests(Connection& conn) {
   if (!conn.am_interested || conn.peer_choking) return;
+  if (cfg_.params.liveness_timers && conn.last_request_timeout >= 0.0 &&
+      now() - conn.last_request_timeout < cfg_.params.request_timeout) {
+    // This link just timed out: leave the returned blocks for other
+    // peers instead of immediately re-pinning them to a silent link.
+    return;
+  }
   while (conn.outstanding.size() < cfg_.params.pipeline_depth) {
     const auto block = next_block(conn);
     if (!block.has_value()) break;
@@ -801,8 +842,37 @@ void Peer::schedule_announce() {
 
 void Peer::do_announce(AnnounceEvent event) {
   const AnnounceResult result = fabric_.announce(cfg_.id, event);
+  if (!result.ok) {
+    // Tracker outage. A stopping peer gives up (as a real client's final
+    // announce does); everyone else retries with exponential backoff.
+    ++announce_failures_;
+    if (event != AnnounceEvent::kStopped) schedule_announce_retry();
+    return;
+  }
+  announce_backoff_level_ = 0;
   if (event == AnnounceEvent::kStopped) return;
   initiate_connections(result.peers);
+}
+
+void Peer::schedule_announce_retry() {
+  if (announce_retry_event_ != 0) return;  // one pending retry at a time
+  const std::uint32_t level = std::min<std::uint32_t>(
+      announce_backoff_level_, 10);  // 15 s * 2^10 already beyond any cap
+  double delay = cfg_.params.announce_retry_base *
+                 static_cast<double>(std::uint64_t{1} << level);
+  delay = std::min(delay, cfg_.params.announce_retry_max);
+  // +/-25% jitter desynchronizes the retry storm when an outage ends.
+  // This draw is on the main simulation Rng, which is safe for the
+  // determinism contract: the failure path is unreachable unless a fault
+  // plan is active.
+  delay *= fabric_.simulation().rng().uniform(0.75, 1.25);
+  ++announce_backoff_level_;
+  announce_retry_event_ =
+      fabric_.simulation().schedule_in(delay, [this] {
+        announce_retry_event_ = 0;
+        if (!active()) return;
+        do_announce(AnnounceEvent::kRegular);
+      });
 }
 
 void Peer::maybe_refill_peer_set() {
@@ -821,6 +891,66 @@ void Peer::initiate_connections(const std::vector<PeerId>& candidates) {
     fabric_.connect(cfg_.id, c);
     ++initiated;  // optimistic: failed attempts free the slot via conns_
   }
+}
+
+// --- liveness timers ------------------------------------------------------------
+
+void Peer::schedule_liveness_tick() {
+  liveness_event_ = fabric_.simulation().schedule_in(
+      cfg_.params.liveness_check_interval, [this] { run_liveness_tick(); });
+}
+
+void Peer::run_liveness_tick() {
+  if (!active()) return;
+  const double t = now();
+  std::vector<PeerId> ghosts;
+  bool blocks_freed = false;
+  for (auto& [remote, conn] : conns_) {
+    // Silence detection: a peer that crashed (or whose link is wholly
+    // lossy) sends nothing — not even keepalives — and gets evicted.
+    if (t - conn.last_seen > cfg_.params.silence_timeout) {
+      ghosts.push_back(remote);
+      continue;
+    }
+    // Keepalive: mainline sends one after keepalive_interval of tx
+    // silence so a healthy-but-quiet link never trips the remote's
+    // silence timeout.
+    if (t - conn.last_sent >= cfg_.params.keepalive_interval) {
+      send(remote, wire::KeepAliveMsg{});
+    }
+    // Request timeout: an unchoked link that stopped delivering returns
+    // its outstanding blocks to the picker for re-request elsewhere.
+    if (!conn.outstanding.empty() && !conn.peer_choking) {
+      const double ref =
+          std::max(conn.last_block_time, conn.last_request_time);
+      if (ref >= 0.0 && t - ref > cfg_.params.request_timeout) {
+        timed_out_requests_ += conn.outstanding.size();
+        for (const wire::BlockRef b : conn.outstanding) release_request(b);
+        conn.outstanding.clear();
+        conn.last_request_timeout = t;
+        blocks_freed = true;
+      }
+    }
+    // A killed network flow fires no on_block_sent; recover the wedged
+    // upload slot so serving resumes.
+    if (conn.upload_flow != 0 &&
+        !fabric_.network().has_flow(conn.upload_flow)) {
+      conn.upload_flow = 0;
+      start_next_upload(conn);
+    }
+  }
+  for (const PeerId r : ghosts) {
+    ++ghosts_evicted_;
+    blocks_freed = true;  // on_disconnected released its outstanding
+    fabric_.disconnect(cfg_.id, r);
+  }
+  if (blocks_freed) {
+    // Route the returned blocks through links with pipeline room.
+    for (auto& [remote, conn] : conns_) {
+      if (conn.am_interested && !conn.peer_choking) fill_requests(conn);
+    }
+  }
+  schedule_liveness_tick();
 }
 
 // --- super seeding (extension) ---------------------------------------------------

@@ -75,6 +75,12 @@ class Peer {
   /// cancels timers.
   void stop();
 
+  /// Abrupt death (fault injection): cancels this peer's own timers and
+  /// nothing else — no Stopped announce, no disconnect callbacks. Every
+  /// remote peer keeps a ghost Connection to us until its liveness timers
+  /// notice the silence.
+  void crash();
+
   [[nodiscard]] bool active() const { return started_ && !stopped_; }
 
   // --- fabric-driven entry points --------------------------------------
@@ -126,6 +132,18 @@ class Peer {
   /// Largest peer set observed while in leecher state (Table I col 5).
   [[nodiscard]] std::size_t max_peer_set_leecher() const {
     return max_peer_set_leecher_;
+  }
+  /// Ghost connections evicted by the silence timeout (liveness timers).
+  [[nodiscard]] std::uint64_t ghosts_evicted() const {
+    return ghosts_evicted_;
+  }
+  /// Block requests returned to the picker by the request timeout.
+  [[nodiscard]] std::uint64_t timed_out_requests() const {
+    return timed_out_requests_;
+  }
+  /// Tracker announces that failed (outages) and were retried.
+  [[nodiscard]] std::uint64_t announce_failures() const {
+    return announce_failures_;
   }
 
  private:
@@ -179,8 +197,13 @@ class Peer {
   // --- tracker / peer set -----------------------------------------------
   void schedule_announce();
   void do_announce(AnnounceEvent event);
+  void schedule_announce_retry();
   void maybe_refill_peer_set();
   void initiate_connections(const std::vector<PeerId>& candidates);
+
+  // --- liveness timers (params.liveness_timers) -------------------------
+  void schedule_liveness_tick();
+  void run_liveness_tick();
 
   // --- super seeding (extension) ----------------------------------------
   void super_seed_reveal(Connection& conn);
@@ -228,7 +251,15 @@ class Peer {
   std::uint64_t choke_round_ = 0;
   sim::EventId choke_event_ = 0;
   sim::EventId announce_event_ = 0;
+  sim::EventId announce_retry_event_ = 0;
+  sim::EventId liveness_event_ = 0;
   double last_refill_announce_ = -1e18;
+
+  // Liveness / fault-survival bookkeeping.
+  std::uint32_t announce_backoff_level_ = 0;
+  std::uint64_t announce_failures_ = 0;
+  std::uint64_t ghosts_evicted_ = 0;
+  std::uint64_t timed_out_requests_ = 0;
 
   // Super seeding: pieces revealed per connection and global reveal cursor.
   struct SuperSeedState {

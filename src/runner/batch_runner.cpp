@@ -14,6 +14,7 @@
 #include <sys/utsname.h>
 #endif
 
+#include "fault/fault_injector.h"
 #include "peer/peer.h"
 #include "sim/rng.h"
 
@@ -131,6 +132,13 @@ RunResult run_scenario_job(const BatchJob& job, double extra_after,
   const auto t0 = Clock::now();
   instrument::LocalPeerLog log(job.config.num_pieces);
   swarm::ScenarioRunner runner(job.config, job.seed, &log);
+  // The injector only exists for non-trivial plans: an all-zero FaultPlan
+  // adds no events and no RNG draws, keeping the run byte-identical to a
+  // fault-free build.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (job.config.faults.any()) {
+    injector = std::make_unique<fault::FaultInjector>(runner, job.seed);
+  }
   const auto t1 = Clock::now();
 
   res.end_time = runner.run_until_local_complete(extra_after);
@@ -139,9 +147,28 @@ RunResult run_scenario_job(const BatchJob& job, double extra_after,
 
   res.local_completion =
       log.local_is_seed() ? runner.local_peer().completion_time() : -1.0;
+  res.completed = res.local_completion >= 0.0;
   res.events_executed = runner.simulation().events_executed();
-  if (analyze) analyze(runner, log, res);
   if (res.metrics.is_null()) res.metrics = json::Value::object();
+  if (injector != nullptr) {
+    // Embedded before `analyze` so bench analyzers can fold the fault
+    // counters into their own text rows.
+    const fault::FaultStats& fs = injector->stats();
+    json::Value faults = json::Value::object();
+    faults["seed_deaths"] = fs.seed_deaths;
+    faults["peer_crashes"] = fs.peer_crashes;
+    faults["messages_dropped"] = fs.messages_dropped;
+    faults["messages_delayed"] = fs.messages_delayed;
+    faults["flows_killed"] = fs.flows_killed;
+    faults["tracker_outages"] = fs.outages;
+    faults["announce_failures"] =
+        runner.swarm().tracker().stats().failed;
+    faults["local_ghosts_evicted"] = runner.local_peer().ghosts_evicted();
+    faults["local_timed_out_requests"] =
+        runner.local_peer().timed_out_requests();
+    res.metrics["faults"] = std::move(faults);
+  }
+  if (analyze) analyze(runner, log, res);
 
   res.setup_seconds = std::chrono::duration<double>(t1 - t0).count();
   res.sim_seconds = std::chrono::duration<double>(t2 - t1).count();
@@ -196,12 +223,19 @@ json::Value make_report(const std::string& tool, const BatchOptions& opts,
     entry["seed"] = r.seed;
     entry["end_time"] = r.end_time;
     entry["local_completion"] = r.local_completion;
+    // Both flags are emitted so fault-sweep consumers can filter either
+    // way without re-deriving the convention (deterministic fields).
+    entry["completed"] = r.completed;
+    entry["stalled"] = !r.completed;
     entry["events"] = r.events_executed;
     entry["metrics"] = r.metrics;
     json::Value wall = json::Value::object();
     wall["setup"] = r.setup_seconds;
     wall["sim"] = r.sim_seconds;
     wall["analyze"] = r.analyze_seconds;
+    // Wall clock elapsed when the simulation stopped (setup + sim; i.e.
+    // excluding analysis/formatting) — how long a stalled run burned.
+    wall["at_stop"] = r.setup_seconds + r.sim_seconds;
     entry["wall"] = std::move(wall);
     arr.push_back(std::move(entry));
   }

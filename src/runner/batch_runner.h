@@ -44,6 +44,10 @@ struct RunResult {
   // --- deterministic simulation outcomes -----------------------------------
   double end_time = 0.0;           ///< simulated stop time (seconds)
   double local_completion = -1.0;  ///< local-peer completion; -1 if never
+  /// True when the local peer finished its download; false = the run
+  /// stalled (hit the duration cap still leeching — the expected outcome
+  /// of severe fault plans, and worth distinguishing machine-readably).
+  bool completed = false;
   std::uint64_t events_executed = 0;
   json::Value metrics;             ///< bench-specific summary (object)
   std::string text;                ///< preformatted row(s) for stdout
@@ -107,7 +111,9 @@ std::vector<BatchJob> table1_jobs(std::uint64_t master,
 // --- report assembly ---------------------------------------------------------
 
 /// Current report schema identifier (bump on breaking layout changes).
-inline constexpr const char* kReportSchema = "swarmlab.batch/1";
+/// v2: per-result `completed`/`stalled` flags, `wall.at_stop`, and (for
+/// faulted runs) a `metrics.faults` object.
+inline constexpr const char* kReportSchema = "swarmlab.batch/2";
 
 /// Assembles the aggregate report: schema version, tool name, git
 /// describe (baked in at build time), host info, master seed, worker

@@ -134,6 +134,14 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig cfg, std::uint64_t seed,
       swarm_(std::make_unique<Swarm>(*sim_, cfg_.geometry(),
                                      cfg_.control_latency)),
       local_observer_(local_observer) {
+  if (cfg_.faults.any()) {
+    // Fault scenarios need the liveness machinery: crashed peers are
+    // detected by silence, lost requests by timeout. Enabled swarm-wide
+    // (see ProtocolParams::liveness_timers) before any peer spawns.
+    cfg_.remote_params.liveness_timers = true;
+    cfg_.local_params.liveness_timers = true;
+  }
+  swarm_->tracker().set_member_expiry(cfg_.tracker_member_expiry);
   const std::uint32_t n = cfg_.geometry().num_pieces();
   dead_pieces_.assign(n, false);
   if (cfg_.dead_piece_fraction > 0.0) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "fault/fault_plan.h"
 #include "net/fluid_network.h"
 #include "peer/observer.h"
 #include "peer/peer.h"
@@ -89,6 +90,18 @@ struct ScenarioConfig {
   // --- protocol -------------------------------------------------------------
   core::ProtocolParams remote_params;
   core::ProtocolParams local_params;
+
+  // --- fault injection --------------------------------------------------------
+  /// Declarative failure schedule (all-zero by default = no faults).
+  /// Executed by a fault::FaultInjector constructed against the runner;
+  /// when any fault is enabled the runner turns on liveness timers for
+  /// every peer (local and remote) so the swarm can survive it.
+  fault::FaultPlan faults;
+  /// Tracker-side expiry for members that stop announcing (seconds;
+  /// 0 disables). The default is 2.5x the re-announce interval: active
+  /// peers refresh every ~1800 s, so only crashed peers ever expire and
+  /// fault-free runs are untouched.
+  double tracker_member_expiry = 4500.0;
 
   // --- run control ------------------------------------------------------------
   double control_latency = 0.05;

@@ -97,13 +97,34 @@ void Swarm::stop_peer(peer::PeerId id) {
   net_.remove_node(slot.node);
 }
 
+bool Swarm::crash_peer(peer::PeerId id) {
+  auto it = slots_.find(id);
+  if (it == slots_.end() || !it->second.in_torrent) return false;
+  Slot& slot = it->second;
+  slot.peer->crash();  // no Stopped announce, no disconnect callbacks
+  slot.in_torrent = false;
+  if (slot.counted_in_global) {
+    global_availability_.remove_peer(slot.peer->have());
+    slot.counted_in_global = false;
+  }
+  // Removing the node silently aborts every in-flight transfer touching
+  // it — mirroring TCP streams dying with the host. Remote senders whose
+  // upload flows vanish recover via their liveness tick.
+  net_.remove_node(slot.node);
+  return true;
+}
+
 void Swarm::send_control(peer::PeerId from, peer::PeerId to,
                          wire::Message msg) {
-  net_.send_control([this, from, to, msg = std::move(msg)] {
-    if (peer::Peer* p = active_peer(to); p != nullptr) {
-      p->handle_message(from, msg);
-    }
-  });
+  double extra_delay = 0.0;
+  if (control_fault_ && !control_fault_(&extra_delay)) return;  // lost
+  net_.send_control(
+      [this, from, to, msg = std::move(msg)] {
+        if (peer::Peer* p = active_peer(to); p != nullptr) {
+          p->handle_message(from, msg);
+        }
+      },
+      extra_delay);
 }
 
 void Swarm::broadcast_have(peer::PeerId from, wire::PieceIndex piece) {
@@ -112,9 +133,25 @@ void Swarm::broadcast_have(peer::PeerId from, wire::PieceIndex piece) {
   global_availability_.add_have(piece);
   peer::Peer* sender = active_peer(from);
   if (sender == nullptr) return;
+  std::vector<peer::PeerId> targets = sender->connected_peers();
+  if (control_fault_) {
+    // Faults apply per receiver, so the broadcast decomposes into
+    // independent deliveries (each may be lost or jittered separately).
+    for (const peer::PeerId t : targets) {
+      double extra_delay = 0.0;
+      if (!control_fault_(&extra_delay)) continue;  // lost on this link
+      net_.send_control(
+          [this, from, piece, t] {
+            if (peer::Peer* p = active_peer(t); p != nullptr) {
+              p->handle_message(from, wire::HaveMsg{piece});
+            }
+          },
+          extra_delay);
+    }
+    return;
+  }
   // One scheduled delivery to all connections (event economy; equivalent
   // to per-connection control messages with identical latency).
-  std::vector<peer::PeerId> targets = sender->connected_peers();
   net_.send_control([this, from, piece, targets = std::move(targets)] {
     for (const peer::PeerId t : targets) {
       if (peer::Peer* p = active_peer(t); p != nullptr) {
@@ -181,7 +218,7 @@ peer::AnnounceResult Swarm::announce(peer::PeerId who,
                                      peer::AnnounceEvent event) {
   const peer::Peer* p = find_peer(who);
   const bool is_seed = p != nullptr && p->is_seed();
-  return tracker_.announce(who, event, is_seed, sim_.rng());
+  return tracker_.announce(who, event, is_seed, sim_.rng(), sim_.now());
 }
 
 }  // namespace swarmlab::swarm

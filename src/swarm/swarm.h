@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -47,6 +48,13 @@ class Swarm final : public peer::Fabric {
   /// object remains queryable (its final statistics survive).
   void stop_peer(peer::PeerId id);
 
+  /// Abrupt crash (fault injection): like stop_peer but with no Stopped
+  /// announce and no disconnect callbacks — remote peers keep ghost
+  /// entries until their liveness timers evict them. In-flight transfers
+  /// abort silently (the node vanishes). Returns false if the peer was
+  /// not active. The Peer object remains queryable.
+  bool crash_peer(peer::PeerId id);
+
   [[nodiscard]] peer::Peer* find_peer(peer::PeerId id);
   [[nodiscard]] const peer::Peer* find_peer(peer::PeerId id) const;
 
@@ -63,6 +71,18 @@ class Swarm final : public peer::Fabric {
   /// True when every piece has at least one copy among active peers — the
   /// torrent is alive (§II-B).
   [[nodiscard]] bool torrent_alive() const;
+
+  // --- fault injection -----------------------------------------------------
+
+  /// Per-delivery control-message fault hook (fault::FaultInjector).
+  /// Called once per (message, receiver); returns false to drop the
+  /// delivery, or true to deliver after an additional `*extra_delay`
+  /// seconds (preset to 0). Unset in fault-free runs — the batched
+  /// broadcast fast path and single-lambda sends stay byte-identical.
+  using ControlFault = std::function<bool(double* extra_delay)>;
+  void set_control_fault(ControlFault hook) {
+    control_fault_ = std::move(hook);
+  }
 
   // --- Fabric -------------------------------------------------------------
 
@@ -103,6 +123,7 @@ class Swarm final : public peer::Fabric {
   std::map<peer::PeerId, Slot> slots_;
   core::AvailabilityMap global_availability_;
   peer::PeerId next_id_ = 1;
+  ControlFault control_fault_;  // null in fault-free runs
 };
 
 }  // namespace swarmlab::swarm

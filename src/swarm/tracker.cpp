@@ -4,8 +4,28 @@ namespace swarmlab::swarm {
 
 peer::AnnounceResult Tracker::announce(peer::PeerId who,
                                        peer::AnnounceEvent event,
-                                       bool is_seed, sim::Rng& rng) {
+                                       bool is_seed, sim::Rng& rng,
+                                       double now) {
   ++stats_.announces;
+  if (!online_) {
+    ++stats_.failed;
+    peer::AnnounceResult failed;
+    failed.ok = false;
+    return failed;
+  }
+  // Lazy member expiry: shed peers that stopped announcing (crashed
+  // without a Stopped event). Scanning at announce time keeps the tracker
+  // free of timers of its own.
+  if (member_expiry_ > 0.0) {
+    for (auto it = members_.begin(); it != members_.end();) {
+      if (it->first != who && now - it->second.last_announce > member_expiry_) {
+        ++stats_.expired;
+        it = members_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   switch (event) {
     case peer::AnnounceEvent::kStarted:
       ++stats_.started;
@@ -23,6 +43,7 @@ peer::AnnounceResult Tracker::announce(peer::PeerId who,
       members_[who].seed = is_seed;
       break;
   }
+  members_[who].last_announce = now;
 
   std::vector<peer::PeerId> pool;
   pool.reserve(members_.size());

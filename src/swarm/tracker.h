@@ -22,6 +22,8 @@ struct TrackerStats {
   std::uint64_t started = 0;
   std::uint64_t completed = 0;
   std::uint64_t stopped = 0;
+  std::uint64_t failed = 0;   ///< announces rejected while offline
+  std::uint64_t expired = 0;  ///< members dropped for not re-announcing
 };
 
 /// Membership registry + random peer-list server.
@@ -30,10 +32,26 @@ class Tracker {
   explicit Tracker(std::uint32_t peers_per_announce = 50)
       : peers_per_announce_(peers_per_announce) {}
 
-  /// Processes one announce; returns up to `peers_per_announce` random
-  /// members, excluding the announcer.
+  /// Processes one announce at simulated time `now`; returns up to
+  /// `peers_per_announce` random members, excluding the announcer. While
+  /// offline (fault injection) the result carries ok=false and the
+  /// membership is untouched.
   peer::AnnounceResult announce(peer::PeerId who, peer::AnnounceEvent event,
-                                bool is_seed, sim::Rng& rng);
+                                bool is_seed, sim::Rng& rng,
+                                double now = 0.0);
+
+  /// Fault injection: while offline every announce fails.
+  void set_online(bool online) { online_ = online; }
+  [[nodiscard]] bool online() const { return online_; }
+
+  /// Members whose last announce is older than `seconds` are dropped
+  /// lazily at the next processed announce (0 disables). This is how a
+  /// real tracker sheds peers that crashed without a Stopped announce;
+  /// gracefully behaving peers re-announce every ~30 min and never come
+  /// close to the default expiry, so enabling it does not perturb
+  /// fault-free runs.
+  void set_member_expiry(double seconds) { member_expiry_ = seconds; }
+  [[nodiscard]] double member_expiry() const { return member_expiry_; }
 
   [[nodiscard]] std::size_t num_members() const { return members_.size(); }
   [[nodiscard]] std::size_t num_seeds() const;
@@ -45,9 +63,12 @@ class Tracker {
  private:
   struct Entry {
     bool seed = false;
+    double last_announce = 0.0;
   };
 
   std::uint32_t peers_per_announce_;
+  bool online_ = true;
+  double member_expiry_ = 0.0;
   std::map<peer::PeerId, Entry> members_;  // ordered: deterministic sampling
   TrackerStats stats_;
 };

@@ -10,6 +10,8 @@
 #include "core/choker.h"          // peer selection strategies
 #include "core/params.h"          // protocol parameters
 #include "core/piece_picker.h"    // piece selection strategies
+#include "fault/fault_injector.h" // fault-plan execution
+#include "fault/fault_plan.h"     // declarative failure schedules
 #include "instrument/analyzers.h"    // figure analyzers
 #include "instrument/choke_market.h" // equilibrium analysis (§IV-B.2)
 #include "instrument/local_log.h" // instrumented-client log

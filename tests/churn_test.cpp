@@ -116,6 +116,112 @@ TEST(Churn, RapidJoinLeaveNoise) {
   EXPECT_TRUE(sw.find_peer(stable)->is_seed());
 }
 
+TEST(Churn, AbruptCrashLeavesGhostUntilSilenceEviction) {
+  // crash_peer delivers no disconnect callbacks: survivors keep a ghost
+  // Connection until their own silence timeout fires.
+  sim::Simulation sim(3);
+  const wire::ContentGeometry geo(8 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  core::ProtocolParams live;
+  live.liveness_timers = true;
+  PeerConfig s;
+  s.params = live;
+  s.start_complete = true;
+  s.upload_capacity = 30e3;
+  const PeerId seed = sw.add_peer(std::move(s));
+  sw.start_peer(seed);
+  PeerConfig l;
+  l.params = live;
+  l.upload_capacity = 30e3;
+  const PeerId survivor = sw.add_peer(PeerConfig(l));
+  sw.start_peer(survivor);
+  const PeerId victim = sw.add_peer(std::move(l));
+  sw.start_peer(victim);
+
+  sim.schedule_at(50.0, [&] { ASSERT_TRUE(sw.crash_peer(victim)); });
+  sim.schedule_at(51.0, [&] {
+    // No disconnect was delivered: the ghost entry is still there.
+    EXPECT_NE(sw.find_peer(survivor)->connection(victim), nullptr);
+    EXPECT_FALSE(sw.find_peer(victim)->active());
+  });
+  // Run past silence_timeout plus check-tick granularity: evicted.
+  sim.run_until(50.0 + live.silence_timeout +
+                2.0 * live.liveness_check_interval);
+  EXPECT_EQ(sw.find_peer(survivor)->connection(victim), nullptr);
+  EXPECT_EQ(sw.find_peer(seed)->connection(victim), nullptr);
+  EXPECT_GE(sw.find_peer(survivor)->ghosts_evicted() +
+                sw.find_peer(seed)->ghosts_evicted(),
+            1u);
+}
+
+TEST(Churn, RequestTimeoutReturnsBlocksBeforeGhostEviction) {
+  // Outstanding requests to a crashed peer come back to the picker after
+  // request_timeout (60 s) — well before the ghost itself is evicted at
+  // silence_timeout (240 s) — so the download reroutes and completes.
+  sim::Simulation sim(4);
+  const wire::ContentGeometry geo(16 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  core::ProtocolParams live;
+  live.liveness_timers = true;
+  PeerConfig s;
+  s.params = live;
+  s.start_complete = true;
+  s.upload_capacity = 10e3;  // slow: the transfer outlives the crash
+  const PeerId seed1 = sw.add_peer(PeerConfig(s));
+  sw.start_peer(seed1);
+  const PeerId seed2 = sw.add_peer(std::move(s));
+  sw.start_peer(seed2);
+  PeerConfig l;
+  l.params = live;
+  l.upload_capacity = 10e3;
+  const PeerId leecher = sw.add_peer(std::move(l));
+  sw.start_peer(leecher);
+
+  sim.schedule_at(30.0, [&] { ASSERT_TRUE(sw.crash_peer(seed1)); });
+  // request_timeout after the crash: requests freed, ghost still present.
+  sim.schedule_at(30.0 + live.request_timeout +
+                      2.0 * live.liveness_check_interval,
+                  [&] {
+                    const peer::Peer* p = sw.find_peer(leecher);
+                    const peer::Connection* c = p->connection(seed1);
+                    ASSERT_NE(c, nullptr);
+                    EXPECT_TRUE(c->outstanding.empty());
+                    EXPECT_GE(p->timed_out_requests(), 1u);
+                  });
+  // silence_timeout after the crash: ghost gone.
+  sim.schedule_at(30.0 + live.silence_timeout +
+                      2.0 * live.liveness_check_interval,
+                  [&] {
+                    EXPECT_EQ(sw.find_peer(leecher)->connection(seed1),
+                              nullptr);
+                  });
+  sim.run_until(8000.0);
+  EXPECT_TRUE(sw.find_peer(leecher)->is_seed());
+}
+
+TEST(Churn, GhostsPersistWhenLivenessTimersAreOff) {
+  // Documents the default: with liveness_timers=false (the byte-identity
+  // default for fault-free runs) nothing ever evicts a crashed peer.
+  sim::Simulation sim(5);
+  const wire::ContentGeometry geo(8 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  PeerConfig s;
+  s.start_complete = true;
+  s.upload_capacity = 30e3;
+  const PeerId seed = sw.add_peer(std::move(s));
+  sw.start_peer(seed);
+  PeerConfig l;
+  l.upload_capacity = 30e3;
+  const PeerId survivor = sw.add_peer(PeerConfig(l));
+  sw.start_peer(survivor);
+  const PeerId victim = sw.add_peer(std::move(l));
+  sw.start_peer(victim);
+  sim.schedule_at(50.0, [&] { ASSERT_TRUE(sw.crash_peer(victim)); });
+  sim.run_until(3000.0);
+  EXPECT_NE(sw.find_peer(survivor)->connection(victim), nullptr);
+  EXPECT_EQ(sw.find_peer(survivor)->ghosts_evicted(), 0u);
+}
+
 TEST(OptimisticBias, NewPeersWinTheOptimisticDrawMoreOften) {
   core::ProtocolParams params;
   params.optimistic_new_peer_weight = 3;

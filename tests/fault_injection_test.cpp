@@ -1,0 +1,218 @@
+// Fault-injection subsystem tests: FaultPlan gating, the acceptance
+// storm (initial-seed death + message loss + tracker outage), announce
+// retry across tracker outages, and the headline determinism guarantee —
+// a faulted sweep is byte-identical for 1 worker and 8 workers.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "runner/batch_runner.h"
+#include "sim/rng.h"
+#include "swarm/scenario.h"
+#include "swarm/swarm.h"
+
+namespace swarmlab {
+namespace {
+
+using runner::BatchJob;
+using runner::BatchOptions;
+using runner::BatchRunner;
+using runner::RunResult;
+
+TEST(FaultPlan, AnyReflectsEveryKnob) {
+  fault::FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+
+  plan.initial_seed_death_time = 0.0;  // t=0 is a valid death time
+  EXPECT_TRUE(plan.any());
+  plan = {};
+  plan.peer_crash_rate = 0.001;
+  EXPECT_TRUE(plan.any());
+  plan = {};
+  plan.message_loss_rate = 0.01;
+  EXPECT_TRUE(plan.any());
+  plan = {};
+  plan.message_delay_jitter = 0.1;
+  EXPECT_TRUE(plan.any());
+  plan = {};
+  plan.flow_kill_rate = 0.001;
+  EXPECT_TRUE(plan.any());
+  plan = {};
+  plan.tracker_outages.push_back({100.0, 0.0});  // zero-length: inert
+  EXPECT_FALSE(plan.any());
+  plan.tracker_outages.push_back({100.0, 50.0});
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultInjection, AllZeroPlanAddsNoFaultsKey) {
+  BatchJob job;
+  job.id = 1;
+  job.config.num_pieces = 16;
+  job.config.initial_seeds = 1;
+  job.config.initial_leechers = 4;
+  job.config.arrival_rate = 0.0;
+  job.config.duration = 8000.0;
+  job.seed = 11;
+  const RunResult res = runner::run_scenario_job(job, 100.0);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.metrics.find("faults"), nullptr);
+}
+
+// The ISSUE acceptance scenario: initial seed dies, 5% of control
+// messages vanish, and the tracker blacks out for a window — the run
+// must either complete or report stalled cleanly, and every ghost seed
+// must be evicted from every surviving peer's set within the silence
+// timeout.
+TEST(FaultInjection, StormCompletesOrStallsCleanlyAndEvictsGhosts) {
+  swarm::ScenarioConfig cfg;
+  cfg.num_pieces = 16;
+  cfg.initial_seeds = 2;
+  cfg.initial_leechers = 10;
+  cfg.arrival_rate = 0.02;
+  cfg.duration = 12000.0;
+  cfg.faults.initial_seed_death_time = 300.0;
+  cfg.faults.message_loss_rate = 0.05;
+  cfg.faults.tracker_outages.push_back({400.0, 600.0});
+
+  instrument::LocalPeerLog log(cfg.num_pieces);
+  swarm::ScenarioRunner runner(cfg, 4242, &log);
+  fault::FaultInjector injector(runner, 4242);
+  const double end = runner.run_until_local_complete(2000.0);
+
+  EXPECT_EQ(injector.stats().seed_deaths, 2u);
+  EXPECT_EQ(injector.stats().outages, 1u);
+  EXPECT_GT(injector.stats().messages_dropped, 0u);
+  EXPECT_GT(runner.swarm().tracker().stats().failed, 0u);
+
+  // Either outcome is acceptable; both must be clean. The run always
+  // outlives death + silence_timeout, so ghosts must be gone.
+  const double evict_deadline =
+      cfg.faults.initial_seed_death_time +
+      runner.config().local_params.silence_timeout +
+      2.0 * runner.config().local_params.liveness_check_interval;
+  ASSERT_GT(end, evict_deadline);
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    if (!p->active()) continue;
+    for (const peer::PeerId dead : runner.initial_seed_ids()) {
+      EXPECT_EQ(p->connection(dead), nullptr)
+          << "peer " << id << " still holds ghost seed " << dead;
+    }
+  }
+}
+
+TEST(FaultInjection, AnnounceRetryRidesOutTrackerOutage) {
+  // A peer that starts mid-outage gets a failed Started announce and an
+  // empty peer set; exponential-backoff retries (base 15 s) connect it
+  // once the tracker returns.
+  sim::Simulation sim(9);
+  const wire::ContentGeometry geo(8 * 256 * 1024);
+  swarm::Swarm sw(sim, geo);
+  peer::PeerConfig s;
+  s.start_complete = true;
+  s.upload_capacity = 30e3;
+  sw.start_peer(sw.add_peer(std::move(s)));
+
+  sim.schedule_at(50.0, [&] { sw.tracker().set_online(false); });
+  peer::PeerId late = peer::kNoPeer;
+  sim.schedule_at(60.0, [&] {
+    peer::PeerConfig l;
+    l.upload_capacity = 30e3;
+    late = sw.add_peer(std::move(l));
+    sw.start_peer(late);
+  });
+  sim.schedule_at(61.0, [&] {
+    EXPECT_GE(sw.find_peer(late)->announce_failures(), 1u);
+    EXPECT_EQ(sw.find_peer(late)->peer_set_size(), 0u);
+  });
+  sim.schedule_at(200.0, [&] { sw.tracker().set_online(true); });
+
+  sim.run_until(6000.0);
+  ASSERT_NE(late, peer::kNoPeer);
+  EXPECT_GE(sw.find_peer(late)->announce_failures(), 1u);
+  EXPECT_GT(sw.tracker().stats().failed, 0u);
+  // Recovery: the late peer found the seed and finished the download.
+  EXPECT_TRUE(sw.find_peer(late)->is_seed());
+}
+
+// --- the determinism guarantee ----------------------------------------------
+
+struct SweepOutput {
+  std::string text;
+  std::string report_core;
+};
+
+SweepOutput run_faulted_sweep(int workers) {
+  swarm::ScaleLimits limits;
+  limits.max_peers = 24;
+  limits.max_pieces = 16;
+  limits.min_pieces = 16;
+  limits.duration = 6000.0;
+
+  // Two torrents x {crash+loss, seed death+outage, flow kills}: every
+  // fault path draws from its per-job forked stream.
+  std::vector<fault::FaultPlan> plans(3);
+  plans[0].peer_crash_rate = 1.0 / 400.0;
+  plans[0].message_loss_rate = 0.05;
+  plans[0].message_delay_jitter = 0.2;
+  plans[1].initial_seed_death_time = 400.0;
+  plans[1].tracker_outages.push_back({200.0, 500.0});
+  plans[2].flow_kill_rate = 1.0 / 60.0;
+
+  std::vector<BatchJob> jobs;
+  int id = 0;
+  for (const int torrent : {3, 5}) {
+    for (const auto& plan : plans) {
+      BatchJob job;
+      job.id = ++id;
+      job.config = swarm::scenario_from_table1(torrent, limits);
+      job.config.faults = plan;
+      job.name = "faulted-" + std::to_string(id);
+      job.seed = sim::fork_seed(20061025, static_cast<std::uint64_t>(id));
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  BatchOptions opts;
+  opts.jobs = workers;
+  opts.master_seed = 20061025;
+  BatchRunner batch(opts);
+  SweepOutput out;
+  const auto results = batch.run(
+      jobs,
+      [](const BatchJob& job) {
+        return runner::run_scenario_job(
+            job, 200.0,
+            [&job](const swarm::ScenarioRunner&,
+                   const instrument::LocalPeerLog&, RunResult& res) {
+              char row[96];
+              std::snprintf(row, sizeof row, "%d done=%.2f events=%llu\n",
+                            job.id, res.local_completion,
+                            static_cast<unsigned long long>(
+                                res.events_executed));
+              res.text = row;
+            });
+      },
+      [&](const RunResult& r) { out.text += r.text; });
+  const auto report = runner::make_report("fault_injection_test", opts,
+                                          results, batch.wall_seconds());
+  out.report_core = dump(runner::deterministic_view(report), 2);
+  return out;
+}
+
+TEST(FaultDeterminism, FaultedSweepIsIdenticalAcrossWorkerCounts) {
+  const SweepOutput serial = run_faulted_sweep(1);
+  const SweepOutput parallel = run_faulted_sweep(8);
+  EXPECT_EQ(serial.text, parallel.text);
+  EXPECT_EQ(serial.report_core, parallel.report_core);
+  // Sanity: the faulted runs actually injected faults.
+  EXPECT_NE(serial.report_core.find("\"faults\""), std::string::npos);
+  EXPECT_NE(serial.report_core.find("\"seed_deaths\": 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace swarmlab

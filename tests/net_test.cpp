@@ -174,6 +174,75 @@ TEST(FluidNetwork, ByteConservationUnderChurn) {
   EXPECT_GE(h.sim.now(), 100.0 - 0.01);
 }
 
+TEST(FluidNetwork, ControlExtraDelayAddsToBaseLatency) {
+  Harness h;  // base control latency 0.05
+  double delivered_at = -1.0;
+  h.net.send_control([&] { delivered_at = h.sim.now(); }, /*extra_delay=*/0.2);
+  h.sim.run();
+  EXPECT_NEAR(delivered_at, 0.25, 1e-9);
+}
+
+TEST(FluidNetwork, StalledFlowParksWhileCapacityIsZero) {
+  // Dropping a sender's capacity to zero parks its flows (rate 0, no
+  // completion event); the flow must still exist and make no progress.
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  bool done = false;
+  const FlowId f = h.net.start_flow(a, b, 1000, [&] { done = true; });
+  h.sim.schedule_at(2.0, [&] { h.net.set_node_capacity(a, 0.0, kUnlimited); });
+  h.sim.run_until(500.0);
+  EXPECT_FALSE(done);
+  EXPECT_TRUE(h.net.has_flow(f));
+  EXPECT_DOUBLE_EQ(h.net.flow_rate(f), 0.0);
+}
+
+TEST(FluidNetwork, StalledFlowResumesWhenCapacityReturns) {
+  // The regression this guards: a parked flow (rate <= 0) must be
+  // rescheduled by the capacity-change reallocation, not stay wedged.
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  double completed_at = -1.0;
+  h.net.start_flow(a, b, 1000, [&] { completed_at = h.sim.now(); });
+  // 200 bytes transferred by t=2; parked until t=50; remaining 800 bytes
+  // at the restored 100 B/s finish at t=58.
+  h.sim.schedule_at(2.0, [&] { h.net.set_node_capacity(a, 0.0, kUnlimited); });
+  h.sim.schedule_at(50.0,
+                    [&] { h.net.set_node_capacity(a, 100.0, kUnlimited); });
+  h.sim.run();
+  EXPECT_NEAR(completed_at, 58.0, 0.01);
+}
+
+TEST(FluidNetwork, StalledReceiverResumesToo) {
+  Harness h;
+  const NodeId a = h.net.add_node(kUnlimited, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, 100.0);
+  double completed_at = -1.0;
+  h.net.start_flow(a, b, 1000, [&] { completed_at = h.sim.now(); });
+  h.sim.schedule_at(5.0, [&] { h.net.set_node_capacity(b, kUnlimited, 0.0); });
+  h.sim.schedule_at(20.0,
+                    [&] { h.net.set_node_capacity(b, kUnlimited, 100.0); });
+  h.sim.run();
+  // 500 bytes by t=5, parked 15 s, remaining 500 bytes done at t=25.
+  EXPECT_NEAR(completed_at, 25.0, 0.01);
+}
+
+TEST(FluidNetwork, ActiveFlowIdsAreSortedAndCancelable) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  const FlowId f1 = h.net.start_flow(a, b, 10000, [] {});
+  const FlowId f2 = h.net.start_flow(a, b, 10000, [] {});
+  const auto ids = h.net.active_flow_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_LT(ids[0], ids[1]);
+  EXPECT_TRUE(h.net.cancel_flow(f1));
+  EXPECT_FALSE(h.net.has_flow(f1));
+  EXPECT_TRUE(h.net.has_flow(f2));
+  EXPECT_EQ(h.net.active_flow_ids().size(), 1u);
+}
+
 TEST(FluidNetwork, ZeroLatencyDeliversImmediatelyNextEvent) {
   sim::Simulation sim(1);
   FluidNetwork net(sim, 0.0);

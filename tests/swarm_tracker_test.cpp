@@ -101,6 +101,47 @@ TEST(Tracker, StatsCountEvents) {
   EXPECT_EQ(t.stats().stopped, 1u);
 }
 
+TEST(Tracker, OfflineAnnouncesFailAndAreCounted) {
+  Tracker t;
+  sim::Rng rng(1);
+  t.announce(1, AnnounceEvent::kStarted, false, rng);
+  t.set_online(false);
+  const auto result = t.announce(2, AnnounceEvent::kStarted, false, rng);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.peers.empty());
+  EXPECT_EQ(t.num_members(), 1u);  // the failed announce registered nothing
+  EXPECT_EQ(t.stats().failed, 1u);
+  t.set_online(true);
+  EXPECT_TRUE(t.announce(2, AnnounceEvent::kStarted, false, rng).ok);
+  EXPECT_EQ(t.num_members(), 2u);
+}
+
+TEST(Tracker, MemberExpiryEvictsSilentPeers) {
+  // Crashed peers never send Stopped; the tracker forgets them once they
+  // miss their re-announce by the expiry margin.
+  Tracker t;
+  sim::Rng rng(1);
+  t.set_member_expiry(4500.0);
+  t.announce(1, AnnounceEvent::kStarted, false, rng, /*now=*/0.0);
+  t.announce(2, AnnounceEvent::kStarted, false, rng, /*now=*/0.0);
+  t.announce(3, AnnounceEvent::kStarted, false, rng, /*now=*/0.0);
+  // Peer 1 keeps announcing; 2 and 3 went silent (crashed).
+  t.announce(1, AnnounceEvent::kRegular, false, rng, /*now=*/1800.0);
+  EXPECT_EQ(t.num_members(), 3u);  // nobody is overdue yet
+  t.announce(1, AnnounceEvent::kRegular, false, rng, /*now=*/5000.0);
+  EXPECT_EQ(t.num_members(), 1u);
+  EXPECT_EQ(t.stats().expired, 2u);
+}
+
+TEST(Tracker, ExpiryDisabledByDefault) {
+  Tracker t;
+  sim::Rng rng(1);
+  t.announce(1, AnnounceEvent::kStarted, false, rng, /*now=*/0.0);
+  t.announce(2, AnnounceEvent::kRegular, false, rng, /*now=*/1e9);
+  EXPECT_EQ(t.num_members(), 2u);
+  EXPECT_EQ(t.stats().expired, 0u);
+}
+
 // --- Table-I catalog ----------------------------------------------------------
 
 TEST(Table1, HasTwentySixTorrents) {
