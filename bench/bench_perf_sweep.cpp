@@ -1,0 +1,110 @@
+// Performance baseline sweep: a small/medium/large scenario ladder timed
+// through the BatchRunner, reporting wall seconds, events per second and
+// event-queue pressure per tier (see docs/performance.md).
+//
+// Unlike the figure/table benches this binary measures the simulator, not
+// the paper: its stdout carries wall-clock numbers and is therefore NOT
+// byte-stable across runs. The simulated trajectory itself is still fully
+// deterministic — end_time, events and the perf counters are identical
+// for any --jobs value and any machine.
+//
+// Always writes a compact machine-readable summary (default
+// BENCH_perf.json, override with --json PATH) so CI can archive the
+// throughput trend per commit.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+swarmlab::swarm::ScenarioConfig perf_scenario(const char* name,
+                                              std::uint32_t leechers,
+                                              std::uint32_t seeds,
+                                              std::uint32_t pieces,
+                                              double arrival,
+                                              std::uint32_t max_pop) {
+  swarmlab::swarm::ScenarioConfig cfg;
+  cfg.name = name;
+  cfg.num_pieces = pieces;
+  cfg.piece_size = 64 * 1024;
+  cfg.block_size = 16 * 1024;
+  cfg.initial_seeds = seeds;
+  cfg.initial_leechers = leechers;
+  cfg.leechers_warm = true;
+  cfg.arrival_rate = arrival;
+  cfg.max_population = max_pop;
+  cfg.duration = 20000.0;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swarmlab;
+  auto opts = bench::parse_bench_options(argc, argv);
+  if (opts.json_path.empty()) opts.json_path = "BENCH_perf.json";
+
+  // The ladder: flash-crowd swarms of increasing population and content
+  // size. Tier parameters are frozen — BENCH_perf.json numbers are only
+  // comparable across commits if the workload never moves.
+  const swarm::ScenarioConfig ladder[] = {
+      perf_scenario("perf_small", 48, 1, 128, 0.02, 96),
+      perf_scenario("perf_medium", 150, 1, 384, 0.05, 220),
+      perf_scenario("perf_large", 320, 2, 1024, 0.08, 420),
+  };
+
+  std::vector<runner::BatchJob> jobs;
+  int id = 0;
+  for (const auto& cfg : ladder) {
+    runner::BatchJob job;
+    job.id = ++id;
+    job.name = cfg.name;
+    job.config = cfg;
+    job.seed = sim::fork_seed(opts.seed, static_cast<std::uint64_t>(job.id));
+    jobs.push_back(std::move(job));
+  }
+
+  std::printf("=== Perf sweep: simulator throughput ladder ===\n");
+  std::printf("seed=%llu jobs=%d\n\n",
+              static_cast<unsigned long long>(opts.seed), opts.jobs);
+  std::printf("%-12s %10s %14s %12s %12s %12s\n", "tier", "wall_s", "events",
+              "events/s", "peak_pend", "cancelled");
+
+  // Driven directly (not via run_sweep): the streamed rows here contain
+  // wall-clock throughput, which only exists after the job returns.
+  runner::BatchOptions bopts;
+  bopts.jobs = opts.jobs;
+  bopts.master_seed = opts.seed;
+  runner::BatchRunner batch(bopts);
+  const auto results = batch.run(
+      jobs,
+      [](const runner::BatchJob& job) {
+        return runner::run_scenario_job(job, 300.0);
+      },
+      [](const runner::RunResult& r) {
+        const double evps =
+            r.sim_seconds > 0.0
+                ? static_cast<double>(r.events_executed) / r.sim_seconds
+                : 0.0;
+        std::printf("%-12s %10.3f %14llu %12.0f %12llu %12llu\n",
+                    r.name.c_str(), r.sim_seconds,
+                    static_cast<unsigned long long>(r.events_executed), evps,
+                    static_cast<unsigned long long>(r.peak_pending),
+                    static_cast<unsigned long long>(r.events_cancelled));
+        std::fflush(stdout);
+      });
+
+  const auto report =
+      runner::make_report("bench_perf_sweep", bopts, results,
+                          batch.wall_seconds());
+  std::string error;
+  if (!runner::write_report(opts.json_path, report, &error)) {
+    std::fprintf(stderr, "bench_perf_sweep: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("\nwall_s and events/s vary with the host; events, peak_pend "
+              "and cancelled are\ndeterministic. Report written to %s "
+              "(schema %s).\n",
+              opts.json_path.c_str(), runner::kReportSchema);
+  return 0;
+}

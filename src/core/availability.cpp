@@ -22,15 +22,25 @@ void AvailabilityMap::bump(PieceIndex p, int delta) {
 
 void AvailabilityMap::add_peer(const Bitfield& have) {
   assert(have.size() == num_pieces());
-  for (std::uint32_t p = 0; p < have.size(); ++p) {
-    if (have.has(p)) bump(p, +1);
+  const auto& words = have.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const PieceIndex base =
+        static_cast<PieceIndex>(w * Bitfield::kWordBits);
+    for (Bitfield::Word m = words[w]; m != 0; m &= m - 1) {
+      bump(base + static_cast<PieceIndex>(std::countr_zero(m)), +1);
+    }
   }
 }
 
 void AvailabilityMap::remove_peer(const Bitfield& have) {
   assert(have.size() == num_pieces());
-  for (std::uint32_t p = 0; p < have.size(); ++p) {
-    if (have.has(p)) bump(p, -1);
+  const auto& words = have.words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const PieceIndex base =
+        static_cast<PieceIndex>(w * Bitfield::kWordBits);
+    for (Bitfield::Word m = words[w]; m != 0; m &= m - 1) {
+      bump(base + static_cast<PieceIndex>(std::countr_zero(m)), -1);
+    }
   }
 }
 
@@ -58,6 +68,7 @@ double AvailabilityMap::mean_copies() const {
 std::vector<PieceIndex> AvailabilityMap::rarest_set() const {
   const std::uint32_t min = min_copies();
   std::vector<PieceIndex> out;
+  out.reserve(rarest_set_size());
   for (std::uint32_t p = 0; p < copies_.size(); ++p) {
     if (copies_[p] == min) out.push_back(p);
   }

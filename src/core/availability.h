@@ -43,6 +43,12 @@ class AvailabilityMap {
   /// Fewest copies over all pieces.
   [[nodiscard]] std::uint32_t min_copies() const;
 
+  /// Number of pieces with exactly `c` copies (0 for unoccupied buckets).
+  /// Capacity hint for rarest-set consumers (picker tie vectors).
+  [[nodiscard]] std::uint32_t bucket(std::uint32_t c) const {
+    return c < buckets_.size() ? buckets_[c] : 0;
+  }
+
   /// Most copies over all pieces (O(buckets)).
   [[nodiscard]] std::uint32_t max_copies() const;
 

@@ -2,25 +2,53 @@
 
 namespace swarmlab::core {
 
+namespace {
+
+/// Mask selecting the live bits of the trailing word (all-ones when the
+/// size is a multiple of the word width).
+Bitfield::Word trailing_mask(std::uint32_t num_pieces) {
+  const std::uint32_t rem = num_pieces % Bitfield::kWordBits;
+  return rem == 0 ? ~Bitfield::Word{0} : (Bitfield::Word{1} << rem) - 1;
+}
+
+}  // namespace
+
+Bitfield::Bitfield(const std::vector<bool>& bits)
+    : Bitfield(static_cast<std::uint32_t>(bits.size())) {
+  for (std::uint32_t p = 0; p < size_; ++p) {
+    if (bits[p]) {
+      words_[p / kWordBits] |= Word{1} << (p % kWordBits);
+      ++count_;
+    }
+  }
+}
+
 Bitfield Bitfield::full(std::uint32_t num_pieces) {
   Bitfield b(num_pieces);
-  b.bits_.assign(num_pieces, true);
+  if (num_pieces > 0) {
+    b.words_.assign(b.words_.size(), ~Word{0});
+    b.words_.back() &= trailing_mask(num_pieces);
+  }
   b.count_ = num_pieces;
   return b;
 }
 
 bool Bitfield::set(PieceIndex p) {
   assert(p < size());
-  if (bits_[p]) return false;
-  bits_[p] = true;
+  Word& w = words_[p / kWordBits];
+  const Word bit = Word{1} << (p % kWordBits);
+  if (w & bit) return false;
+  w |= bit;
   ++count_;
   return true;
 }
 
 bool Bitfield::clear(PieceIndex p) {
   assert(p < size());
-  if (!bits_[p]) return false;
-  bits_[p] = false;
+  Word& w = words_[p / kWordBits];
+  const Word bit = Word{1} << (p % kWordBits);
+  if (!(w & bit)) return false;
+  w &= ~bit;
   --count_;
   return true;
 }
@@ -29,17 +57,30 @@ bool Bitfield::interested_in(const Bitfield& other) const {
   assert(size() == other.size());
   // A complete peer is never interested; a peer is interested iff the
   // other side has some piece it lacks.
-  for (std::uint32_t p = 0; p < size(); ++p) {
-    if (other.bits_[p] && !bits_[p]) return true;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (other.words_[w] & ~words_[w]) return true;
   }
   return false;
+}
+
+std::uint32_t Bitfield::count_missing_from(const Bitfield& other) const {
+  assert(size() == other.size());
+  std::uint32_t n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    n += static_cast<std::uint32_t>(std::popcount(other.words_[w] &
+                                                  ~words_[w]));
+  }
+  return n;
 }
 
 std::vector<PieceIndex> Bitfield::set_indices() const {
   std::vector<PieceIndex> out;
   out.reserve(count_);
-  for (std::uint32_t p = 0; p < size(); ++p) {
-    if (bits_[p]) out.push_back(p);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const PieceIndex base = static_cast<PieceIndex>(w * kWordBits);
+    for (Word m = words_[w]; m != 0; m &= m - 1) {
+      out.push_back(base + static_cast<PieceIndex>(std::countr_zero(m)));
+    }
   }
   return out;
 }
@@ -47,8 +88,23 @@ std::vector<PieceIndex> Bitfield::set_indices() const {
 std::vector<PieceIndex> Bitfield::missing_from(const Bitfield& other) const {
   assert(size() == other.size());
   std::vector<PieceIndex> out;
-  for (std::uint32_t p = 0; p < size(); ++p) {
-    if (other.bits_[p] && !bits_[p]) out.push_back(p);
+  out.reserve(count_missing_from(other));
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const PieceIndex base = static_cast<PieceIndex>(w * kWordBits);
+    for (Word m = other.words_[w] & ~words_[w]; m != 0; m &= m - 1) {
+      out.push_back(base + static_cast<PieceIndex>(std::countr_zero(m)));
+    }
+  }
+  return out;
+}
+
+std::vector<bool> Bitfield::bits() const {
+  std::vector<bool> out(size_, false);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    const PieceIndex base = static_cast<PieceIndex>(w * kWordBits);
+    for (Word m = words_[w]; m != 0; m &= m - 1) {
+      out[base + static_cast<PieceIndex>(std::countr_zero(m))] = true;
+    }
   }
   return out;
 }

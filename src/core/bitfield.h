@@ -1,6 +1,14 @@
 // Piece possession bitfield.
+//
+// Packed representation: one std::uint64_t word per 64 pieces, with the
+// trailing word's unused high bits always zero (the *trailing-zero
+// invariant*). Every set-algebra operation (interest, missing-set,
+// counting) runs word-parallel with popcount/ctz instead of per-bit
+// branches; see docs/performance.md for the layout and the invariant's
+// role in operator== and whole-word loops.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -15,19 +23,30 @@ using wire::PieceIndex;
 /// A fixed-size set of piece indices, tracking its own cardinality.
 class Bitfield {
  public:
+  /// Storage word. 64 pieces per word.
+  using Word = std::uint64_t;
+  static constexpr std::uint32_t kWordBits = 64;
+
   Bitfield() = default;
-  explicit Bitfield(std::uint32_t num_pieces) : bits_(num_pieces, false) {}
+  explicit Bitfield(std::uint32_t num_pieces)
+      : size_(num_pieces), words_(word_count(num_pieces), 0) {}
+
+  /// Packs a wire-format bit vector (e.g. wire::BitfieldMsg::bits).
+  explicit Bitfield(const std::vector<bool>& bits);
 
   /// A bitfield with every piece set (a seed's bitfield).
   static Bitfield full(std::uint32_t num_pieces);
 
-  [[nodiscard]] std::uint32_t size() const {
-    return static_cast<std::uint32_t>(bits_.size());
+  /// Words needed to hold `num_pieces` bits.
+  static constexpr std::size_t word_count(std::uint32_t num_pieces) {
+    return (static_cast<std::size_t>(num_pieces) + kWordBits - 1) / kWordBits;
   }
+
+  [[nodiscard]] std::uint32_t size() const { return size_; }
 
   [[nodiscard]] bool has(PieceIndex p) const {
     assert(p < size());
-    return bits_[p];
+    return (words_[p / kWordBits] >> (p % kWordBits)) & 1u;
   }
 
   /// Sets piece `p`; returns true if it was newly set.
@@ -47,8 +66,13 @@ class Bitfield {
 
   /// True if `other` has at least one piece this bitfield lacks — i.e.,
   /// whether a peer holding `*this` is *interested* in a peer holding
-  /// `other` (paper §II-A).
+  /// `other` (paper §II-A). Word-wise ANDNOT; O(pieces / 64).
   [[nodiscard]] bool interested_in(const Bitfield& other) const;
+
+  /// Number of pieces set in `other` but not in this — the size of
+  /// missing_from(other) without materializing the vector (interest
+  /// checks, reserve hints). O(pieces / 64).
+  [[nodiscard]] std::uint32_t count_missing_from(const Bitfield& other) const;
 
   /// Indices set in this bitfield.
   [[nodiscard]] std::vector<PieceIndex> set_indices() const;
@@ -57,14 +81,22 @@ class Bitfield {
   [[nodiscard]] std::vector<PieceIndex> missing_from(
       const Bitfield& other) const;
 
-  /// Raw bit vector (e.g., for wire::BitfieldMsg).
-  [[nodiscard]] const std::vector<bool>& bits() const { return bits_; }
+  /// Packed words, ascending piece order; the trailing word's bits past
+  /// size() are zero. For word-parallel consumers (pickers, availability).
+  [[nodiscard]] const std::vector<Word>& words() const { return words_; }
 
+  /// Wire-format bit vector (e.g., for wire::BitfieldMsg). Materialized
+  /// on demand; keep off hot paths.
+  [[nodiscard]] std::vector<bool> bits() const;
+
+  /// Identical size and membership. The trailing-zero invariant makes the
+  /// defaulted word comparison exact.
   bool operator==(const Bitfield&) const = default;
 
  private:
-  std::vector<bool> bits_;
+  std::uint32_t size_ = 0;
   std::uint32_t count_ = 0;
+  std::vector<Word> words_;
 };
 
 }  // namespace swarmlab::core

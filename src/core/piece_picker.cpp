@@ -1,5 +1,6 @@
 #include "core/piece_picker.h"
 
+#include <bit>
 #include <limits>
 
 namespace swarmlab::core {
@@ -7,30 +8,61 @@ namespace swarmlab::core {
 namespace {
 
 /// Collects the pieces the remote has, the local peer lacks, and the
-/// request manager allows starting.
+/// request manager allows starting. Candidate bits come from word-wise
+/// `remote & ~local`; `startable` (the only per-piece indirect call) runs
+/// only on surviving bits. Ascending index order — the same candidate
+/// order as a full scalar scan, so rng.index() draws are unchanged.
 std::vector<PieceIndex> eligible_pieces(const PickContext& ctx) {
+  assert(ctx.local.size() == ctx.remote.size());
   std::vector<PieceIndex> out;
-  for (PieceIndex p = 0; p < ctx.local.size(); ++p) {
-    if (!ctx.local.has(p) && ctx.remote.has(p) && ctx.startable(p)) {
-      out.push_back(p);
+  out.reserve(ctx.local.count_missing_from(ctx.remote));
+  const auto& lw = ctx.local.words();
+  const auto& rw = ctx.remote.words();
+  for (std::size_t w = 0; w < rw.size(); ++w) {
+    const PieceIndex base = static_cast<PieceIndex>(w * Bitfield::kWordBits);
+    for (Bitfield::Word m = rw[w] & ~lw[w]; m != 0; m &= m - 1) {
+      const PieceIndex p =
+          base + static_cast<PieceIndex>(std::countr_zero(m));
+      if (ctx.startable(p)) out.push_back(p);
     }
   }
   return out;
 }
 
 /// Uniform choice among the eligible pieces with the fewest copies.
+///
+/// Single ascending pass over the `remote & ~local` words, keeping the
+/// ties for the best rarity seen so far — draw-for-draw identical to the
+/// reference scalar scan (tests: core_picker_test). The availability
+/// buckets bound the work: `best` can never drop below the minimum
+/// occupied rarity, and bucket(best) pre-sizes the tie vector.
 std::optional<PieceIndex> pick_rarest(const PickContext& ctx, sim::Rng& rng) {
+  assert(ctx.local.size() == ctx.remote.size());
+  const std::uint32_t floor = ctx.availability.min_copies();
   std::vector<PieceIndex> rarest;
   std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
-  for (PieceIndex p = 0; p < ctx.local.size(); ++p) {
-    if (ctx.local.has(p) || !ctx.remote.has(p) || !ctx.startable(p)) continue;
-    const std::uint32_t c = ctx.availability.copies(p);
-    if (c < best) {
-      best = c;
-      rarest.clear();
+  const auto& lw = ctx.local.words();
+  const auto& rw = ctx.remote.words();
+  for (std::size_t w = 0; w < rw.size(); ++w) {
+    const PieceIndex base = static_cast<PieceIndex>(w * Bitfield::kWordBits);
+    for (Bitfield::Word m = rw[w] & ~lw[w]; m != 0; m &= m - 1) {
+      const PieceIndex p =
+          base + static_cast<PieceIndex>(std::countr_zero(m));
+      const std::uint32_t c = ctx.availability.copies(p);
+      // Rarity check first: it is a cheap array load, while `startable`
+      // is an indirect call. Pieces rarer than the global floor do not
+      // exist, so once `best == floor` this branch rejects everything
+      // except exact ties.
+      if (c > best) continue;
+      if (!ctx.startable(p)) continue;
+      if (c < best) {
+        best = c;
+        rarest.clear();
+        rarest.reserve(ctx.availability.bucket(best));
+      }
       rarest.push_back(p);
-    } else if (c == best) {
-      rarest.push_back(p);
+      (void)floor;
+      assert(best >= floor);
     }
   }
   if (rarest.empty()) return std::nullopt;
@@ -63,8 +95,15 @@ std::optional<PieceIndex> RandomPicker::pick(const PickContext& ctx,
 std::optional<PieceIndex> SequentialPicker::pick(const PickContext& ctx,
                                                  sim::Rng& rng) {
   (void)rng;
-  for (PieceIndex p = 0; p < ctx.local.size(); ++p) {
-    if (!ctx.local.has(p) && ctx.remote.has(p) && ctx.startable(p)) return p;
+  const auto& lw = ctx.local.words();
+  const auto& rw = ctx.remote.words();
+  for (std::size_t w = 0; w < rw.size(); ++w) {
+    const PieceIndex base = static_cast<PieceIndex>(w * Bitfield::kWordBits);
+    for (Bitfield::Word m = rw[w] & ~lw[w]; m != 0; m &= m - 1) {
+      const PieceIndex p =
+          base + static_cast<PieceIndex>(std::countr_zero(m));
+      if (ctx.startable(p)) return p;
+    }
   }
   return std::nullopt;
 }

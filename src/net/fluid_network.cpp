@@ -16,37 +16,42 @@ constexpr double kByteEpsilon = 1e-6;
 NodeId FluidNetwork::add_node(double up_bytes_per_sec,
                               double down_bytes_per_sec) {
   assert(up_bytes_per_sec > 0.0 && down_bytes_per_sec > 0.0);
-  const NodeId id = next_node_++;
-  Node node;
+  NodeSlot node;
   node.up = up_bytes_per_sec;
   node.down = down_bytes_per_sec;
-  nodes_.emplace(id, std::move(node));
-  return id;
+  node.alive = true;
+  nodes_.push_back(node);
+  return static_cast<NodeId>(nodes_.size());
 }
 
 void FluidNetwork::remove_node(NodeId node) {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end()) return;
-  // Collect first: cancel_flow mutates the sets we iterate.
-  std::vector<FlowId> doomed(it->second.outgoing.begin(),
-                             it->second.outgoing.end());
-  doomed.insert(doomed.end(), it->second.incoming.begin(),
-                it->second.incoming.end());
+  NodeSlot* n = find_node(node);
+  if (n == nullptr) return;
+  // Collect first: cancel_flow relinks the lists we iterate. Outgoing
+  // then incoming, each in creation order.
+  std::vector<FlowId> doomed;
+  doomed.reserve(n->out_count + n->in_count);
+  for (std::uint32_t s = n->out_head; s != kNil; s = flows_[s].out_next) {
+    doomed.push_back(pack(flows_[s].gen, s));
+  }
+  for (std::uint32_t s = n->in_head; s != kNil; s = flows_[s].in_next) {
+    doomed.push_back(pack(flows_[s].gen, s));
+  }
   for (const FlowId f : doomed) cancel_flow(f);
-  nodes_.erase(node);
+  n->alive = false;
 }
 
 double FluidNetwork::node_up(NodeId node) const {
-  const auto it = nodes_.find(node);
-  return it == nodes_.end() ? 0.0 : it->second.up;
+  const NodeSlot* n = find_node(node);
+  return n == nullptr ? 0.0 : n->up;
 }
 
 void FluidNetwork::set_node_capacity(NodeId node, double up_bytes_per_sec,
                                      double down_bytes_per_sec) {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end()) return;
-  it->second.up = std::max(0.0, up_bytes_per_sec);
-  it->second.down = std::max(0.0, down_bytes_per_sec);
+  NodeSlot* n = find_node(node);
+  if (n == nullptr) return;
+  n->up = std::max(0.0, up_bytes_per_sec);
+  n->down = std::max(0.0, down_bytes_per_sec);
   // reallocate(node, node) covers exactly the affected set — the node's
   // outgoing plus incoming flows — settling each at its old rate and
   // rescheduling it at the new one. This is the guaranteed wake-up for
@@ -56,52 +61,134 @@ void FluidNetwork::set_node_capacity(NodeId node, double up_bytes_per_sec,
 
 std::vector<FlowId> FluidNetwork::active_flow_ids() const {
   std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, flow] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  ids.reserve(flow_count_);
+  for (std::uint32_t s = all_head_; s != kNil; s = flows_[s].all_next) {
+    ids.push_back(pack(flows_[s].gen, s));
+  }
   return ids;
+}
+
+void FluidNetwork::link(std::uint32_t slot) {
+  FlowSlot& flow = flows_[slot];
+  NodeSlot& sender = nodes_[flow.from - 1];
+  NodeSlot& receiver = nodes_[flow.to - 1];
+  flow.out_prev = sender.out_tail;
+  flow.out_next = kNil;
+  if (sender.out_tail != kNil) {
+    flows_[sender.out_tail].out_next = slot;
+  } else {
+    sender.out_head = slot;
+  }
+  sender.out_tail = slot;
+  ++sender.out_count;
+  flow.in_prev = receiver.in_tail;
+  flow.in_next = kNil;
+  if (receiver.in_tail != kNil) {
+    flows_[receiver.in_tail].in_next = slot;
+  } else {
+    receiver.in_head = slot;
+  }
+  receiver.in_tail = slot;
+  ++receiver.in_count;
+  flow.all_prev = all_tail_;
+  flow.all_next = kNil;
+  if (all_tail_ != kNil) {
+    flows_[all_tail_].all_next = slot;
+  } else {
+    all_head_ = slot;
+  }
+  all_tail_ = slot;
+  ++flow_count_;
+}
+
+void FluidNetwork::detach(std::uint32_t slot) {
+  FlowSlot& flow = flows_[slot];
+  NodeSlot& sender = nodes_[flow.from - 1];
+  NodeSlot& receiver = nodes_[flow.to - 1];
+  if (flow.out_prev != kNil) {
+    flows_[flow.out_prev].out_next = flow.out_next;
+  } else {
+    sender.out_head = flow.out_next;
+  }
+  if (flow.out_next != kNil) {
+    flows_[flow.out_next].out_prev = flow.out_prev;
+  } else {
+    sender.out_tail = flow.out_prev;
+  }
+  --sender.out_count;
+  if (flow.in_prev != kNil) {
+    flows_[flow.in_prev].in_next = flow.in_next;
+  } else {
+    receiver.in_head = flow.in_next;
+  }
+  if (flow.in_next != kNil) {
+    flows_[flow.in_next].in_prev = flow.in_prev;
+  } else {
+    receiver.in_tail = flow.in_prev;
+  }
+  --receiver.in_count;
+  if (flow.all_prev != kNil) {
+    flows_[flow.all_prev].all_next = flow.all_next;
+  } else {
+    all_head_ = flow.all_next;
+  }
+  if (flow.all_next != kNil) {
+    flows_[flow.all_next].all_prev = flow.all_prev;
+  } else {
+    all_tail_ = flow.all_prev;
+  }
+  --flow_count_;
+  // Retire: invalidate outstanding ids, drop the callback, recycle.
+  ++flow.gen;
+  flow.seq = 0;
+  flow.on_complete = nullptr;
+  free_flows_.push_back(slot);
 }
 
 FlowId FluidNetwork::start_flow(NodeId from, NodeId to, std::uint64_t bytes,
                                 std::function<void()> on_complete) {
-  assert(nodes_.contains(from) && nodes_.contains(to));
+  assert(has_node(from) && has_node(to));
   assert(bytes > 0);
-  const FlowId id = next_flow_++;
-  Flow flow;
+  std::uint32_t slot;
+  if (!free_flows_.empty()) {
+    slot = free_flows_.back();
+    free_flows_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+  }
+  FlowSlot& flow = flows_[slot];
   flow.from = from;
   flow.to = to;
   flow.remaining = static_cast<double>(bytes);
+  flow.rate = 0.0;
   flow.last_update = sim_.now();
+  flow.completion_event = 0;
   flow.on_complete = std::move(on_complete);
-  flows_.emplace(id, std::move(flow));
-  nodes_[from].outgoing.insert(id);
-  nodes_[to].incoming.insert(id);
+  flow.seq = next_seq_++;
+  link(slot);
+  const FlowId id = pack(flow.gen, slot);
   reallocate(from, to);
   return id;
 }
 
 bool FluidNetwork::cancel_flow(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
-  const NodeId from = it->second.from;
-  const NodeId to = it->second.to;
-  if (it->second.completion_event != 0) {
-    sim_.cancel(it->second.completion_event);
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNil) return false;
+  FlowSlot& flow = flows_[slot];
+  const NodeId from = flow.from;
+  const NodeId to = flow.to;
+  if (flow.completion_event != 0) {
+    sim_.cancel(flow.completion_event);
   }
-  if (auto n = nodes_.find(from); n != nodes_.end()) {
-    n->second.outgoing.erase(id);
-  }
-  if (auto n = nodes_.find(to); n != nodes_.end()) {
-    n->second.incoming.erase(id);
-  }
-  flows_.erase(it);
+  detach(slot);
   reallocate(from, to);
   return true;
 }
 
 double FluidNetwork::flow_rate(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const FlowSlot* flow = find_flow(id);
+  return flow == nullptr ? 0.0 : flow->rate;
 }
 
 void FluidNetwork::send_control(std::function<void()> deliver,
@@ -110,7 +197,7 @@ void FluidNetwork::send_control(std::function<void()> deliver,
                    std::move(deliver));
 }
 
-void FluidNetwork::settle(Flow& flow) {
+void FluidNetwork::settle(FlowSlot& flow) {
   const sim::SimTime now = sim_.now();
   if (now > flow.last_update && flow.rate > 0.0) {
     flow.remaining =
@@ -119,22 +206,20 @@ void FluidNetwork::settle(Flow& flow) {
   flow.last_update = now;
 }
 
-double FluidNetwork::compute_rate(const Flow& flow) const {
-  const auto from_it = nodes_.find(flow.from);
-  const auto to_it = nodes_.find(flow.to);
-  if (from_it == nodes_.end() || to_it == nodes_.end()) return 0.0;
-  const Node& sender = from_it->second;
-  const Node& receiver = to_it->second;
+double FluidNetwork::compute_rate(const FlowSlot& flow) const {
+  const NodeSlot* sender = find_node(flow.from);
+  const NodeSlot* receiver = find_node(flow.to);
+  if (sender == nullptr || receiver == nullptr) return 0.0;
   const double up_share =
-      sender.up / static_cast<double>(std::max<std::size_t>(
-                      1, sender.outgoing.size()));
+      sender->up /
+      static_cast<double>(std::max<std::uint32_t>(1, sender->out_count));
   const double down_share =
-      receiver.down / static_cast<double>(std::max<std::size_t>(
-                          1, receiver.incoming.size()));
+      receiver->down /
+      static_cast<double>(std::max<std::uint32_t>(1, receiver->in_count));
   return std::min(up_share, down_share);
 }
 
-void FluidNetwork::reschedule(FlowId id, Flow& flow) {
+void FluidNetwork::reschedule(FlowId id, FlowSlot& flow) {
   if (flow.completion_event != 0) {
     sim_.cancel(flow.completion_event);
     flow.completion_event = 0;
@@ -151,48 +236,59 @@ void FluidNetwork::reschedule(FlowId id, Flow& flow) {
 }
 
 void FluidNetwork::reallocate(NodeId from, NodeId to) {
-  // Gather the affected flow set (outgoing of `from` plus incoming of
-  // `to`); each is settled at the old rate, then re-rated and
-  // rescheduled.
-  std::vector<FlowId> affected;
-  if (const auto it = nodes_.find(from); it != nodes_.end()) {
-    affected.insert(affected.end(), it->second.outgoing.begin(),
-                    it->second.outgoing.end());
-  }
-  if (const auto it = nodes_.find(to); it != nodes_.end()) {
-    affected.insert(affected.end(), it->second.incoming.begin(),
-                    it->second.incoming.end());
-  }
-  std::sort(affected.begin(), affected.end());
-  affected.erase(std::unique(affected.begin(), affected.end()),
-                 affected.end());
-  for (const FlowId id : affected) {
-    auto it = flows_.find(id);
-    if (it == flows_.end()) continue;
-    Flow& flow = it->second;
+  // Walk the affected flow set — outgoing of `from` merged with incoming
+  // of `to` by creation seq (both lists are creation-ordered, and equal
+  // seq means the same flow appears in both). This visits flows in the
+  // exact ascending order the old sort+unique produced, with no
+  // allocation. reschedule() only touches the event queue, never these
+  // lists, so live iteration is safe.
+  const NodeSlot* f = find_node(from);
+  const NodeSlot* t = find_node(to);
+  std::uint32_t a = f != nullptr ? f->out_head : kNil;
+  std::uint32_t b = t != nullptr ? t->in_head : kNil;
+  while (a != kNil || b != kNil) {
+    std::uint32_t cur;
+    if (b == kNil) {
+      cur = a;
+      a = flows_[a].out_next;
+    } else if (a == kNil) {
+      cur = b;
+      b = flows_[b].in_next;
+    } else if (flows_[a].seq < flows_[b].seq) {
+      cur = a;
+      a = flows_[a].out_next;
+    } else if (flows_[b].seq < flows_[a].seq) {
+      cur = b;
+      b = flows_[b].in_next;
+    } else {  // same flow on both lists (from → to itself)
+      cur = a;
+      a = flows_[a].out_next;
+      b = flows_[b].in_next;
+    }
+    FlowSlot& flow = flows_[cur];
     settle(flow);
     flow.rate = compute_rate(flow);
-    reschedule(id, flow);
+    // Always cancel + reschedule, even when the rate is unchanged: a
+    // fresh event takes a fresh tie-break sequence, and same-fire-time
+    // ties are common among sender-bound flows (identical remaining and
+    // rate), so skipping the churn here reorders tied completions and
+    // breaks replay identity. Cancellation is O(1)-lazy, so the cost is
+    // one heap push.
+    reschedule(pack(flow.gen, cur), flow);
   }
 }
 
 void FluidNetwork::complete_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNil) return;
+  FlowSlot& flow = flows_[slot];
   settle(flow);
   flow.completion_event = 0;
   const NodeId from = flow.from;
   const NodeId to = flow.to;
   // Detach before the callback: the callback typically starts a new flow.
   std::function<void()> on_complete = std::move(flow.on_complete);
-  if (auto n = nodes_.find(from); n != nodes_.end()) {
-    n->second.outgoing.erase(id);
-  }
-  if (auto n = nodes_.find(to); n != nodes_.end()) {
-    n->second.incoming.erase(id);
-  }
-  flows_.erase(it);
+  detach(slot);
   reallocate(from, to);
   if (on_complete) on_complete();
 }

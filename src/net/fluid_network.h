@@ -17,13 +17,21 @@
 //
 // Control messages (have/interested/choke/...) are a few dozen bytes and
 // are modeled as pure latency via `send_control`.
+//
+// Storage: nodes and flows live in index-addressed slabs instead of hash
+// maps. NodeIds are never reused (a removed node's slot stays dead);
+// FlowIds are generation-checked slot handles, so a stale id held by a
+// sender after fault injection aborts its upload can never alias the
+// slot's next tenant. Each flow is threaded onto three intrusive lists —
+// its sender's outgoing list, its receiver's incoming list, and a global
+// list — all in creation order, which is exactly the ascending-id order
+// the pre-slab implementation produced by sorting. See
+// docs/performance.md.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -34,7 +42,8 @@ namespace swarmlab::net {
 /// Identifies an endpoint (a simulated host).
 using NodeId = std::uint32_t;
 
-/// Identifies a live flow.
+/// Identifies a live flow. 0 is never a valid id (callers use it as a
+/// "no flow" sentinel).
 using FlowId = std::uint64_t;
 
 /// Unlimited capacity marker.
@@ -68,23 +77,25 @@ class FluidNetwork {
                          double down_bytes_per_sec);
 
   [[nodiscard]] bool has_node(NodeId node) const {
-    return nodes_.contains(node);
+    return node >= 1 && node <= nodes_.size() && nodes_[node - 1].alive;
   }
 
   /// True while the flow is in transit (neither completed nor
   /// cancelled). Lets a sender detect an upload aborted by fault
-  /// injection, which fires no callback.
+  /// injection, which fires no callback. Generation-checked: a stale id
+  /// is never confused with the slot's next tenant.
   [[nodiscard]] bool has_flow(FlowId flow) const {
-    return flows_.contains(flow);
+    return find_flow(flow) != nullptr;
   }
 
-  /// Ids of all in-transit flows, sorted ascending — a deterministic
-  /// enumeration (the internal map is unordered) for fault injection's
-  /// random victim pick.
+  /// Ids of all in-transit flows, in creation order — a deterministic
+  /// enumeration for fault injection's random victim pick. (Until a flow
+  /// slot is reused this equals ascending-id order, which is what the
+  /// pre-slab implementation returned.)
   [[nodiscard]] std::vector<FlowId> active_flow_ids() const;
 
   /// Starts a transfer of `bytes` from `from` to `to`; `on_complete` fires
-  /// when the last byte arrives. Returns the flow id.
+  /// when the last byte arrives. Returns the flow id (never 0).
   FlowId start_flow(NodeId from, NodeId to, std::uint64_t bytes,
                     std::function<void()> on_complete);
 
@@ -104,20 +115,26 @@ class FluidNetwork {
   [[nodiscard]] double control_latency() const { return control_latency_; }
 
   /// Number of active flows (for tests/diagnostics).
-  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const { return flow_count_; }
 
   /// Upload capacity of a node (for diagnostics).
   [[nodiscard]] double node_up(NodeId node) const;
 
  private:
-  struct Node {
+  /// "No slot" sentinel for intrusive links.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct NodeSlot {
     double up = kUnlimited;
     double down = kUnlimited;
-    std::unordered_set<FlowId> outgoing;
-    std::unordered_set<FlowId> incoming;
+    bool alive = false;
+    // Intrusive list heads/tails (flow slab indices), creation order.
+    std::uint32_t out_head = kNil, out_tail = kNil;
+    std::uint32_t in_head = kNil, in_tail = kNil;
+    std::uint32_t out_count = 0, in_count = 0;
   };
 
-  struct Flow {
+  struct FlowSlot {
     NodeId from = 0;
     NodeId to = 0;
     double remaining = 0.0;  // bytes
@@ -125,29 +142,73 @@ class FluidNetwork {
     sim::SimTime last_update = 0.0;
     sim::EventId completion_event = 0;
     std::function<void()> on_complete;
+    std::uint64_t seq = 0;  // creation order; 0 marks a vacant slot
+    std::uint32_t gen = 0;  // bumped on retirement; stale ids mismatch
+    // Intrusive links (flow slab indices).
+    std::uint32_t out_prev = kNil, out_next = kNil;  // sender's outgoing
+    std::uint32_t in_prev = kNil, in_next = kNil;    // receiver's incoming
+    std::uint32_t all_prev = kNil, all_next = kNil;  // global, creation order
   };
 
+  static constexpr FlowId pack(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<FlowId>(gen) << 32) | (static_cast<FlowId>(slot) + 1);
+  }
+
+  /// Slab slot of a live flow id; kNil when the id is stale or malformed.
+  [[nodiscard]] std::uint32_t slot_of(FlowId id) const {
+    const std::uint64_t biased = id & 0xffffffffu;
+    if (biased == 0 || biased > flows_.size()) return kNil;
+    const std::uint32_t slot = static_cast<std::uint32_t>(biased - 1);
+    const FlowSlot& f = flows_[slot];
+    if (f.seq == 0 || f.gen != static_cast<std::uint32_t>(id >> 32)) {
+      return kNil;
+    }
+    return slot;
+  }
+
+  [[nodiscard]] const FlowSlot* find_flow(FlowId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot == kNil ? nullptr : &flows_[slot];
+  }
+
+  [[nodiscard]] NodeSlot* find_node(NodeId id) {
+    return has_node(id) ? &nodes_[id - 1] : nullptr;
+  }
+  [[nodiscard]] const NodeSlot* find_node(NodeId id) const {
+    return has_node(id) ? &nodes_[id - 1] : nullptr;
+  }
+
+  /// Threads a fresh flow onto its three lists (tail = creation order).
+  void link(std::uint32_t slot);
+
+  /// Unlinks a flow from its lists, bumps its generation (invalidating
+  /// outstanding ids) and recycles the slot.
+  void detach(std::uint32_t slot);
+
   /// Applies progress accrued since `last_update` at the current rate.
-  void settle(Flow& flow);
+  void settle(FlowSlot& flow);
 
   /// Recomputes rates and completion events for every flow touching
-  /// `from`'s outgoing set and `to`'s incoming set.
+  /// `from`'s outgoing set and `to`'s incoming set, in creation order
+  /// (two-pointer merge of the per-node lists by `seq`).
   void reallocate(NodeId from, NodeId to);
 
   /// Recomputes one flow's rate from the current share counts.
-  [[nodiscard]] double compute_rate(const Flow& flow) const;
+  [[nodiscard]] double compute_rate(const FlowSlot& flow) const;
 
   /// Reschedules the completion event for a settled flow.
-  void reschedule(FlowId id, Flow& flow);
+  void reschedule(FlowId id, FlowSlot& flow);
 
   void complete_flow(FlowId id);
 
   sim::Simulation& sim_;
   double control_latency_;
-  std::unordered_map<NodeId, Node> nodes_;
-  std::unordered_map<FlowId, Flow> flows_;
-  NodeId next_node_ = 1;
-  FlowId next_flow_ = 1;
+  std::vector<NodeSlot> nodes_;  // index = NodeId - 1; ids never reused
+  std::vector<FlowSlot> flows_;  // slab; index = low id half - 1
+  std::vector<std::uint32_t> free_flows_;  // retired slots awaiting reuse
+  std::uint32_t all_head_ = kNil, all_tail_ = kNil;
+  std::size_t flow_count_ = 0;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace swarmlab::net

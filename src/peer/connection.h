@@ -2,8 +2,11 @@
 // peer set. Both endpoints hold their own Connection for the same link.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "core/bitfield.h"
@@ -84,6 +87,88 @@ struct Connection {
     }
     return false;
   }
+};
+
+/// The local peer set, indexed directly by remote PeerId (ids are dense —
+/// assigned 1, 2, ... by the swarm and never recycled — so the table is a
+/// plain pointer vector). find() is O(1); iteration visits connections in
+/// ascending remote id, the same order the ordered map it replaced gave,
+/// which choke rounds and broadcasts rely on for deterministic replay.
+///
+/// Connections are heap-allocated, so a Connection* stays valid across
+/// inserts and erases of other entries. Erasing during iteration is safe
+/// (the slot nulls in place); inserting during iteration is not.
+class ConnectionTable {
+ public:
+  [[nodiscard]] Connection* find(PeerId remote) {
+    return remote >= 1 && remote <= slots_.size() ? slots_[remote - 1].get()
+                                                  : nullptr;
+  }
+  [[nodiscard]] const Connection* find(PeerId remote) const {
+    return remote >= 1 && remote <= slots_.size() ? slots_[remote - 1].get()
+                                                  : nullptr;
+  }
+  [[nodiscard]] bool contains(PeerId remote) const {
+    return find(remote) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Takes ownership of `conn` (keyed by conn.remote, which must not
+  /// already be present). The returned reference is stable for the
+  /// connection's lifetime.
+  Connection& insert(Connection conn) {
+    assert(conn.remote >= 1);
+    const std::size_t idx = static_cast<std::size_t>(conn.remote) - 1;
+    if (idx >= slots_.size()) slots_.resize(idx + 1);
+    assert(slots_[idx] == nullptr);
+    slots_[idx] = std::make_unique<Connection>(std::move(conn));
+    ++count_;
+    return *slots_[idx];
+  }
+
+  /// Returns true if `remote` was present.
+  bool erase(PeerId remote) {
+    if (!contains(remote)) return false;
+    slots_[remote - 1].reset();
+    --count_;
+    return true;
+  }
+
+  template <bool Const>
+  class Iter {
+    using Table = std::conditional_t<Const, const ConnectionTable,
+                                     ConnectionTable>;
+    using Ref = std::conditional_t<Const, const Connection&, Connection&>;
+
+   public:
+    Iter(Table* table, std::size_t idx) : table_(table), idx_(idx) { skip(); }
+    Ref operator*() const { return *table_->slots_[idx_]; }
+    Iter& operator++() {
+      ++idx_;
+      skip();
+      return *this;
+    }
+    bool operator!=(const Iter& other) const { return idx_ != other.idx_; }
+
+   private:
+    void skip() {
+      while (idx_ < table_->slots_.size() &&
+             table_->slots_[idx_] == nullptr) {
+        ++idx_;
+      }
+    }
+    Table* table_;
+    std::size_t idx_;
+  };
+
+  [[nodiscard]] Iter<false> begin() { return {this, 0}; }
+  [[nodiscard]] Iter<false> end() { return {this, slots_.size()}; }
+  [[nodiscard]] Iter<true> begin() const { return {this, 0}; }
+  [[nodiscard]] Iter<true> end() const { return {this, slots_.size()}; }
+
+ private:
+  std::vector<std::unique_ptr<Connection>> slots_;  // index = remote - 1
+  std::size_t count_ = 0;
 };
 
 }  // namespace swarmlab::peer

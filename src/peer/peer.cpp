@@ -68,25 +68,21 @@ std::vector<std::uint8_t> Peer::read_block(wire::BlockRef block) const {
 double Peer::now() const { return fabric_.simulation().now(); }
 
 const Connection* Peer::connection(PeerId remote) const {
-  const auto it = conns_.find(remote);
-  return it == conns_.end() ? nullptr : &it->second;
+  return conns_.find(remote);
 }
 
-Connection* Peer::find_conn(PeerId remote) {
-  const auto it = conns_.find(remote);
-  return it == conns_.end() ? nullptr : &it->second;
-}
+Connection* Peer::find_conn(PeerId remote) { return conns_.find(remote); }
 
 std::vector<PeerId> Peer::connected_peers() const {
   std::vector<PeerId> out;
   out.reserve(conns_.size());
-  for (const auto& [remote, conn] : conns_) out.push_back(remote);
+  for (const Connection& conn : conns_) out.push_back(conn.remote);
   return out;
 }
 
 std::size_t Peer::initiated_connections() const {
   std::size_t n = 0;
-  for (const auto& [remote, conn] : conns_) {
+  for (const Connection& conn : conns_) {
     if (conn.initiated_by_us) ++n;
   }
   return n;
@@ -169,15 +165,14 @@ void Peer::on_connected(PeerId remote, bool initiated_by_us) {
   conn.last_seen = now();
   conn.last_sent = now();
   conn.remote_have = core::Bitfield(geo_.num_pieces());
-  auto [it, inserted] = conns_.emplace(remote, std::move(conn));
-  assert(inserted);
+  Connection& inserted = conns_.insert(std::move(conn));
   if (!is_seed()) {
     max_peer_set_leecher_ = std::max(max_peer_set_leecher_, conns_.size());
   }
   if (observer_ != nullptr) observer_->on_peer_joined(now(), remote);
   if (super_seed_ != nullptr) {
     // Super seeding: advertise nothing; reveal pieces one at a time.
-    super_seed_reveal(it->second);
+    super_seed_reveal(inserted);
   } else if (cfg_.params.fast_extension && have_.complete()) {
     send(remote, wire::HaveAllMsg{});
   } else if (cfg_.params.fast_extension && have_.none()) {
@@ -188,9 +183,9 @@ void Peer::on_connected(PeerId remote, bool initiated_by_us) {
 }
 
 void Peer::on_disconnected(PeerId remote) {
-  const auto it = conns_.find(remote);
-  if (it == conns_.end()) return;
-  Connection& conn = it->second;
+  Connection* found = conns_.find(remote);
+  if (found == nullptr) return;
+  Connection& conn = *found;
   // Give outstanding requests back to the pool.
   for (const wire::BlockRef b : conn.outstanding) release_request(b);
   conn.outstanding.clear();
@@ -208,7 +203,7 @@ void Peer::on_disconnected(PeerId remote) {
   for (auto& [piece, prog] : active_pieces_) {
     if (prog.exclusive_source == remote) prog.exclusive_source.reset();
   }
-  conns_.erase(it);
+  conns_.erase(remote);
   if (observer_ != nullptr) observer_->on_peer_left(now(), remote);
   if (active()) maybe_refill_peer_set();
 }
@@ -284,14 +279,8 @@ void Peer::handle_bitfield(Connection& conn, const wire::BitfieldMsg& msg) {
   // Replace any previous knowledge (a bitfield arrives once, right after
   // the handshake).
   availability_.remove_peer(conn.remote_have);
-  conn.remote_have = core::Bitfield(geo_.num_pieces());
-  conn.missing_count = 0;
-  for (wire::PieceIndex p = 0; p < geo_.num_pieces(); ++p) {
-    if (msg.bits[p]) {
-      conn.remote_have.set(p);
-      if (!have_.has(p)) ++conn.missing_count;
-    }
-  }
+  conn.remote_have = core::Bitfield(msg.bits);
+  conn.missing_count = have_.count_missing_from(conn.remote_have);
   availability_.add_peer(conn.remote_have);
   if (is_seed() && conn.remote_have.complete()) {
     // Seeds do not keep connections to seeds.
@@ -447,8 +436,8 @@ void Peer::handle_block(Connection& conn, const wire::PieceMsg& msg) {
 
   // End game: cancel this block everywhere else it is outstanding.
   if (end_game_active_) {
-    for (auto& [remote, other] : conns_) {
-      if (remote == conn.remote) continue;
+    for (Connection& other : conns_) {
+      if (other.remote == conn.remote) continue;
       auto& oo = other.outstanding;
       const auto oit = std::find(oo.begin(), oo.end(), block);
       if (oit != oo.end()) {
@@ -458,8 +447,9 @@ void Peer::handle_block(Connection& conn, const wire::PieceMsg& msg) {
             pit->second.requested_count[block.block] > 0) {
           --pit->second.requested_count[block.block];
         }
-        send(remote, wire::CancelMsg{block.piece, geo_.block_offset(block),
-                                     geo_.block_bytes(block)});
+        send(other.remote,
+             wire::CancelMsg{block.piece, geo_.block_offset(block),
+                             geo_.block_bytes(block)});
       }
     }
   }
@@ -630,7 +620,7 @@ void Peer::complete_piece(wire::PieceIndex piece) {
   if (observer_ != nullptr) observer_->on_piece_complete(now(), piece);
   fabric_.broadcast_have(cfg_.id, piece);
   // Interest in some peers may vanish now.
-  for (auto& [remote, conn] : conns_) {
+  for (Connection& conn : conns_) {
     if (conn.remote_have.has(piece)) {
       assert(conn.missing_count > 0);
       --conn.missing_count;
@@ -662,12 +652,12 @@ void Peer::discard_piece(wire::PieceIndex piece) {
 
   // Withdraw every outstanding request for the piece (in-flight data may
   // still arrive; it is handled as a fresh stale arrival).
-  for (auto& [remote, conn] : conns_) {
+  for (Connection& conn : conns_) {
     auto& out = conn.outstanding;
     for (auto oit = out.begin(); oit != out.end();) {
       if (oit->piece == piece) {
-        send(remote, wire::CancelMsg{piece, geo_.block_offset(*oit),
-                                     geo_.block_bytes(*oit)});
+        send(conn.remote, wire::CancelMsg{piece, geo_.block_offset(*oit),
+                                          geo_.block_bytes(*oit)});
         oit = out.erase(oit);
       } else {
         ++oit;
@@ -697,8 +687,8 @@ void Peer::become_seed() {
   do_announce(AnnounceEvent::kCompleted);
   // A new seed closes its connections to all the seeds (paper §IV-A.2.b).
   std::vector<PeerId> seeds;
-  for (const auto& [remote, conn] : conns_) {
-    if (conn.remote_have.complete()) seeds.push_back(remote);
+  for (const Connection& conn : conns_) {
+    if (conn.remote_have.complete()) seeds.push_back(conn.remote);
   }
   for (const PeerId r : seeds) fabric_.disconnect(cfg_.id, r);
 }
@@ -758,9 +748,9 @@ void Peer::run_choke_round() {
   std::vector<core::ChokeCandidate> candidates;
   candidates.reserve(conns_.size());
   const double t = now();
-  for (const auto& [remote, conn] : conns_) {
+  for (const Connection& conn : conns_) {
     core::ChokeCandidate c;
-    c.key = remote;
+    c.key = conn.remote;
     c.interested = conn.peer_interested;
     c.unchoked = !conn.am_choking;
     c.download_rate = conn.download_rate.rate(t);
@@ -799,7 +789,8 @@ void Peer::apply_unchoke_set(const std::vector<PeerId>& selected) {
   const auto keep = [&selected](PeerId r) {
     return std::find(selected.begin(), selected.end(), r) != selected.end();
   };
-  for (auto& [remote, conn] : conns_) {
+  for (Connection& conn : conns_) {
+    const PeerId remote = conn.remote;
     if (keep(remote)) {
       if (conn.am_choking) {
         conn.am_choking = false;
@@ -905,18 +896,18 @@ void Peer::run_liveness_tick() {
   const double t = now();
   std::vector<PeerId> ghosts;
   bool blocks_freed = false;
-  for (auto& [remote, conn] : conns_) {
+  for (Connection& conn : conns_) {
     // Silence detection: a peer that crashed (or whose link is wholly
     // lossy) sends nothing — not even keepalives — and gets evicted.
     if (t - conn.last_seen > cfg_.params.silence_timeout) {
-      ghosts.push_back(remote);
+      ghosts.push_back(conn.remote);
       continue;
     }
     // Keepalive: mainline sends one after keepalive_interval of tx
     // silence so a healthy-but-quiet link never trips the remote's
     // silence timeout.
     if (t - conn.last_sent >= cfg_.params.keepalive_interval) {
-      send(remote, wire::KeepAliveMsg{});
+      send(conn.remote, wire::KeepAliveMsg{});
     }
     // Request timeout: an unchoked link that stopped delivering returns
     // its outstanding blocks to the picker for re-request elsewhere.
@@ -946,7 +937,7 @@ void Peer::run_liveness_tick() {
   }
   if (blocks_freed) {
     // Route the returned blocks through links with pipeline room.
-    for (auto& [remote, conn] : conns_) {
+    for (Connection& conn : conns_) {
       if (conn.am_interested && !conn.peer_choking) fill_requests(conn);
     }
   }

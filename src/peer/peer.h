@@ -220,7 +220,7 @@ class Peer {
 
   core::Bitfield have_;
   core::AvailabilityMap availability_;
-  std::map<PeerId, Connection> conns_;  // ordered: deterministic iteration
+  ConnectionTable conns_;  // iterates in ascending remote id: deterministic
   std::map<wire::PieceIndex, PieceProgress> active_pieces_;
 
   std::unique_ptr<core::PiecePicker> picker_;

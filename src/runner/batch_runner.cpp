@@ -149,6 +149,9 @@ RunResult run_scenario_job(const BatchJob& job, double extra_after,
       log.local_is_seed() ? runner.local_peer().completion_time() : -1.0;
   res.completed = res.local_completion >= 0.0;
   res.events_executed = runner.simulation().events_executed();
+  res.events_scheduled = runner.simulation().events_scheduled();
+  res.events_cancelled = runner.simulation().events_cancelled();
+  res.peak_pending = runner.simulation().peak_pending_events();
   if (res.metrics.is_null()) res.metrics = json::Value::object();
   if (injector != nullptr) {
     // Embedded before `analyze` so bench analyzers can fold the fault
@@ -228,6 +231,14 @@ json::Value make_report(const std::string& tool, const BatchOptions& opts,
     entry["completed"] = r.completed;
     entry["stalled"] = !r.completed;
     entry["events"] = r.events_executed;
+    // Event-queue counters: deterministic (pure functions of the
+    // simulated trajectory), hence outside the "wall" object and kept by
+    // deterministic_view().
+    json::Value perf = json::Value::object();
+    perf["scheduled"] = r.events_scheduled;
+    perf["cancelled"] = r.events_cancelled;
+    perf["peak_pending"] = r.peak_pending;
+    entry["perf"] = std::move(perf);
     entry["metrics"] = r.metrics;
     json::Value wall = json::Value::object();
     wall["setup"] = r.setup_seconds;

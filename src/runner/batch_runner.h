@@ -49,6 +49,11 @@ struct RunResult {
   /// of severe fault plans, and worth distinguishing machine-readably).
   bool completed = false;
   std::uint64_t events_executed = 0;
+  /// Event-queue perf counters (deterministic: a pure function of the
+  /// simulated trajectory, so they stay in the deterministic view).
+  std::uint64_t events_scheduled = 0;  ///< fired + cancelled + pending
+  std::uint64_t events_cancelled = 0;  ///< cancelled before firing
+  std::uint64_t peak_pending = 0;      ///< high-water mark of live events
   json::Value metrics;             ///< bench-specific summary (object)
   std::string text;                ///< preformatted row(s) for stdout
 
@@ -113,7 +118,9 @@ std::vector<BatchJob> table1_jobs(std::uint64_t master,
 /// Current report schema identifier (bump on breaking layout changes).
 /// v2: per-result `completed`/`stalled` flags, `wall.at_stop`, and (for
 /// faulted runs) a `metrics.faults` object.
-inline constexpr const char* kReportSchema = "swarmlab.batch/2";
+/// v3: per-result `perf` object — event-queue counters `scheduled`,
+/// `cancelled`, `peak_pending` (deterministic; see docs/performance.md).
+inline constexpr const char* kReportSchema = "swarmlab.batch/3";
 
 /// Assembles the aggregate report: schema version, tool name, git
 /// describe (baked in at build time), host info, master seed, worker

@@ -5,37 +5,67 @@
 
 namespace swarmlab::sim {
 
+namespace {
+constexpr auto kMinHeap = std::greater<>{};
+}  // namespace
+
 EventId EventQueue::schedule(SimTime at, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
-  pending_.insert(id);
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  const EventId id = pack(slots_[slot].gen, slot);
+  slots_[slot].fn = std::move(fn);
+  heap_.push_back(Entry{at, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), kMinHeap);
+  ++live_;
+  ++scheduled_;
+  peak_ = std::max(peak_, live_);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  // Erasing from pending_ is the act of cancellation; the heap entry is
-  // discarded lazily when it reaches the top.
-  return pending_.erase(id) > 0;
+  if (!is_pending(id)) return false;
+  // Bumping the generation is the act of cancellation; the heap entry is
+  // discarded lazily (drop_cancelled) or in bulk (compact).
+  release(static_cast<std::uint32_t>((id & 0xffffffffu) - 1));
+  ++cancelled_;
+  if (heap_.size() >= 64 && heap_.size() > 2 * live_) compact();
+  return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+void EventQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !is_pending(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), kMinHeap);
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !is_pending(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), kMinHeap);
+    heap_.pop_back();
   }
 }
 
-SimTime EventQueue::next_time() const {
+SimTime EventQueue::next_time() {
   drop_cancelled();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty());
-  Fired fired{heap_.top().time, heap_.top().id, std::move(heap_.top().fn)};
-  heap_.pop();
-  pending_.erase(fired.id);
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>((heap_.front().id & 0xffffffffu) - 1);
+  Fired fired{heap_.front().time, heap_.front().id,
+              std::move(slots_[slot].fn)};
+  std::pop_heap(heap_.begin(), heap_.end(), kMinHeap);
+  heap_.pop_back();
+  release(slot);
   return fired;
 }
 

@@ -1,14 +1,23 @@
 // A cancellable priority queue of timed events.
 //
-// Events fire in (time, insertion-sequence) order, so simultaneous events
+// Events fire in (time, schedule-sequence) order, so simultaneous events
 // run in the order they were scheduled — a requirement for deterministic
 // replay of a simulation given a fixed RNG seed.
+//
+// EventIds are generation-checked slot handles: the low half encodes a
+// slot (biased by 1 so no valid id is 0, the "no event" sentinel used by
+// callers), the high half the slot's generation. Cancelling or firing an
+// event bumps the generation, so a stale id held past its event's
+// lifetime can never cancel the slot's next tenant. Fire-order ties are
+// broken by a separate monotonic sequence carried in the heap entry —
+// slot reuse makes ids non-monotonic, so ids cannot order the heap.
+// See docs/performance.md.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/types.h"
@@ -18,14 +27,15 @@ namespace swarmlab::sim {
 /// Callback invoked when an event fires.
 using EventFn = std::function<void()>;
 
-/// Min-heap of timed events with O(1) logical cancellation.
+/// Min-heap of timed events with O(1) cancellation and slot reuse.
 ///
-/// Cancellation is lazy: a cancelled event stays in the heap until it is
-/// popped, at which point it is discarded without running.
+/// Cancellation is lazy: a cancelled event's heap entry stays until it
+/// reaches the top, where its stale generation identifies it for
+/// discard. The slot itself is reusable immediately.
 class EventQueue {
  public:
   /// Schedules `fn` to fire at absolute time `at`. Returns an id usable
-  /// with `cancel()`.
+  /// with `cancel()`; never 0.
   EventId schedule(SimTime at, EventFn fn);
 
   /// Cancels a pending event. Returns true if the event was still pending
@@ -33,13 +43,14 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Precondition: !empty().
-  [[nodiscard]] SimTime next_time() const;
+  /// Non-const: compacts cancelled entries off the heap top.
+  [[nodiscard]] SimTime next_time();
 
   /// What pop() returns: the fired event's time, id and callback.
   struct Fired {
@@ -52,24 +63,74 @@ class EventQueue {
   /// cancelled entries. Precondition: !empty().
   Fired pop();
 
+  /// Events ever scheduled.
+  [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
+
+  /// Events cancelled before firing.
+  [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
+
+  /// High-water mark of live events.
+  [[nodiscard]] std::size_t peak_pending() const { return peak_; }
+
  private:
+  /// Heap entries are 24-byte PODs: sift moves are plain copies instead
+  /// of std::function move-constructor calls. The callback lives in the
+  /// slot and is destroyed eagerly on cancel.
   struct Entry {
     SimTime time;
+    std::uint64_t seq;  // schedule order; breaks equal-time ties
     EventId id;
-    mutable EventFn fn;  // moved out of the heap top in pop()
 
     bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
-      return id > other.id;
+      return seq > other.seq;
     }
   };
 
-  /// Discards cancelled entries sitting at the top of the heap.
-  void drop_cancelled() const;
+  struct Slot {
+    std::uint32_t gen = 0;
+    EventFn fn;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<EventId> pending_;  // ids scheduled, not fired/cancelled
-  EventId next_id_ = 1;
+  static constexpr EventId pack(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  /// True if `id` names the current, still-pending tenant of its slot.
+  [[nodiscard]] bool is_pending(EventId id) const {
+    const std::uint64_t biased = id & 0xffffffffu;
+    if (biased == 0 || biased > slots_.size()) return false;
+    return slots_[biased - 1].gen == static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Retires a slot: invalidates outstanding ids, frees the callback's
+  /// captured resources, allows reuse.
+  void release(std::uint32_t slot) {
+    ++slots_[slot].gen;
+    slots_[slot].fn = nullptr;
+    free_.push_back(slot);
+    --live_;
+  }
+
+  /// Discards cancelled entries sitting at the top of the heap.
+  void drop_cancelled();
+
+  /// Rebuilds the heap without its dead entries. Triggered when dead
+  /// entries outnumber live ones, so the amortized cost per cancel is
+  /// O(1) — far cheaper than sifting each dead entry through the root.
+  /// Pop order is unaffected: (time, seq) is a total order (seq is
+  /// unique), so any valid heap layout pops identically.
+  void compact();
+
+  std::vector<Entry> heap_;  // min-heap via std::*_heap with greater<>
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // retired slots awaiting reuse
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace swarmlab::sim

@@ -53,6 +53,21 @@ class Simulation {
   /// Number of pending events.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Events ever scheduled (fired + cancelled + still pending).
+  [[nodiscard]] std::uint64_t events_scheduled() const {
+    return queue_.scheduled_count();
+  }
+
+  /// Events cancelled before firing.
+  [[nodiscard]] std::uint64_t events_cancelled() const {
+    return queue_.cancelled_count();
+  }
+
+  /// High-water mark of pending events.
+  [[nodiscard]] std::size_t peak_pending_events() const {
+    return queue_.peak_pending();
+  }
+
  private:
   EventQueue queue_;
   Rng rng_;

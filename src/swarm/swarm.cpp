@@ -21,31 +21,31 @@ Swarm::Swarm(sim::Simulation& sim, wire::Metainfo meta,
       global_availability_(geo_.num_pieces()) {}
 
 peer::Peer* Swarm::find_peer(peer::PeerId id) {
-  const auto it = slots_.find(id);
-  return it == slots_.end() ? nullptr : it->second.peer.get();
+  Slot* slot = slot_of(id);
+  return slot == nullptr ? nullptr : slot->peer.get();
 }
 
 const peer::Peer* Swarm::find_peer(peer::PeerId id) const {
-  const auto it = slots_.find(id);
-  return it == slots_.end() ? nullptr : it->second.peer.get();
+  const Slot* slot = slot_of(id);
+  return slot == nullptr ? nullptr : slot->peer.get();
 }
 
 peer::Peer* Swarm::active_peer(peer::PeerId id) {
-  const auto it = slots_.find(id);
-  if (it == slots_.end() || !it->second.in_torrent) return nullptr;
-  return it->second.peer.get();
+  Slot* slot = slot_of(id);
+  if (slot == nullptr || !slot->in_torrent) return nullptr;
+  return slot->peer.get();
 }
 
 std::vector<peer::PeerId> Swarm::peer_ids() const {
   std::vector<peer::PeerId> out;
   out.reserve(slots_.size());
-  for (const auto& [id, slot] : slots_) out.push_back(id);
+  for (peer::PeerId id = 1; id <= slots_.size(); ++id) out.push_back(id);
   return out;
 }
 
 std::size_t Swarm::active_peers() const {
   std::size_t n = 0;
-  for (const auto& [id, slot] : slots_) {
+  for (const auto& slot : slots_) {
     if (slot.in_torrent) ++n;
   }
   return n;
@@ -68,14 +68,14 @@ peer::PeerId Swarm::add_peer(peer::PeerConfig cfg,
   slot.node = net_.add_node(cfg.upload_capacity, cfg.download_capacity);
   slot.peer = std::make_unique<peer::Peer>(*this, geo_, std::move(cfg),
                                            observer);
-  slots_.emplace(id, std::move(slot));
+  slots_.push_back(std::move(slot));
   return id;
 }
 
 void Swarm::start_peer(peer::PeerId id) {
-  auto it = slots_.find(id);
-  assert(it != slots_.end() && !it->second.in_torrent);
-  Slot& slot = it->second;
+  Slot* found = slot_of(id);
+  assert(found != nullptr && !found->in_torrent);
+  Slot& slot = *found;
   slot.in_torrent = true;
   // Register this peer's initial pieces with the global oracle.
   slot.counted_in_global = true;
@@ -85,9 +85,9 @@ void Swarm::start_peer(peer::PeerId id) {
 }
 
 void Swarm::stop_peer(peer::PeerId id) {
-  auto it = slots_.find(id);
-  if (it == slots_.end() || !it->second.in_torrent) return;
-  Slot& slot = it->second;
+  Slot* found = slot_of(id);
+  if (found == nullptr || !found->in_torrent) return;
+  Slot& slot = *found;
   slot.peer->stop();  // disconnects everyone, announces stopped
   slot.in_torrent = false;
   if (slot.counted_in_global) {
@@ -98,9 +98,9 @@ void Swarm::stop_peer(peer::PeerId id) {
 }
 
 bool Swarm::crash_peer(peer::PeerId id) {
-  auto it = slots_.find(id);
-  if (it == slots_.end() || !it->second.in_torrent) return false;
-  Slot& slot = it->second;
+  Slot* found = slot_of(id);
+  if (found == nullptr || !found->in_torrent) return false;
+  Slot& slot = *found;
   slot.peer->crash();  // no Stopped announce, no disconnect callbacks
   slot.in_torrent = false;
   if (slot.counted_in_global) {
@@ -163,16 +163,16 @@ void Swarm::broadcast_have(peer::PeerId from, wire::PieceIndex piece) {
 
 net::FlowId Swarm::send_block(peer::PeerId from, peer::PeerId to,
                               wire::BlockRef block) {
-  const auto from_it = slots_.find(from);
-  const auto to_it = slots_.find(to);
-  if (from_it == slots_.end() || to_it == slots_.end()) return 0;
-  if (!from_it->second.in_torrent || !to_it->second.in_torrent) return 0;
+  const Slot* from_slot = slot_of(from);
+  const Slot* to_slot = slot_of(to);
+  if (from_slot == nullptr || to_slot == nullptr) return 0;
+  if (!from_slot->in_torrent || !to_slot->in_torrent) return 0;
   const std::uint32_t bytes = geo_.block_bytes(block);
   // A corrupting sender's blocks carry a one-byte taint marker — the
   // simulator's stand-in for data that will fail the piece hash check.
-  const bool corrupt = from_it->second.peer->config().sends_corrupt_data;
+  const bool corrupt = from_slot->peer->config().sends_corrupt_data;
   return net_.start_flow(
-      from_it->second.node, to_it->second.node, bytes,
+      from_slot->node, to_slot->node, bytes,
       [this, from, to, block, bytes, corrupt] {
         // Deliver the data to the receiver, then free the sender's slot.
         if (peer::Peer* p = active_peer(to); p != nullptr) {

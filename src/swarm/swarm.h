@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -115,12 +114,23 @@ class Swarm final : public peer::Fabric {
   /// Peer lookup for active slots only.
   peer::Peer* active_peer(peer::PeerId id);
 
+  /// O(1) slot lookup. PeerIds are dense (assigned 1, 2, ... by
+  /// add_peer and never recycled), so the slot table is a plain vector
+  /// indexed by id - 1; departed peers keep their slot with
+  /// in_torrent = false.
+  [[nodiscard]] Slot* slot_of(peer::PeerId id) {
+    return id >= 1 && id <= slots_.size() ? &slots_[id - 1] : nullptr;
+  }
+  [[nodiscard]] const Slot* slot_of(peer::PeerId id) const {
+    return id >= 1 && id <= slots_.size() ? &slots_[id - 1] : nullptr;
+  }
+
   sim::Simulation& sim_;
   wire::ContentGeometry geo_;
   std::optional<wire::Metainfo> meta_;  // engaged in data-plane mode
   net::FluidNetwork net_;
   Tracker tracker_;
-  std::map<peer::PeerId, Slot> slots_;
+  std::vector<Slot> slots_;  // index = PeerId - 1
   core::AvailabilityMap global_availability_;
   peer::PeerId next_id_ = 1;
   ControlFault control_fault_;  // null in fault-free runs

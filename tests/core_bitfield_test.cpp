@@ -1,6 +1,10 @@
 // Bitfield and availability-map unit + property tests.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
 #include "core/availability.h"
 #include "core/bitfield.h"
 #include "sim/rng.h"
@@ -65,6 +69,79 @@ TEST(Bitfield, SetIndicesAndMissingFrom) {
   EXPECT_EQ(a.missing_from(b), (std::vector<PieceIndex>{5}));
   EXPECT_EQ(b.missing_from(a), (std::vector<PieceIndex>{0}));
 }
+
+// --- packed-representation tests (word layout, trailing-zero invariant) ---
+
+// Sizes straddling word boundaries: packed words must behave exactly like
+// per-bit storage at 63/64/65 bits and friends.
+class BitfieldPackedSizeTest : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(BitfieldPackedSizeTest, RoundTripsThroughWireBits) {
+  const std::uint32_t n = GetParam();
+  sim::Rng rng(n * 977 + 1);
+  std::vector<bool> ref(n);
+  for (std::uint32_t p = 0; p < n; ++p) ref[p] = rng.chance(0.5);
+  const Bitfield b(ref);
+  EXPECT_EQ(b.size(), n);
+  std::uint32_t expected_count = 0;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    EXPECT_EQ(b.has(p), ref[p]) << "piece " << p << " of " << n;
+    if (ref[p]) ++expected_count;
+  }
+  EXPECT_EQ(b.count(), expected_count);
+  EXPECT_EQ(b.bits(), ref);
+}
+
+TEST_P(BitfieldPackedSizeTest, FullMasksTrailingWord) {
+  const std::uint32_t n = GetParam();
+  const Bitfield b = Bitfield::full(n);
+  EXPECT_TRUE(b.complete());
+  EXPECT_EQ(b.count(), n);
+  // Trailing-zero invariant: no bit past size() may be set, or the
+  // defaulted operator== and whole-word popcounts would be wrong.
+  EXPECT_EQ(b.words().size(), Bitfield::word_count(n));
+  if (n % Bitfield::kWordBits != 0) {
+    const Bitfield::Word tail = b.words().back();
+    EXPECT_EQ(std::popcount(tail), static_cast<int>(n % Bitfield::kWordBits));
+  }
+  // Clearing and re-setting the last piece round-trips through the tail
+  // word without disturbing neighbors.
+  Bitfield c = b;
+  EXPECT_TRUE(c.clear(n - 1));
+  EXPECT_FALSE(c.complete());
+  EXPECT_NE(b, c);
+  EXPECT_TRUE(c.set(n - 1));
+  EXPECT_EQ(b, c);
+}
+
+TEST_P(BitfieldPackedSizeTest, SetAlgebraMatchesScalarReference) {
+  const std::uint32_t n = GetParam();
+  sim::Rng rng(n * 31 + 7);
+  Bitfield a(n), b(n);
+  std::vector<bool> ra(n), rb(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (rng.chance(0.45)) { a.set(p); ra[p] = true; }
+    if (rng.chance(0.45)) { b.set(p); rb[p] = true; }
+  }
+  bool ref_interested = false;
+  std::uint32_t ref_missing = 0;
+  std::vector<PieceIndex> ref_missing_set;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (rb[p] && !ra[p]) {
+      ref_interested = true;
+      ++ref_missing;
+      ref_missing_set.push_back(p);
+    }
+  }
+  EXPECT_EQ(a.interested_in(b), ref_interested);
+  EXPECT_EQ(a.count_missing_from(b), ref_missing);
+  EXPECT_EQ(a.missing_from(b), ref_missing_set);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundarySizes, BitfieldPackedSizeTest,
+                         ::testing::Values(1u, 7u, 63u, 64u, 65u, 127u, 128u,
+                                           129u, 1000u));
 
 TEST(Availability, StartsAllZero) {
   const AvailabilityMap m(8);

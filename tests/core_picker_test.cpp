@@ -158,6 +158,86 @@ TEST(GlobalRarestPicker, UsesSuppliedAvailabilityWithoutWarmup) {
   }
 }
 
+// Draw identity: the word-parallel pickers must consume the shared Rng
+// exactly like a per-bit scalar scan — same candidate order, same number
+// of draws, same result — or a seeded simulation's trajectory would
+// diverge from the pre-packed implementation.
+class PickerDrawIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PickerDrawIdentityTest, RarestFirstMatchesScalarReference) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 5);
+  constexpr std::uint32_t kPieces = 200;  // straddles word boundaries
+  PickerHarness h(kPieces);
+  for (PieceIndex p = 0; p < kPieces; ++p) {
+    if (rng.chance(0.25)) h.local.set(p);
+    if (rng.chance(0.7)) h.remote.set(p);
+    if (rng.chance(0.15)) h.blocked.insert(p);
+    const auto copies = rng.index(4);
+    for (std::size_t i = 0; i < copies; ++i) h.availability.add_have(p);
+  }
+  RarestFirstPicker picker(/*random_first_threshold=*/0);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    // Scalar reference: ascending scan, collect the rarest tie set, one
+    // uniform draw over it. Run on a fork of the picker's Rng state so
+    // both see identical draws.
+    sim::Rng picker_rng(static_cast<std::uint64_t>(GetParam()) * 7919 +
+                        static_cast<std::uint64_t>(trial));
+    sim::Rng ref_rng = picker_rng;
+    std::vector<PieceIndex> rarest;
+    std::uint32_t best = ~0u;
+    for (PieceIndex p = 0; p < kPieces; ++p) {
+      if (!h.remote.has(p) || h.local.has(p) || h.blocked.contains(p)) {
+        continue;
+      }
+      const std::uint32_t c = h.availability.copies(p);
+      if (c > best) continue;
+      if (c < best) {
+        best = c;
+        rarest.clear();
+      }
+      rarest.push_back(p);
+    }
+    std::optional<PieceIndex> expected;
+    if (!rarest.empty()) expected = rarest[ref_rng.index(rarest.size())];
+
+    const auto got = h.pick(picker, picker_rng, /*completed=*/4);
+    ASSERT_EQ(got, expected) << "trial " << trial;
+    // Same number of Rng draws consumed: the next draw must agree.
+    EXPECT_EQ(picker_rng.index(1u << 20), ref_rng.index(1u << 20));
+  }
+}
+
+TEST_P(PickerDrawIdentityTest, RandomPickerMatchesScalarReference) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 263 + 11);
+  constexpr std::uint32_t kPieces = 130;
+  PickerHarness h(kPieces);
+  for (PieceIndex p = 0; p < kPieces; ++p) {
+    if (rng.chance(0.3)) h.local.set(p);
+    if (rng.chance(0.6)) h.remote.set(p);
+    if (rng.chance(0.1)) h.blocked.insert(p);
+  }
+  RandomPicker picker;
+  for (int trial = 0; trial < 100; ++trial) {
+    sim::Rng picker_rng(static_cast<std::uint64_t>(trial) + 17);
+    sim::Rng ref_rng = picker_rng;
+    std::vector<PieceIndex> eligible;
+    for (PieceIndex p = 0; p < kPieces; ++p) {
+      if (h.remote.has(p) && !h.local.has(p) && !h.blocked.contains(p)) {
+        eligible.push_back(p);
+      }
+    }
+    std::optional<PieceIndex> expected;
+    if (!eligible.empty()) expected = eligible[ref_rng.index(eligible.size())];
+    const auto got = h.pick(picker, picker_rng, /*completed=*/4);
+    ASSERT_EQ(got, expected) << "trial " << trial;
+    EXPECT_EQ(picker_rng.index(1u << 20), ref_rng.index(1u << 20));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PickerDrawIdentityTest,
+                         ::testing::Range(1, 9));
+
 // Property: whatever the availability and possession pattern, a picker
 // never returns an owned, blocked, or remotely-absent piece.
 class PickerPropertyTest

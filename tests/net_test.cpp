@@ -243,6 +243,44 @@ TEST(FluidNetwork, ActiveFlowIdsAreSortedAndCancelable) {
   EXPECT_EQ(h.net.active_flow_ids().size(), 1u);
 }
 
+// Generation-check regression: FlowIds are slab handles and cancelled or
+// completed flows free their slot for reuse. A stale id held across the
+// reuse (e.g. a Connection's upload_flow surviving a remote crash) must
+// not cancel, rate-query, or liveness-probe the slot's next tenant.
+TEST(FluidNetwork, StaleFlowIdCannotTouchSlotsNextTenant) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  const FlowId first = h.net.start_flow(a, b, 10000, [] {});
+  ASSERT_TRUE(h.net.cancel_flow(first));
+  bool completed = false;
+  const FlowId second =
+      h.net.start_flow(a, b, 1000, [&] { completed = true; });
+  EXPECT_EQ(second & 0xffffffffu, first & 0xffffffffu);  // same slot...
+  EXPECT_NE(second, first);                              // ...new generation
+  EXPECT_FALSE(h.net.has_flow(first));
+  EXPECT_FALSE(h.net.cancel_flow(first));
+  EXPECT_TRUE(h.net.has_flow(second));
+  EXPECT_DOUBLE_EQ(h.net.flow_rate(first), 0.0);
+  h.sim.run();
+  EXPECT_TRUE(completed);  // the tenant was never disturbed
+}
+
+TEST(FluidNetwork, StaleFlowIdSurvivesCompletionReuse) {
+  Harness h;
+  const NodeId a = h.net.add_node(100.0, kUnlimited);
+  const NodeId b = h.net.add_node(kUnlimited, kUnlimited);
+  const FlowId first = h.net.start_flow(a, b, 100, [] {});
+  h.sim.run();  // completes; slot retires
+  EXPECT_FALSE(h.net.has_flow(first));
+  for (int round = 0; round < 50; ++round) {
+    const FlowId tenant = h.net.start_flow(a, b, 100, [] {});
+    EXPECT_FALSE(h.net.cancel_flow(first)) << "round " << round;
+    ASSERT_TRUE(h.net.cancel_flow(tenant));
+  }
+  EXPECT_EQ(h.net.active_flows(), 0u);
+}
+
 TEST(FluidNetwork, ZeroLatencyDeliversImmediatelyNextEvent) {
   sim::Simulation sim(1);
   FluidNetwork net(sim, 0.0);

@@ -5,6 +5,8 @@
 // aggregated results for 1 worker and 8 workers.
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -334,6 +336,82 @@ TEST(BatchDeterminism, TwentySixScenarioSweepIsIdenticalAcrossWorkerCounts) {
     // embarrassingly parallel sweep well past this.
     EXPECT_GT(speedup, 1.3);
   }
+}
+
+// --- golden trajectory digest ---------------------------------------------
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a_bytes(h, &v, sizeof v);
+}
+
+std::uint64_t fnv1a_double(std::uint64_t h, double v) {
+  return fnv1a_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Digests every deterministic field of a result sequence. Wall-clock
+/// fields are deliberately excluded.
+std::uint64_t digest_results(const std::vector<RunResult>& results) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const RunResult& r : results) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.id));
+    h = fnv1a_bytes(h, r.name.data(), r.name.size());
+    h = fnv1a_u64(h, r.seed);
+    h = fnv1a_double(h, r.end_time);
+    h = fnv1a_double(h, r.local_completion);
+    h = fnv1a_u64(h, r.completed ? 1 : 0);
+    h = fnv1a_u64(h, r.events_executed);
+    h = fnv1a_u64(h, r.events_scheduled);
+    h = fnv1a_u64(h, r.events_cancelled);
+    h = fnv1a_u64(h, r.peak_pending);
+    h = fnv1a_bytes(h, r.text.data(), r.text.size());
+  }
+  return h;
+}
+
+std::vector<RunResult> run_golden_jobs(int workers) {
+  // Table-I torrent 3 at test scale, under four independent seeds.
+  const swarm::ScenarioConfig cfg =
+      swarm::scenario_from_table1(3, tiny_limits());
+  std::vector<BatchJob> jobs;
+  for (int i = 1; i <= 4; ++i) {
+    BatchJob job;
+    job.id = i;
+    job.name = "golden-" + std::to_string(i);
+    job.config = cfg;
+    job.seed = sim::fork_seed(20061025, static_cast<std::uint64_t>(i));
+    jobs.push_back(std::move(job));
+  }
+  BatchOptions opts;
+  opts.jobs = workers;
+  opts.master_seed = 20061025;
+  BatchRunner batch(opts);
+  return batch.run(jobs, [](const BatchJob& job) {
+    return runner::run_scenario_job(job, 200.0);
+  });
+}
+
+// Pins the simulated trajectory of four fixed (scenario, seed) pairs to a
+// constant. Every layer feeds this digest — RNG draw sequence, event
+// fire order, picker candidate order, fluid-network rate updates — so an
+// accidental behavior change anywhere in the hot path fails here, at any
+// worker count. Update the constant ONLY for a change that intentionally
+// alters the trajectory, and call it out in the commit message.
+TEST(BatchDeterminism, GoldenTrajectoryDigestStableAcrossWorkerCounts) {
+  constexpr std::uint64_t kGoldenDigest = 0xb11876bebeb36d35ull;
+  const std::uint64_t serial = digest_results(run_golden_jobs(1));
+  const std::uint64_t parallel = digest_results(run_golden_jobs(8));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, kGoldenDigest)
+      << "trajectory digest changed: 0x" << std::hex << serial;
 }
 
 TEST(BatchDeterminism, SimulationIndependentOfHostThread) {

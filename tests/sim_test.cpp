@@ -58,6 +58,71 @@ TEST(EventQueue, CancelUnknownIdReturnsFalse) {
   EXPECT_FALSE(q.cancel(12345));
 }
 
+// Generation-check regression: ids are slot handles, and a slot freed by
+// cancel or fire is reused by later schedules. A stale id held across
+// that reuse must never cancel the slot's next tenant.
+TEST(EventQueue, StaleIdCannotCancelSlotsNextTenant) {
+  EventQueue q;
+  const EventId first = q.schedule(1.0, [] {});
+  ASSERT_TRUE(q.cancel(first));
+  // Drain any pool so the next schedule reuses first's slot.
+  bool fired = false;
+  const EventId second = q.schedule(2.0, [&] { fired = true; });
+  EXPECT_EQ(second & 0xffffffffu, first & 0xffffffffu);  // same slot...
+  EXPECT_NE(second, first);                              // ...new generation
+  EXPECT_FALSE(q.cancel(first));  // stale id bounces off
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StaleIdSurvivesManyReuses) {
+  EventQueue q;
+  const EventId original = q.schedule(1.0, [] {});
+  q.pop().fn();  // fire it; slot retires
+  for (int round = 0; round < 100; ++round) {
+    const EventId tenant = q.schedule(1.0, [] {});
+    EXPECT_FALSE(q.cancel(original)) << "round " << round;
+    ASSERT_TRUE(q.cancel(tenant));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CountersTrackScheduledCancelledAndPeak) {
+  EventQueue q;
+  EXPECT_EQ(q.scheduled_count(), 0u);
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.schedule(3.0, [] {});
+  EXPECT_EQ(q.scheduled_count(), 3u);
+  EXPECT_EQ(q.peak_pending(), 3u);
+  q.cancel(a);
+  EXPECT_EQ(q.cancelled_count(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop();
+  EXPECT_EQ(q.peak_pending(), 3u);  // high-water mark survives drain
+}
+
+// Heavy churn exercises the heap-compaction path (dead entries
+// outnumbering live ones) without disturbing fire order.
+TEST(EventQueue, FireOrderSurvivesMassCancellation) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 500; ++i) {
+    // Interleave survivors with events cancelled immediately after.
+    q.schedule(10.0, [&order, i] { order.push_back(i); });
+    for (int j = 0; j < 5; ++j) {
+      doomed.push_back(q.schedule(5.0, [] { FAIL(); }));
+    }
+    for (const EventId id : doomed) q.cancel(id);
+    doomed.clear();
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(EventQueue, SizeTracksLiveEvents) {
   EventQueue q;
   const EventId a = q.schedule(1.0, [] {});
