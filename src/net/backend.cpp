@@ -1,0 +1,58 @@
+#include "net/backend.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "net/fluid_network.h"
+#include "net/network.h"
+
+namespace swarmlab::net {
+
+namespace {
+
+std::map<std::string, NetworkFactory>& registry() {
+  // The built-in backend is seeded on first use so that registration
+  // needs no static-init ordering guarantees.
+  static std::map<std::string, NetworkFactory> backends{
+      {kDefaultNetworkBackend,
+       [](sim::Simulation& sim, double control_latency) {
+         return std::unique_ptr<Network>(
+             new FluidNetwork(sim, control_latency));
+       }}};
+  return backends;
+}
+
+}  // namespace
+
+bool register_network_backend(const std::string& name,
+                              NetworkFactory factory) {
+  return registry().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Network> make_network(const std::string& name,
+                                      sim::Simulation& sim,
+                                      double control_latency) {
+  const auto& backends = registry();
+  const auto it = backends.find(name);
+  if (it == backends.end()) {
+    std::string known;
+    for (const auto& [n, f] : backends) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown network backend '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return it->second(sim, control_latency);
+}
+
+std::vector<std::string> network_backends() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace swarmlab::net

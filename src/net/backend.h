@@ -1,0 +1,47 @@
+// Network-backend registry.
+//
+// Maps backend names to factories so that swarm::Swarm (and anything
+// else that needs a network) can construct one without naming a concrete
+// implementation. "fluid" (net::FluidNetwork) is built in; additional
+// backends register themselves at static-init or startup time:
+//
+//   net::register_network_backend("packet", [](sim::Simulation& sim,
+//                                              double latency) {
+//     return std::make_unique<PacketNetwork>(sim, latency);
+//   });
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swarmlab::sim {
+class Simulation;
+}  // namespace swarmlab::sim
+
+namespace swarmlab::net {
+
+class Network;
+
+/// The backend every scenario uses unless told otherwise.
+inline constexpr const char* kDefaultNetworkBackend = "fluid";
+
+using NetworkFactory = std::function<std::unique_ptr<Network>(
+    sim::Simulation& sim, double control_latency)>;
+
+/// Registers `factory` under `name`. Returns false (and keeps the
+/// existing entry) when the name is already taken.
+bool register_network_backend(const std::string& name,
+                              NetworkFactory factory);
+
+/// Instantiates the backend registered under `name`. Throws
+/// std::invalid_argument for an unknown name.
+std::unique_ptr<Network> make_network(const std::string& name,
+                                      sim::Simulation& sim,
+                                      double control_latency);
+
+/// Registered backend names, sorted (for --help text and error messages).
+std::vector<std::string> network_backends();
+
+}  // namespace swarmlab::net

@@ -31,26 +31,18 @@
 
 #include <cstdint>
 #include <functional>
-#include <limits>
 #include <vector>
 
+#include "net/network.h"
+#include "net/types.h"
 #include "sim/simulation.h"
 #include "sim/types.h"
 
 namespace swarmlab::net {
 
-/// Identifies an endpoint (a simulated host).
-using NodeId = std::uint32_t;
-
-/// Identifies a live flow. 0 is never a valid id (callers use it as a
-/// "no flow" sentinel).
-using FlowId = std::uint64_t;
-
-/// Unlimited capacity marker.
-inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
-
-/// The fluid network. One instance per simulation.
-class FluidNetwork {
+/// The fluid network. One instance per simulation. The default
+/// net::Network backend, registered as "fluid" (see net/backend.h).
+class FluidNetwork final : public Network {
  public:
   /// `control_latency` is the one-way delay applied to control messages
   /// and to the first byte of each flow, in seconds.
@@ -62,11 +54,11 @@ class FluidNetwork {
 
   /// Registers a host with the given capacities in bytes/second
   /// (kUnlimited allowed). Returns its id.
-  NodeId add_node(double up_bytes_per_sec, double down_bytes_per_sec);
+  NodeId add_node(double up_bytes_per_sec, double down_bytes_per_sec) override;
 
   /// Removes a host; all its flows are silently aborted (no completion
   /// callbacks fire).
-  void remove_node(NodeId node);
+  void remove_node(NodeId node) override;
 
   /// Changes a node's capacities mid-run (fault injection, throttling).
   /// Every flow touching the node is settled at its old rate, re-rated,
@@ -74,9 +66,9 @@ class FluidNetwork {
   /// moment capacity returns. Zero is allowed (parks all flows); negative
   /// values clamp to zero. Unknown nodes are ignored.
   void set_node_capacity(NodeId node, double up_bytes_per_sec,
-                         double down_bytes_per_sec);
+                         double down_bytes_per_sec) override;
 
-  [[nodiscard]] bool has_node(NodeId node) const {
+  [[nodiscard]] bool has_node(NodeId node) const override {
     return node >= 1 && node <= nodes_.size() && nodes_[node - 1].alive;
   }
 
@@ -84,7 +76,7 @@ class FluidNetwork {
   /// cancelled). Lets a sender detect an upload aborted by fault
   /// injection, which fires no callback. Generation-checked: a stale id
   /// is never confused with the slot's next tenant.
-  [[nodiscard]] bool has_flow(FlowId flow) const {
+  [[nodiscard]] bool has_flow(FlowId flow) const override {
     return find_flow(flow) != nullptr;
   }
 
@@ -92,33 +84,38 @@ class FluidNetwork {
   /// enumeration for fault injection's random victim pick. (Until a flow
   /// slot is reused this equals ascending-id order, which is what the
   /// pre-slab implementation returned.)
-  [[nodiscard]] std::vector<FlowId> active_flow_ids() const;
+  [[nodiscard]] std::vector<FlowId> active_flow_ids() const override;
 
   /// Starts a transfer of `bytes` from `from` to `to`; `on_complete` fires
   /// when the last byte arrives. Returns the flow id (never 0).
   FlowId start_flow(NodeId from, NodeId to, std::uint64_t bytes,
-                    std::function<void()> on_complete);
+                    std::function<void()> on_complete) override;
 
   /// Aborts a flow. Returns true when the flow was still active; the
   /// completion callback never fires.
-  bool cancel_flow(FlowId flow);
+  bool cancel_flow(FlowId flow) override;
 
   /// Current rate of a flow in bytes/second (0 if unknown/finished).
-  [[nodiscard]] double flow_rate(FlowId flow) const;
+  [[nodiscard]] double flow_rate(FlowId flow) const override;
 
   /// Delivers `deliver` to the destination after the control latency
   /// plus `extra_delay` (fault-injected jitter; default none). The
   /// destination is not checked for liveness here; higher layers guard
   /// against delivery to departed peers.
-  void send_control(std::function<void()> deliver, double extra_delay = 0.0);
+  void send_control(std::function<void()> deliver,
+                    double extra_delay = 0.0) override;
 
-  [[nodiscard]] double control_latency() const { return control_latency_; }
+  [[nodiscard]] double control_latency() const override {
+    return control_latency_;
+  }
 
   /// Number of active flows (for tests/diagnostics).
-  [[nodiscard]] std::size_t active_flows() const { return flow_count_; }
+  [[nodiscard]] std::size_t active_flows() const override {
+    return flow_count_;
+  }
 
   /// Upload capacity of a node (for diagnostics).
-  [[nodiscard]] double node_up(NodeId node) const;
+  [[nodiscard]] double node_up(NodeId node) const override;
 
  private:
   /// "No slot" sentinel for intrusive links.

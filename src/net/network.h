@@ -1,0 +1,89 @@
+// The abstract network backend.
+//
+// Everything above the network layer — swarm::Swarm, the peer modules,
+// fault::FaultInjector — talks to this interface only: flow lifecycle
+// (start / cancel / completion), node capacity updates, and latency-only
+// control-message delivery. net::FluidNetwork is the default
+// implementation; alternative backends (packet-level, latency-matrix,
+// mock) register themselves via net/backend.h and slot in without any
+// change to swarm or fault code.
+//
+// Backend contract, required for replay identity:
+//  * start_flow returns ids that are never 0 and never alias a live flow;
+//  * completion/delivery callbacks run on the owning sim::Simulation, so
+//    event-tie ordering follows the scheduler's insertion sequence;
+//  * active_flow_ids() enumerates in a deterministic order (creation
+//    order for FluidNetwork) — fault injection picks victims from it;
+//  * cancel_flow never fires the completion callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/types.h"
+
+namespace swarmlab::net {
+
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a host with the given capacities in bytes/second
+  /// (kUnlimited allowed). Returns its id.
+  virtual NodeId add_node(double up_bytes_per_sec,
+                          double down_bytes_per_sec) = 0;
+
+  /// Removes a host; all its flows are silently aborted (no completion
+  /// callbacks fire).
+  virtual void remove_node(NodeId node) = 0;
+
+  /// Changes a node's capacities mid-run (fault injection, throttling).
+  /// Flows parked at rate 0 must resume the moment capacity returns.
+  virtual void set_node_capacity(NodeId node, double up_bytes_per_sec,
+                                 double down_bytes_per_sec) = 0;
+
+  [[nodiscard]] virtual bool has_node(NodeId node) const = 0;
+
+  /// True while the flow is in transit (neither completed nor
+  /// cancelled). Lets a sender detect an upload aborted by fault
+  /// injection, which fires no callback.
+  [[nodiscard]] virtual bool has_flow(FlowId flow) const = 0;
+
+  /// Ids of all in-transit flows, in a deterministic order — the
+  /// enumeration fault injection draws random victims from.
+  [[nodiscard]] virtual std::vector<FlowId> active_flow_ids() const = 0;
+
+  /// Starts a transfer of `bytes` from `from` to `to`; `on_complete`
+  /// fires when the last byte arrives. Returns the flow id (never 0).
+  virtual FlowId start_flow(NodeId from, NodeId to, std::uint64_t bytes,
+                            std::function<void()> on_complete) = 0;
+
+  /// Aborts a flow. Returns true when the flow was still active; the
+  /// completion callback never fires.
+  virtual bool cancel_flow(FlowId flow) = 0;
+
+  /// Current rate of a flow in bytes/second (0 if unknown/finished).
+  [[nodiscard]] virtual double flow_rate(FlowId flow) const = 0;
+
+  /// Delivers `deliver` to the destination after the control latency
+  /// plus `extra_delay` (fault-injected jitter; default none). The
+  /// destination is not checked for liveness here; higher layers guard
+  /// against delivery to departed peers.
+  virtual void send_control(std::function<void()> deliver,
+                            double extra_delay = 0.0) = 0;
+
+  [[nodiscard]] virtual double control_latency() const = 0;
+
+  /// Number of active flows (for tests/diagnostics).
+  [[nodiscard]] virtual std::size_t active_flows() const = 0;
+
+  /// Upload capacity of a node (for diagnostics).
+  [[nodiscard]] virtual double node_up(NodeId node) const = 0;
+};
+
+}  // namespace swarmlab::net

@@ -1,0 +1,19 @@
+// Identifiers and constants shared by every network backend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace swarmlab::net {
+
+/// Identifies an endpoint (a simulated host).
+using NodeId = std::uint32_t;
+
+/// Identifies a live flow. 0 is never a valid id (callers use it as a
+/// "no flow" sentinel).
+using FlowId = std::uint64_t;
+
+/// Unlimited capacity marker.
+inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+}  // namespace swarmlab::net

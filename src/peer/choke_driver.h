@@ -1,0 +1,49 @@
+// ChokeDriver: adapts core::Choker ticks to the connection table.
+//
+// Owns the 10-second choke round timer, builds the candidate snapshot
+// (rates, snubbing, new-peer age) from the connection table, runs the
+// leecher or seed choker, and applies the selected unchoke set —
+// including the Fast-Extension rejects for requests dropped on choke.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/choker.h"
+#include "peer/peer_context.h"
+#include "sim/types.h"
+
+namespace swarmlab::peer {
+
+class ChokeDriver {
+ public:
+  ChokeDriver(PeerContext& ctx, PeerModules& mods);
+
+  /// Remote interest changed (INTERESTED / NOT_INTERESTED) — feeds the
+  /// next round's candidate set.
+  void handle_interested(Connection& conn, bool interested);
+
+  /// Starts the round timer with a random phase so choke rounds
+  /// desynchronize across peers.
+  void start();
+
+  /// Cancels the round timer (stop / crash).
+  void cancel();
+
+ private:
+  void schedule_choke_round();
+  void run_choke_round();
+  void apply_unchoke_set(const std::vector<PeerId>& selected);
+
+  PeerContext& ctx_;
+  PeerModules& mods_;
+
+  std::unique_ptr<core::Choker> leecher_choker_;
+  std::unique_ptr<core::Choker> seed_choker_;
+
+  std::uint64_t choke_round_ = 0;
+  sim::EventId choke_event_ = 0;
+};
+
+}  // namespace swarmlab::peer

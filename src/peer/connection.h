@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/bitfield.h"
-#include "net/fluid_network.h"
+#include "net/types.h"
 #include "peer/types.h"
 #include "stats/rate_estimator.h"
 #include "wire/geometry.h"

@@ -1,0 +1,108 @@
+// DownloadScheduler: the request pipeline of one peer.
+//
+// Owns everything about getting pieces in: per-piece block progress, the
+// unrequested-block pool, the piece picker, strict-priority and end-game
+// policies, request-timeout bookkeeping, and hash-failure recovery
+// (discard / single-source retry / ban escalation via PeerSetManager).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/piece_picker.h"
+#include "peer/peer_context.h"
+#include "peer/types.h"
+#include "wire/geometry.h"
+#include "wire/messages.h"
+
+namespace swarmlab::peer {
+
+class DownloadScheduler {
+ public:
+  DownloadScheduler(PeerContext& ctx, PeerModules& mods);
+
+  // --- message handlers -------------------------------------------------
+  void handle_choke(Connection& conn, bool choked);
+  void handle_reject(Connection& conn, const wire::RejectRequestMsg& msg);
+  void handle_block(Connection& conn, const wire::PieceMsg& msg);
+
+  // --- pipeline ---------------------------------------------------------
+  /// Tops the connection's pipeline up to params.pipeline_depth.
+  void fill_requests(Connection& conn);
+
+  /// Routes pool blocks through every link with pipeline room (after the
+  /// liveness tick returned timed-out blocks).
+  void refill_all();
+
+  // --- lifecycle hooks --------------------------------------------------
+  /// Connection teardown: returns its outstanding requests to the pool.
+  void on_disconnect(Connection& conn);
+
+  /// Exclusive-retry pieces assigned to the departing peer revert to
+  /// normal (multi-source) fetching; a later failure re-arms the retry.
+  void clear_exclusive_source(PeerId remote);
+
+  /// Request timeout (liveness tick): an unchoked link that stopped
+  /// delivering returns its outstanding blocks to the picker. Returns
+  /// true when blocks were freed.
+  bool check_request_timeout(Connection& conn, double t);
+
+  // --- queries ----------------------------------------------------------
+  [[nodiscard]] bool in_end_game() const { return end_game_active_; }
+  [[nodiscard]] std::uint64_t total_downloaded() const { return downloaded_; }
+  [[nodiscard]] std::uint64_t corrupted_pieces() const {
+    return corrupted_pieces_;
+  }
+  [[nodiscard]] std::uint64_t timed_out_requests() const {
+    return timed_out_requests_;
+  }
+
+ private:
+  struct PieceProgress {
+    std::vector<std::uint8_t> requested_count;  // requests in flight per block
+    std::vector<bool> received;
+    std::uint32_t received_blocks = 0;
+    /// Some block came from a corrupting sender (hash check will fail).
+    bool tainted = false;
+    /// Everyone who contributed a block.
+    std::set<PeerId> contributors;
+    /// Exclusive-retry mode: after a multi-source verification failure
+    /// the piece is re-fetched from a single peer, so a second failure
+    /// proves that peer corrupt (cf. libtorrent's smart ban).
+    std::optional<PeerId> exclusive_source;
+  };
+
+  std::optional<wire::BlockRef> next_block(Connection& conn);
+  std::optional<wire::BlockRef> next_partial_block(const Connection& conn);
+  std::optional<wire::BlockRef> start_new_piece(Connection& conn);
+  std::optional<wire::BlockRef> next_end_game_block(Connection& conn);
+  void mark_requested(wire::BlockRef block);
+  void release_request(wire::BlockRef block);
+  void complete_piece(wire::PieceIndex piece);
+  /// Verification failure: drop all progress on `piece` (and optionally
+  /// the peers that contributed to it), making it re-downloadable.
+  void discard_piece(wire::PieceIndex piece);
+  void become_seed();
+
+  PeerContext& ctx_;
+  PeerModules& mods_;
+
+  std::unique_ptr<core::PiecePicker> picker_;
+  std::map<wire::PieceIndex, PieceProgress> active_pieces_;
+
+  /// Blocks of missing pieces with no request in flight.
+  std::uint64_t unrequested_blocks_ = 0;
+  bool end_game_active_ = false;
+
+  /// Pieces that failed verification and must be retried single-source.
+  std::set<wire::PieceIndex> retry_exclusive_;
+
+  std::uint64_t downloaded_ = 0;
+  std::uint64_t corrupted_pieces_ = 0;
+  std::uint64_t timed_out_requests_ = 0;
+};
+
+}  // namespace swarmlab::peer

@@ -9,13 +9,23 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/availability.h"
-#include "net/fluid_network.h"
+#include "net/types.h"
 #include "peer/types.h"
-#include "sim/simulation.h"
 #include "wire/geometry.h"
 #include "wire/messages.h"
 #include "wire/metainfo.h"
+
+namespace swarmlab::core {
+class AvailabilityMap;
+}  // namespace swarmlab::core
+
+namespace swarmlab::net {
+class Network;
+}  // namespace swarmlab::net
+
+namespace swarmlab::sim {
+class Simulation;
+}  // namespace swarmlab::sim
 
 namespace swarmlab::peer {
 
@@ -37,9 +47,9 @@ class Fabric {
 
   virtual sim::Simulation& simulation() = 0;
 
-  /// The underlying fluid network (e.g., to cancel an upload flow when a
-  /// connection closes mid-transfer).
-  virtual net::FluidNetwork& network() = 0;
+  /// The underlying network backend (e.g., to cancel an upload flow when
+  /// a connection closes mid-transfer).
+  virtual net::Network& network() = 0;
 
   /// Delivers `msg` to `to` after the control latency. Delivery is
   /// dropped silently if either endpoint left the torrent meanwhile.

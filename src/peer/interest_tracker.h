@@ -1,0 +1,41 @@
+// InterestTracker: possession knowledge and interest management.
+//
+// Owns the handling of BITFIELD/HAVE, the availability bookkeeping, the
+// incremental missing-count that makes interest O(1) per HAVE (the
+// word-parallel recomputation over core::Bitfield happens on bitfield
+// receipt via count_missing_from), and the Interested/NotInterested
+// signalling toward remote peers.
+#pragma once
+
+#include "peer/peer_context.h"
+#include "wire/geometry.h"
+#include "wire/messages.h"
+
+namespace swarmlab::peer {
+
+class InterestTracker {
+ public:
+  InterestTracker(PeerContext& ctx, PeerModules& mods)
+      : ctx_(ctx), mods_(mods) {}
+
+  // --- message handlers -------------------------------------------------
+  void handle_bitfield(Connection& conn, const wire::BitfieldMsg& msg);
+  void handle_have(Connection& conn, const wire::HaveMsg& msg);
+
+  /// Recomputes local interest in `conn` from its missing-count and
+  /// signals a change to the remote.
+  void update_interest(Connection& conn);
+
+  /// A local piece completed: interest in some peers may vanish now.
+  void on_local_piece_complete(wire::PieceIndex piece);
+
+  /// Connection teardown: withdraws the remote's pieces from the local
+  /// availability map.
+  void on_disconnect(Connection& conn);
+
+ private:
+  PeerContext& ctx_;
+  PeerModules& mods_;
+};
+
+}  // namespace swarmlab::peer

@@ -1,988 +1,198 @@
 #include "peer/peer.h"
 
-#include <algorithm>
 #include <cassert>
-#include <limits>
+#include <utility>
+
+#include "peer/choke_driver.h"
+#include "peer/download_scheduler.h"
+#include "peer/fabric.h"
+#include "peer/interest_tracker.h"
+#include "peer/observer.h"
+#include "peer/peer_set_manager.h"
+#include "peer/super_seed_policy.h"
+#include "peer/upload_servicer.h"
+#include "sim/simulation.h"
 
 namespace swarmlab::peer {
 
-namespace {
-
-/// Upload requests queued behind the in-flight block are bounded; extra
-/// requests are dropped (the remote re-requests after its own timeout /
-/// choke cycle — in practice the pipeline depth keeps queues tiny).
-constexpr std::size_t kMaxUploadQueue = 256;
-
-/// Minimum spacing between need-more-peers tracker announces.
-constexpr double kRefillCooldown = 60.0;
-
-}  // namespace
-
 Peer::Peer(Fabric& fabric, const wire::ContentGeometry& geometry,
            PeerConfig cfg, PeerObserver* observer)
-    : fabric_(fabric),
-      geo_(geometry),
-      cfg_(std::move(cfg)),
-      observer_(observer),
-      have_(geometry.num_pieces()),
-      availability_(geometry.num_pieces()),
-      picker_(core::make_picker(cfg_.params.picker, cfg_.params)),
-      leecher_choker_(core::make_leecher_choker(cfg_.params)),
-      seed_choker_(core::make_seed_choker(cfg_.params)) {
-  if (!cfg_.initial_pieces.empty()) {
-    assert(cfg_.initial_pieces.size() == geo_.num_pieces());
-    for (wire::PieceIndex p = 0; p < geo_.num_pieces(); ++p) {
-      if (cfg_.initial_pieces[p]) have_.set(p);
-    }
-  } else if (cfg_.start_complete) {
-    have_ = core::Bitfield::full(geo_.num_pieces());
+    : ctx_(fabric, geometry, std::move(cfg), observer) {
+  download_ = std::make_unique<DownloadScheduler>(ctx_, mods_);
+  upload_ = std::make_unique<UploadServicer>(ctx_, mods_);
+  interest_ = std::make_unique<InterestTracker>(ctx_, mods_);
+  choke_ = std::make_unique<ChokeDriver>(ctx_, mods_);
+  peer_set_ = std::make_unique<PeerSetManager>(ctx_, mods_);
+  if (ctx_.cfg.params.super_seeding && ctx_.have.complete()) {
+    super_seed_ = std::make_unique<SuperSeedPolicy>(ctx_, mods_);
   }
-  // Count the initially unrequested blocks (those of missing pieces).
-  for (wire::PieceIndex p = 0; p < geo_.num_pieces(); ++p) {
-    if (!have_.has(p)) unrequested_blocks_ += geo_.blocks_in_piece(p);
-  }
-  if (cfg_.params.super_seeding && have_.complete()) {
-    super_seed_ = std::make_unique<SuperSeedState>();
-    super_seed_->offer_count.assign(geo_.num_pieces(), 0);
-  }
-  // Data plane: materialize the bytes backing the initial bitfield.
-  if (const wire::Metainfo* meta = fabric.metainfo(); meta != nullptr) {
-    store_ = std::make_unique<ContentStore>(*meta);
-    if (have_.complete()) {
-      store_->fill_complete();
-    } else {
-      for (wire::PieceIndex p = 0; p < geo_.num_pieces(); ++p) {
-        if (have_.has(p)) {
-          store_->put_piece(p, wire::synthetic_piece_bytes(*meta, p));
-        }
-      }
-    }
-  }
+  mods_.download = download_.get();
+  mods_.upload = upload_.get();
+  mods_.interest = interest_.get();
+  mods_.choke = choke_.get();
+  mods_.peer_set = peer_set_.get();
+  mods_.super_seed = super_seed_.get();
 }
+
+Peer::~Peer() = default;
 
 std::vector<std::uint8_t> Peer::read_block(wire::BlockRef block) const {
-  assert(store_ != nullptr && have_.has(block.piece));
-  return store_->read_block(block);
+  assert(ctx_.store != nullptr && ctx_.have.has(block.piece));
+  return ctx_.store->read_block(block);
 }
-
-double Peer::now() const { return fabric_.simulation().now(); }
-
-const Connection* Peer::connection(PeerId remote) const {
-  return conns_.find(remote);
-}
-
-Connection* Peer::find_conn(PeerId remote) { return conns_.find(remote); }
 
 std::vector<PeerId> Peer::connected_peers() const {
   std::vector<PeerId> out;
-  out.reserve(conns_.size());
-  for (const Connection& conn : conns_) out.push_back(conn.remote);
+  out.reserve(ctx_.conns.size());
+  for (const Connection& conn : ctx_.conns) out.push_back(conn.remote);
   return out;
 }
 
+// --- delegated queries -----------------------------------------------------
+
 std::size_t Peer::initiated_connections() const {
-  std::size_t n = 0;
-  for (const Connection& conn : conns_) {
-    if (conn.initiated_by_us) ++n;
-  }
-  return n;
+  return peer_set_->initiated_connections();
+}
+bool Peer::in_end_game() const { return download_->in_end_game(); }
+std::uint64_t Peer::total_uploaded() const {
+  return upload_->total_uploaded();
+}
+std::uint64_t Peer::total_downloaded() const {
+  return download_->total_downloaded();
+}
+std::uint64_t Peer::corrupted_pieces() const {
+  return download_->corrupted_pieces();
+}
+std::uint64_t Peer::ghosts_evicted() const {
+  return peer_set_->ghosts_evicted();
+}
+std::uint64_t Peer::timed_out_requests() const {
+  return download_->timed_out_requests();
+}
+std::uint64_t Peer::announce_failures() const {
+  return peer_set_->announce_failures();
 }
 
-// --- lifecycle -----------------------------------------------------------
+// --- lifecycle -------------------------------------------------------------
 
 void Peer::start() {
-  assert(!started_);
-  started_ = true;
-  start_time_ = now();
-  if (observer_ != nullptr) observer_->on_start(start_time_);
+  assert(!ctx_.started);
+  ctx_.started = true;
+  ctx_.start_time = ctx_.now();
+  if (ctx_.observer != nullptr) ctx_.observer->on_start(ctx_.start_time);
   if (is_seed()) {
     // An initial seed is in seed state from its first instant.
-    completion_time_ = start_time_;
-    if (observer_ != nullptr) observer_->on_became_seed(start_time_);
+    ctx_.completion_time = ctx_.start_time;
+    if (ctx_.observer != nullptr) {
+      ctx_.observer->on_became_seed(ctx_.start_time);
+    }
   }
-  do_announce(AnnounceEvent::kStarted);
-  schedule_announce();
-  // Desynchronize choke rounds across peers.
-  const double phase =
-      fabric_.simulation().rng().uniform(0.0, cfg_.params.choke_interval);
-  choke_event_ =
-      fabric_.simulation().schedule_in(phase, [this] { run_choke_round(); });
-  if (cfg_.params.liveness_timers) schedule_liveness_tick();
+  peer_set_->start();
+  choke_->start();
+  if (ctx_.cfg.params.liveness_timers) peer_set_->start_liveness();
 }
 
 void Peer::stop() {
-  if (!started_ || stopped_) return;
-  stopped_ = true;
-  if (choke_event_ != 0) fabric_.simulation().cancel(choke_event_);
-  if (announce_event_ != 0) fabric_.simulation().cancel(announce_event_);
-  if (announce_retry_event_ != 0) {
-    fabric_.simulation().cancel(announce_retry_event_);
-  }
-  if (liveness_event_ != 0) fabric_.simulation().cancel(liveness_event_);
-  choke_event_ = 0;
-  announce_event_ = 0;
-  announce_retry_event_ = 0;
-  liveness_event_ = 0;
-  do_announce(AnnounceEvent::kStopped);
+  if (!ctx_.started || ctx_.stopped) return;
+  ctx_.stopped = true;
+  choke_->cancel();
+  peer_set_->cancel_timers();
+  peer_set_->announce(AnnounceEvent::kStopped);
   // Disconnect everything; fabric calls back into on_disconnected.
   const std::vector<PeerId> remotes = connected_peers();
-  for (const PeerId r : remotes) fabric_.disconnect(cfg_.id, r);
-  if (observer_ != nullptr) observer_->on_stop(now());
+  for (const PeerId r : remotes) ctx_.fabric.disconnect(ctx_.cfg.id, r);
+  if (ctx_.observer != nullptr) ctx_.observer->on_stop(ctx_.now());
 }
 
 void Peer::crash() {
-  if (!started_ || stopped_) return;
-  stopped_ = true;
-  if (choke_event_ != 0) fabric_.simulation().cancel(choke_event_);
-  if (announce_event_ != 0) fabric_.simulation().cancel(announce_event_);
-  if (announce_retry_event_ != 0) {
-    fabric_.simulation().cancel(announce_retry_event_);
-  }
-  if (liveness_event_ != 0) fabric_.simulation().cancel(liveness_event_);
-  choke_event_ = 0;
-  announce_event_ = 0;
-  announce_retry_event_ = 0;
-  liveness_event_ = 0;
+  if (!ctx_.started || ctx_.stopped) return;
+  ctx_.stopped = true;
+  choke_->cancel();
+  peer_set_->cancel_timers();
   // Deliberately NO Stopped announce and NO disconnects: the tracker
   // keeps our entry until its member expiry, and every remote peer keeps
   // a ghost Connection until its silence timeout evicts it.
-  if (observer_ != nullptr) observer_->on_stop(now());
+  if (ctx_.observer != nullptr) ctx_.observer->on_stop(ctx_.now());
 }
 
-// --- connections ----------------------------------------------------------
+// --- connections ------------------------------------------------------------
 
 bool Peer::accepts_connection(PeerId from) const {
-  return active() && !conns_.contains(from) && !banned_.contains(from) &&
-         conns_.size() < cfg_.params.max_peer_set;
+  return peer_set_->accepts_connection(from);
 }
 
 void Peer::on_connected(PeerId remote, bool initiated_by_us) {
-  if (!active() || conns_.contains(remote)) return;
-  Connection conn;
-  conn.remote = remote;
-  conn.initiated_by_us = initiated_by_us;
-  conn.connected_at = now();
-  conn.last_seen = now();
-  conn.last_sent = now();
-  conn.remote_have = core::Bitfield(geo_.num_pieces());
-  Connection& inserted = conns_.insert(std::move(conn));
-  if (!is_seed()) {
-    max_peer_set_leecher_ = std::max(max_peer_set_leecher_, conns_.size());
-  }
-  if (observer_ != nullptr) observer_->on_peer_joined(now(), remote);
-  if (super_seed_ != nullptr) {
-    // Super seeding: advertise nothing; reveal pieces one at a time.
-    super_seed_reveal(inserted);
-  } else if (cfg_.params.fast_extension && have_.complete()) {
-    send(remote, wire::HaveAllMsg{});
-  } else if (cfg_.params.fast_extension && have_.none()) {
-    send(remote, wire::HaveNoneMsg{});
-  } else if (have_.count() > 0) {
-    send(remote, wire::BitfieldMsg{have_.bits()});
-  }
+  peer_set_->on_connected(remote, initiated_by_us);
 }
 
 void Peer::on_disconnected(PeerId remote) {
-  Connection* found = conns_.find(remote);
+  Connection* found = ctx_.conns.find(remote);
   if (found == nullptr) return;
   Connection& conn = *found;
-  // Give outstanding requests back to the pool.
-  for (const wire::BlockRef b : conn.outstanding) release_request(b);
-  conn.outstanding.clear();
-  if (conn.upload_flow != 0) {
-    fabric_.network().cancel_flow(conn.upload_flow);
-    conn.upload_flow = 0;
-  }
-  availability_.remove_peer(conn.remote_have);
-  if (super_seed_ != nullptr) {
-    super_seed_->revealed.erase(remote);
-    super_seed_->pending_offer.erase(remote);
-  }
-  // Exclusive-retry pieces assigned to the departing peer revert to
-  // normal (multi-source) fetching; a later failure re-arms the retry.
-  for (auto& [piece, prog] : active_pieces_) {
-    if (prog.exclusive_source == remote) prog.exclusive_source.reset();
-  }
-  conns_.erase(remote);
-  if (observer_ != nullptr) observer_->on_peer_left(now(), remote);
-  if (active()) maybe_refill_peer_set();
+  download_->on_disconnect(conn);
+  upload_->on_disconnect(conn);
+  interest_->on_disconnect(conn);
+  if (super_seed_ != nullptr) super_seed_->on_disconnect(remote);
+  download_->clear_exclusive_source(remote);
+  ctx_.conns.erase(remote);
+  if (ctx_.observer != nullptr) ctx_.observer->on_peer_left(ctx_.now(), remote);
+  if (active()) peer_set_->maybe_refill_peer_set();
 }
 
-// --- messages --------------------------------------------------------------
-
-void Peer::send(PeerId to, wire::Message msg) {
-  if (Connection* conn = find_conn(to); conn != nullptr) {
-    conn->last_sent = now();
-  }
-  if (observer_ != nullptr) observer_->on_message_sent(now(), to, msg);
-  fabric_.send_control(cfg_.id, to, std::move(msg));
-}
+// --- messages ---------------------------------------------------------------
 
 void Peer::handle_message(PeerId from, const wire::Message& msg) {
   if (!active()) return;
-  Connection* conn = find_conn(from);
+  Connection* conn = ctx_.conns.find(from);
   if (conn == nullptr) return;  // stale delivery after disconnect
-  conn->last_seen = now();
-  if (observer_ != nullptr) observer_->on_message_received(now(), from, msg);
+  conn->last_seen = ctx_.now();
+  if (ctx_.observer != nullptr) {
+    ctx_.observer->on_message_received(ctx_.now(), from, msg);
+  }
 
   if (const auto* m = std::get_if<wire::BitfieldMsg>(&msg)) {
-    handle_bitfield(*conn, *m);
+    interest_->handle_bitfield(*conn, *m);
   } else if (const auto* m = std::get_if<wire::HaveMsg>(&msg)) {
-    handle_have(*conn, *m);
+    interest_->handle_have(*conn, *m);
   } else if (std::get_if<wire::InterestedMsg>(&msg) != nullptr) {
-    handle_interested(*conn, true);
+    choke_->handle_interested(*conn, true);
   } else if (std::get_if<wire::NotInterestedMsg>(&msg) != nullptr) {
-    handle_interested(*conn, false);
+    choke_->handle_interested(*conn, false);
   } else if (std::get_if<wire::ChokeMsg>(&msg) != nullptr) {
-    handle_choke(*conn, true);
+    download_->handle_choke(*conn, true);
   } else if (std::get_if<wire::UnchokeMsg>(&msg) != nullptr) {
-    handle_choke(*conn, false);
+    download_->handle_choke(*conn, false);
   } else if (const auto* m = std::get_if<wire::RequestMsg>(&msg)) {
-    handle_request(*conn, *m);
+    upload_->handle_request(*conn, *m);
   } else if (const auto* m = std::get_if<wire::CancelMsg>(&msg)) {
-    handle_cancel(*conn, *m);
+    upload_->handle_cancel(*conn, *m);
   } else if (const auto* m = std::get_if<wire::PieceMsg>(&msg)) {
-    handle_block(*conn, *m);
+    download_->handle_block(*conn, *m);
   } else if (std::get_if<wire::HaveAllMsg>(&msg) != nullptr) {
     // Fast Extension: equivalent to an all-ones bitfield.
     wire::BitfieldMsg full;
-    full.bits.assign(geo_.num_pieces(), true);
-    handle_bitfield(*conn, full);
+    full.bits.assign(ctx_.geo.num_pieces(), true);
+    interest_->handle_bitfield(*conn, full);
   } else if (std::get_if<wire::HaveNoneMsg>(&msg) != nullptr) {
     wire::BitfieldMsg none;
-    none.bits.assign(geo_.num_pieces(), false);
-    handle_bitfield(*conn, none);
+    none.bits.assign(ctx_.geo.num_pieces(), false);
+    interest_->handle_bitfield(*conn, none);
   } else if (const auto* m = std::get_if<wire::RejectRequestMsg>(&msg)) {
-    handle_reject(*conn, *m);
+    download_->handle_reject(*conn, *m);
   }
   // KeepAliveMsg carries no payload: its receipt already refreshed
   // conn->last_seen above, which is all the liveness machinery needs
-  // (see run_liveness_tick). SuggestPiece/AllowedFast: received
-  // gracefully (logged via the observer) but not acted upon — the
-  // simulator has no web-seed caches and models no choked fast-allowed
-  // downloads.
-}
-
-void Peer::handle_reject(Connection& conn, const wire::RejectRequestMsg& msg) {
-  const wire::BlockRef block{msg.piece, geo_.block_at_offset(msg.begin)};
-  auto& out = conn.outstanding;
-  const auto it = std::find(out.begin(), out.end(), block);
-  if (it == out.end()) return;  // stale reject
-  out.erase(it);
-  release_request(block);
-  // Re-route the freed pipeline slot immediately.
-  if (conn.am_interested && !conn.peer_choking) fill_requests(conn);
-}
-
-void Peer::handle_bitfield(Connection& conn, const wire::BitfieldMsg& msg) {
-  if (msg.bits.size() != geo_.num_pieces()) return;  // malformed: ignore
-  // Replace any previous knowledge (a bitfield arrives once, right after
-  // the handshake).
-  availability_.remove_peer(conn.remote_have);
-  conn.remote_have = core::Bitfield(msg.bits);
-  conn.missing_count = have_.count_missing_from(conn.remote_have);
-  availability_.add_peer(conn.remote_have);
-  if (is_seed() && conn.remote_have.complete()) {
-    // Seeds do not keep connections to seeds.
-    fabric_.disconnect(cfg_.id, conn.remote);
-    return;
-  }
-  update_interest(conn);
-}
-
-void Peer::handle_have(Connection& conn, const wire::HaveMsg& msg) {
-  if (msg.piece >= geo_.num_pieces()) return;
-  if (conn.remote_have.has(msg.piece)) return;
-  conn.remote_have.set(msg.piece);
-  if (!have_.has(msg.piece)) ++conn.missing_count;
-  availability_.add_have(msg.piece);
-  if (super_seed_ != nullptr) {
-    super_seed_on_remote_have(msg.piece, conn.remote);
-  }
-  if (is_seed() && conn.remote_have.complete()) {
-    fabric_.disconnect(cfg_.id, conn.remote);
-    return;
-  }
-  update_interest(conn);
-  // A new piece at this peer may unblock our pipeline.
-  if (conn.am_interested && !conn.peer_choking) fill_requests(conn);
-}
-
-void Peer::handle_interested(Connection& conn, bool interested) {
-  if (conn.peer_interested == interested) return;
-  conn.peer_interested = interested;
-  if (observer_ != nullptr) {
-    observer_->on_remote_interest_change(now(), conn.remote, interested);
-  }
-}
-
-void Peer::handle_choke(Connection& conn, bool choked) {
-  if (conn.peer_choking == choked) return;
-  conn.peer_choking = choked;
-  if (observer_ != nullptr) {
-    observer_->on_remote_choke_change(now(), conn.remote, !choked);
-  }
-  if (choked) {
-    // Everything outstanding on this link is implicitly dropped by the
-    // remote; return the blocks to the pool so other links can fetch
-    // them.
-    for (const wire::BlockRef b : conn.outstanding) release_request(b);
-    conn.outstanding.clear();
-  } else {
-    fill_requests(conn);
-  }
-}
-
-void Peer::handle_request(Connection& conn, const wire::RequestMsg& msg) {
-  if (cfg_.free_rider) return;                 // never serves anyone
-  if (conn.am_choking) {
-    // Fast Extension: requests that will not be served are rejected
-    // explicitly so the requester can re-route without waiting.
-    if (cfg_.params.fast_extension) {
-      send(conn.remote,
-           wire::RejectRequestMsg{msg.piece, msg.begin, msg.length});
-    }
-    return;  // stale request
-  }
-  if (msg.piece >= geo_.num_pieces()) return;
-  if (!have_.has(msg.piece)) return;
-  if (super_seed_ != nullptr) {
-    const auto it = super_seed_->revealed.find(conn.remote);
-    if (it == super_seed_->revealed.end() || !it->second.contains(msg.piece)) {
-      return;  // piece not offered to this peer yet
-    }
-  }
-  if (msg.begin % geo_.block_size() != 0) return;
-  const wire::BlockRef block{msg.piece, geo_.block_at_offset(msg.begin)};
-  if (block.block >= geo_.blocks_in_piece(msg.piece)) return;
-  if (msg.length != geo_.block_bytes(block)) return;
-  if (conn.upload_queue.size() >= kMaxUploadQueue) return;
-  conn.upload_queue.push_back(QueuedRequest{block, msg.length});
-  if (conn.upload_flow == 0) start_next_upload(conn);
-}
-
-void Peer::handle_cancel(Connection& conn, const wire::CancelMsg& msg) {
-  const wire::BlockRef block{msg.piece, geo_.block_at_offset(msg.begin)};
-  auto& q = conn.upload_queue;
-  q.erase(std::remove_if(q.begin(), q.end(),
-                         [&](const QueuedRequest& r) {
-                           return r.block == block;
-                         }),
-          q.end());
-  // An in-flight block is not aborted (it is already in the TCP pipe).
-}
-
-void Peer::handle_block(Connection& conn, const wire::PieceMsg& msg) {
-  const wire::BlockRef block{msg.piece, geo_.block_at_offset(msg.begin)};
-  const std::uint32_t bytes = geo_.block_bytes(block);
-  conn.download_rate.add(now(), bytes);
-  conn.last_block_time = now();
-  conn.last_request_timeout = -1.0;  // the link is delivering again
-  downloaded_ += bytes;
-  // Without the data plane, the simulator marks blocks from a corrupting
-  // sender with a non-empty payload; a real client discovers corruption
-  // at the piece hash check, which the data plane performs for real.
-  const bool corrupt_marker = store_ == nullptr && !msg.data.empty();
-  if (store_ != nullptr) {
-    if (msg.data.size() != bytes) return;  // malformed frame: drop
-    if (!have_.has(block.piece)) {
-      store_->put_block(block, std::span<const std::uint8_t>(
-                                   msg.data.data(), msg.data.size()));
-    }
-  }
-
-  // Remove from this link's outstanding set (absent for a stale arrival
-  // that raced a choke).
-  auto& out = conn.outstanding;
-  const auto it = std::find(out.begin(), out.end(), block);
-  const bool was_outstanding = it != out.end();
-  if (was_outstanding) out.erase(it);
-
-  if (observer_ != nullptr) {
-    observer_->on_block_received(now(), conn.remote, block, bytes);
-  }
-
-  if (have_.has(block.piece)) {
-    // Piece already complete (end-game duplicate); keep pipeline moving.
-    fill_requests(conn);
-    return;
-  }
-  auto prog_it = active_pieces_.find(block.piece);
-  if (prog_it == active_pieces_.end()) {
-    // Stale arrival for a piece we released entirely; (re)create progress.
-    PieceProgress prog;
-    prog.requested_count.assign(geo_.blocks_in_piece(block.piece), 0);
-    prog.received.assign(geo_.blocks_in_piece(block.piece), false);
-    prog_it = active_pieces_.emplace(block.piece, std::move(prog)).first;
-  }
-  PieceProgress& prog = prog_it->second;
-  if (prog.received[block.block]) {
-    // Duplicate (end game): data discarded.
-    fill_requests(conn);
-    return;
-  }
-  if (was_outstanding) {
-    assert(prog.requested_count[block.block] > 0);
-    --prog.requested_count[block.block];
-  } else if (prog.requested_count[block.block] == 0) {
-    // The block had returned to the unrequested pool; it is now received.
-    assert(unrequested_blocks_ > 0);
-    --unrequested_blocks_;
-  }
-  prog.received[block.block] = true;
-  ++prog.received_blocks;
-  prog.tainted = prog.tainted || corrupt_marker;
-  prog.contributors.insert(conn.remote);
-
-  // End game: cancel this block everywhere else it is outstanding.
-  if (end_game_active_) {
-    for (Connection& other : conns_) {
-      if (other.remote == conn.remote) continue;
-      auto& oo = other.outstanding;
-      const auto oit = std::find(oo.begin(), oo.end(), block);
-      if (oit != oo.end()) {
-        oo.erase(oit);
-        auto pit = active_pieces_.find(block.piece);
-        if (pit != active_pieces_.end() &&
-            pit->second.requested_count[block.block] > 0) {
-          --pit->second.requested_count[block.block];
-        }
-        send(other.remote,
-             wire::CancelMsg{block.piece, geo_.block_offset(block),
-                             geo_.block_bytes(block)});
-      }
-    }
-  }
-
-  const PeerId remote = conn.remote;
-  if (prog.received_blocks == geo_.blocks_in_piece(block.piece)) {
-    // May transition to seed state and disconnect `conn`; re-resolve.
-    complete_piece(block.piece);
-  }
-  if (Connection* still = find_conn(remote); still != nullptr && active()) {
-    fill_requests(*still);
-  }
-}
-
-// --- download side ----------------------------------------------------------
-
-void Peer::mark_requested(wire::BlockRef block) {
-  PieceProgress& prog = active_pieces_.at(block.piece);
-  if (prog.requested_count[block.block] == 0 && !prog.received[block.block]) {
-    assert(unrequested_blocks_ > 0);
-    --unrequested_blocks_;
-  }
-  ++prog.requested_count[block.block];
-}
-
-void Peer::release_request(wire::BlockRef block) {
-  const auto it = active_pieces_.find(block.piece);
-  if (it == active_pieces_.end()) return;  // piece completed meanwhile
-  PieceProgress& prog = it->second;
-  if (prog.requested_count[block.block] == 0) return;
-  --prog.requested_count[block.block];
-  if (prog.requested_count[block.block] == 0 && !prog.received[block.block]) {
-    ++unrequested_blocks_;
-  }
-}
-
-void Peer::fill_requests(Connection& conn) {
-  if (!conn.am_interested || conn.peer_choking) return;
-  if (cfg_.params.liveness_timers && conn.last_request_timeout >= 0.0 &&
-      now() - conn.last_request_timeout < cfg_.params.request_timeout) {
-    // This link just timed out: leave the returned blocks for other
-    // peers instead of immediately re-pinning them to a silent link.
-    return;
-  }
-  while (conn.outstanding.size() < cfg_.params.pipeline_depth) {
-    const auto block = next_block(conn);
-    if (!block.has_value()) break;
-    conn.outstanding.push_back(*block);
-    conn.last_request_time = now();
-    send(conn.remote,
-         wire::RequestMsg{block->piece, geo_.block_offset(*block),
-                          geo_.block_bytes(*block)});
-  }
-}
-
-std::optional<wire::BlockRef> Peer::next_block(Connection& conn) {
-  // Strict priority: finish partially received pieces first so they can
-  // be served onward as soon as possible (paper §II-C.1).
-  if (cfg_.params.strict_priority) {
-    if (const auto b = next_partial_block(conn); b.has_value()) {
-      mark_requested(*b);
-      return b;
-    }
-  }
-  if (const auto b = start_new_piece(conn); b.has_value()) {
-    mark_requested(*b);
-    return b;
-  }
-  if (!cfg_.params.strict_priority) {
-    if (const auto b = next_partial_block(conn); b.has_value()) {
-      mark_requested(*b);
-      return b;
-    }
-  }
-  // End game mode: everything is requested; duplicate the stragglers.
-  if (cfg_.params.end_game && unrequested_blocks_ == 0 && !have_.complete()) {
-    if (!end_game_active_) {
-      end_game_active_ = true;
-      if (observer_ != nullptr) observer_->on_end_game(now());
-    }
-    return next_end_game_block(conn);  // not mark_requested: already counted
-  }
-  return std::nullopt;
-}
-
-std::optional<wire::BlockRef> Peer::next_partial_block(
-    const Connection& conn) {
-  for (const auto& [piece, prog] : active_pieces_) {
-    if (have_.has(piece) || !conn.remote_have.has(piece)) continue;
-    if (prog.exclusive_source.has_value() &&
-        *prog.exclusive_source != conn.remote) {
-      continue;  // single-source retry: only its assigned peer may fetch
-    }
-    const std::uint32_t nblocks = geo_.blocks_in_piece(piece);
-    for (wire::BlockIndex b = 0; b < nblocks; ++b) {
-      if (!prog.received[b] && prog.requested_count[b] == 0) {
-        return wire::BlockRef{piece, b};
-      }
-    }
-  }
-  return std::nullopt;
-}
-
-std::optional<wire::BlockRef> Peer::start_new_piece(Connection& conn) {
-  const std::function<bool(wire::PieceIndex)> startable =
-      [this](wire::PieceIndex p) { return !active_pieces_.contains(p); };
-  const core::AvailabilityMap& avail =
-      cfg_.params.picker == core::PickerKind::kGlobalRarest
-          ? fabric_.global_availability()
-          : availability_;
-  const core::PickContext ctx{have_, conn.remote_have, avail, startable,
-                              have_.count()};
-  const auto piece = picker_->pick(ctx, fabric_.simulation().rng());
-  if (!piece.has_value()) return std::nullopt;
-  PieceProgress prog;
-  prog.requested_count.assign(geo_.blocks_in_piece(*piece), 0);
-  prog.received.assign(geo_.blocks_in_piece(*piece), false);
-  if (retry_exclusive_.contains(*piece)) {
-    // Previously failed verification with multiple sources: fetch it
-    // entirely from this peer so a repeat failure is attributable.
-    prog.exclusive_source = conn.remote;
-  }
-  active_pieces_.emplace(*piece, std::move(prog));
-  return wire::BlockRef{*piece, 0};
-}
-
-std::optional<wire::BlockRef> Peer::next_end_game_block(Connection& conn) {
-  std::vector<wire::BlockRef> candidates;
-  for (const auto& [piece, prog] : active_pieces_) {
-    if (have_.has(piece) || !conn.remote_have.has(piece)) continue;
-    if (prog.exclusive_source.has_value() &&
-        *prog.exclusive_source != conn.remote) {
-      continue;  // end-game duplication would break attribution
-    }
-    const std::uint32_t nblocks = geo_.blocks_in_piece(piece);
-    for (wire::BlockIndex b = 0; b < nblocks; ++b) {
-      const wire::BlockRef ref{piece, b};
-      if (!prog.received[b] && !conn.has_outstanding(ref)) {
-        candidates.push_back(ref);
-      }
-    }
-  }
-  if (candidates.empty()) return std::nullopt;
-  const wire::BlockRef pick =
-      candidates[fabric_.simulation().rng().index(candidates.size())];
-  // Track multiplicity so releases on choke/disconnect stay balanced.
-  ++active_pieces_.at(pick.piece).requested_count[pick.block];
-  return pick;
-}
-
-void Peer::complete_piece(wire::PieceIndex piece) {
-  // Hash verification before committing (a real client checks the piece
-  // SHA-1 against the metainfo; only verified pieces may be served).
-  if (cfg_.params.verify_pieces) {
-    const auto it = active_pieces_.find(piece);
-    const bool marker_bad =
-        it != active_pieces_.end() && it->second.tainted;
-    const bool hash_bad =
-        store_ != nullptr && !store_->verify_piece(piece);
-    if (marker_bad || hash_bad) {
-      discard_piece(piece);
-      return;
-    }
-  }
-  active_pieces_.erase(piece);
-  retry_exclusive_.erase(piece);
-  have_.set(piece);
-  if (observer_ != nullptr) observer_->on_piece_complete(now(), piece);
-  fabric_.broadcast_have(cfg_.id, piece);
-  // Interest in some peers may vanish now.
-  for (Connection& conn : conns_) {
-    if (conn.remote_have.has(piece)) {
-      assert(conn.missing_count > 0);
-      --conn.missing_count;
-    }
-    update_interest(conn);
-  }
-  if (have_.complete()) become_seed();
-}
-
-void Peer::discard_piece(wire::PieceIndex piece) {
-  const auto it = active_pieces_.find(piece);
-  if (it == active_pieces_.end()) return;
-  ++corrupted_pieces_;
-  if (observer_ != nullptr) observer_->on_piece_failed(now(), piece);
-
-  // Blocks of this piece currently counted as unrequested (the rest were
-  // consumed from the pool by requests/receipts and must be returned).
-  const std::uint32_t nblocks = geo_.blocks_in_piece(piece);
-  std::uint32_t pool_now = 0;
-  for (wire::BlockIndex b = 0; b < nblocks; ++b) {
-    if (it->second.requested_count[b] == 0 && !it->second.received[b]) {
-      ++pool_now;
-    }
-  }
-  const std::set<PeerId> contributors = std::move(it->second.contributors);
-  active_pieces_.erase(it);
-  unrequested_blocks_ += nblocks - pool_now;
-  if (store_ != nullptr) store_->drop_piece(piece);
-
-  // Withdraw every outstanding request for the piece (in-flight data may
-  // still arrive; it is handled as a fresh stale arrival).
-  for (Connection& conn : conns_) {
-    auto& out = conn.outstanding;
-    for (auto oit = out.begin(); oit != out.end();) {
-      if (oit->piece == piece) {
-        send(conn.remote, wire::CancelMsg{piece, geo_.block_offset(*oit),
-                                          geo_.block_bytes(*oit)});
-        oit = out.erase(oit);
-      } else {
-        ++oit;
-      }
-    }
-  }
-
-  // Banning policy (cf. libtorrent's smart ban): a piece that came
-  // entirely from one peer and failed verification proves that peer
-  // corrupt — ban it permanently. A multi-source failure proves nothing
-  // about any single contributor, so the piece is flagged for
-  // single-source retry, which isolates the polluter on the next pass.
-  if (cfg_.params.ban_corrupt_sources && contributors.size() == 1) {
-    const PeerId culprit = *contributors.begin();
-    banned_.insert(culprit);
-    retry_exclusive_.erase(piece);
-    if (conns_.contains(culprit)) fabric_.disconnect(cfg_.id, culprit);
-  } else {
-    retry_exclusive_.insert(piece);
-  }
-}
-
-void Peer::become_seed() {
-  completion_time_ = now();
-  end_game_active_ = false;
-  if (observer_ != nullptr) observer_->on_became_seed(completion_time_);
-  do_announce(AnnounceEvent::kCompleted);
-  // A new seed closes its connections to all the seeds (paper §IV-A.2.b).
-  std::vector<PeerId> seeds;
-  for (const Connection& conn : conns_) {
-    if (conn.remote_have.complete()) seeds.push_back(conn.remote);
-  }
-  for (const PeerId r : seeds) fabric_.disconnect(cfg_.id, r);
-}
-
-void Peer::update_interest(Connection& conn) {
-  const bool now_interested = conn.missing_count > 0;
-  if (now_interested == conn.am_interested) return;
-  conn.am_interested = now_interested;
-  if (now_interested) {
-    send(conn.remote, wire::InterestedMsg{});
-  } else {
-    send(conn.remote, wire::NotInterestedMsg{});
-  }
-  if (observer_ != nullptr) {
-    observer_->on_interest_change(now(), conn.remote, now_interested);
-  }
-  if (now_interested && !conn.peer_choking) fill_requests(conn);
-}
-
-// --- upload side -------------------------------------------------------------
-
-void Peer::start_next_upload(Connection& conn) {
-  while (!conn.upload_queue.empty()) {
-    const QueuedRequest req = conn.upload_queue.front();
-    conn.upload_queue.pop_front();
-    conn.upload_flow = fabric_.send_block(cfg_.id, conn.remote, req.block);
-    if (conn.upload_flow != 0) {
-      conn.upload_in_flight = req.block;
-      return;
-    }
-  }
+  // (see PeerSetManager::run_liveness_tick). SuggestPiece/AllowedFast:
+  // received gracefully (logged via the observer) but not acted upon —
+  // the simulator has no web-seed caches and models no choked
+  // fast-allowed downloads.
 }
 
 void Peer::on_block_sent(PeerId to, wire::BlockRef block,
                          std::uint32_t bytes) {
-  Connection* conn = find_conn(to);
+  Connection* conn = ctx_.conns.find(to);
   if (conn == nullptr) return;
-  conn->upload_flow = 0;
-  conn->upload_rate.add(now(), bytes);
-  uploaded_ += bytes;
-  if (observer_ != nullptr) {
-    observer_->on_block_uploaded(now(), to, block, bytes);
-  }
-  start_next_upload(*conn);
-}
-
-// --- choke algorithm -----------------------------------------------------------
-
-void Peer::schedule_choke_round() {
-  choke_event_ = fabric_.simulation().schedule_in(
-      cfg_.params.choke_interval, [this] { run_choke_round(); });
-}
-
-void Peer::run_choke_round() {
-  if (!active()) return;
-  const std::uint64_t round = choke_round_++;
-  std::vector<core::ChokeCandidate> candidates;
-  candidates.reserve(conns_.size());
-  const double t = now();
-  for (const Connection& conn : conns_) {
-    core::ChokeCandidate c;
-    c.key = conn.remote;
-    c.interested = conn.peer_interested;
-    c.unchoked = !conn.am_choking;
-    c.download_rate = conn.download_rate.rate(t);
-    c.upload_rate = conn.upload_rate.rate(t);
-    c.last_unchoke_time = conn.last_unchoke_time;
-    c.uploaded_to = conn.upload_rate.total_bytes();
-    c.downloaded_from = conn.download_rate.total_bytes();
-    c.newly_connected = (t - conn.connected_at) < cfg_.params.new_peer_age;
-    if (cfg_.params.anti_snubbing && !conn.peer_choking &&
-        !conn.outstanding.empty()) {
-      const double last = conn.last_block_time >= 0.0
-                              ? conn.last_block_time
-                              : conn.last_request_time;
-      c.snubbed = last >= 0.0 && (t - last) > cfg_.params.snub_timeout;
-    }
-    candidates.push_back(c);
-  }
-  std::vector<core::PeerKey> selected;
-  if (!cfg_.free_rider) {
-    core::Choker& choker = is_seed() ? *seed_choker_ : *leecher_choker_;
-    selected = choker.select(candidates, round, fabric_.simulation().rng());
-  }
-  std::vector<PeerId> unchoked;
-  unchoked.reserve(selected.size());
-  for (const core::PeerKey k : selected) {
-    unchoked.push_back(static_cast<PeerId>(k));
-  }
-  apply_unchoke_set(unchoked);
-  if (observer_ != nullptr) {
-    observer_->on_choke_round(t, is_seed(), unchoked);
-  }
-  schedule_choke_round();
-}
-
-void Peer::apply_unchoke_set(const std::vector<PeerId>& selected) {
-  const auto keep = [&selected](PeerId r) {
-    return std::find(selected.begin(), selected.end(), r) != selected.end();
-  };
-  for (Connection& conn : conns_) {
-    const PeerId remote = conn.remote;
-    if (keep(remote)) {
-      if (conn.am_choking) {
-        conn.am_choking = false;
-        conn.last_unchoke_time = now();
-        send(remote, wire::UnchokeMsg{});
-        if (observer_ != nullptr) {
-          observer_->on_local_choke_change(now(), remote, true);
-        }
-      }
-    } else if (!conn.am_choking) {
-      conn.am_choking = true;
-      // Pending requests are dropped on choke; with the Fast Extension
-      // each drop is announced with an explicit reject.
-      if (cfg_.params.fast_extension) {
-        for (const QueuedRequest& r : conn.upload_queue) {
-          send(remote, wire::RejectRequestMsg{r.block.piece,
-                                              geo_.block_offset(r.block),
-                                              r.bytes});
-        }
-      }
-      conn.upload_queue.clear();
-      send(remote, wire::ChokeMsg{});
-      if (observer_ != nullptr) {
-        observer_->on_local_choke_change(now(), remote, false);
-      }
-    }
-  }
-}
-
-// --- tracker / peer set --------------------------------------------------------
-
-void Peer::schedule_announce() {
-  announce_event_ = fabric_.simulation().schedule_in(
-      cfg_.params.tracker_reannounce_interval, [this] {
-        if (!active()) return;
-        do_announce(AnnounceEvent::kRegular);
-        schedule_announce();
-      });
-}
-
-void Peer::do_announce(AnnounceEvent event) {
-  const AnnounceResult result = fabric_.announce(cfg_.id, event);
-  if (!result.ok) {
-    // Tracker outage. A stopping peer gives up (as a real client's final
-    // announce does); everyone else retries with exponential backoff.
-    ++announce_failures_;
-    if (event != AnnounceEvent::kStopped) schedule_announce_retry();
-    return;
-  }
-  announce_backoff_level_ = 0;
-  if (event == AnnounceEvent::kStopped) return;
-  initiate_connections(result.peers);
-}
-
-void Peer::schedule_announce_retry() {
-  if (announce_retry_event_ != 0) return;  // one pending retry at a time
-  const std::uint32_t level = std::min<std::uint32_t>(
-      announce_backoff_level_, 10);  // 15 s * 2^10 already beyond any cap
-  double delay = cfg_.params.announce_retry_base *
-                 static_cast<double>(std::uint64_t{1} << level);
-  delay = std::min(delay, cfg_.params.announce_retry_max);
-  // +/-25% jitter desynchronizes the retry storm when an outage ends.
-  // This draw is on the main simulation Rng, which is safe for the
-  // determinism contract: the failure path is unreachable unless a fault
-  // plan is active.
-  delay *= fabric_.simulation().rng().uniform(0.75, 1.25);
-  ++announce_backoff_level_;
-  announce_retry_event_ =
-      fabric_.simulation().schedule_in(delay, [this] {
-        announce_retry_event_ = 0;
-        if (!active()) return;
-        do_announce(AnnounceEvent::kRegular);
-      });
-}
-
-void Peer::maybe_refill_peer_set() {
-  if (conns_.size() >= cfg_.params.min_peer_set) return;
-  if (now() - last_refill_announce_ < kRefillCooldown) return;
-  last_refill_announce_ = now();
-  do_announce(AnnounceEvent::kRegular);
-}
-
-void Peer::initiate_connections(const std::vector<PeerId>& candidates) {
-  std::size_t initiated = initiated_connections();
-  for (const PeerId c : candidates) {
-    if (conns_.size() >= cfg_.params.max_peer_set) break;
-    if (initiated >= cfg_.params.max_initiated) break;
-    if (c == cfg_.id || conns_.contains(c) || banned_.contains(c)) continue;
-    fabric_.connect(cfg_.id, c);
-    ++initiated;  // optimistic: failed attempts free the slot via conns_
-  }
-}
-
-// --- liveness timers ------------------------------------------------------------
-
-void Peer::schedule_liveness_tick() {
-  liveness_event_ = fabric_.simulation().schedule_in(
-      cfg_.params.liveness_check_interval, [this] { run_liveness_tick(); });
-}
-
-void Peer::run_liveness_tick() {
-  if (!active()) return;
-  const double t = now();
-  std::vector<PeerId> ghosts;
-  bool blocks_freed = false;
-  for (Connection& conn : conns_) {
-    // Silence detection: a peer that crashed (or whose link is wholly
-    // lossy) sends nothing — not even keepalives — and gets evicted.
-    if (t - conn.last_seen > cfg_.params.silence_timeout) {
-      ghosts.push_back(conn.remote);
-      continue;
-    }
-    // Keepalive: mainline sends one after keepalive_interval of tx
-    // silence so a healthy-but-quiet link never trips the remote's
-    // silence timeout.
-    if (t - conn.last_sent >= cfg_.params.keepalive_interval) {
-      send(conn.remote, wire::KeepAliveMsg{});
-    }
-    // Request timeout: an unchoked link that stopped delivering returns
-    // its outstanding blocks to the picker for re-request elsewhere.
-    if (!conn.outstanding.empty() && !conn.peer_choking) {
-      const double ref =
-          std::max(conn.last_block_time, conn.last_request_time);
-      if (ref >= 0.0 && t - ref > cfg_.params.request_timeout) {
-        timed_out_requests_ += conn.outstanding.size();
-        for (const wire::BlockRef b : conn.outstanding) release_request(b);
-        conn.outstanding.clear();
-        conn.last_request_timeout = t;
-        blocks_freed = true;
-      }
-    }
-    // A killed network flow fires no on_block_sent; recover the wedged
-    // upload slot so serving resumes.
-    if (conn.upload_flow != 0 &&
-        !fabric_.network().has_flow(conn.upload_flow)) {
-      conn.upload_flow = 0;
-      start_next_upload(conn);
-    }
-  }
-  for (const PeerId r : ghosts) {
-    ++ghosts_evicted_;
-    blocks_freed = true;  // on_disconnected released its outstanding
-    fabric_.disconnect(cfg_.id, r);
-  }
-  if (blocks_freed) {
-    // Route the returned blocks through links with pipeline room.
-    for (Connection& conn : conns_) {
-      if (conn.am_interested && !conn.peer_choking) fill_requests(conn);
-    }
-  }
-  schedule_liveness_tick();
-}
-
-// --- super seeding (extension) ---------------------------------------------------
-
-void Peer::super_seed_reveal(Connection& conn) {
-  assert(super_seed_ != nullptr);
-  auto& revealed = super_seed_->revealed[conn.remote];
-  // Offer the piece with the fewest prior offers that this peer has not
-  // been offered and has not announced, preferring unconfirmed pieces.
-  std::optional<wire::PieceIndex> best;
-  std::uint32_t best_score = std::numeric_limits<std::uint32_t>::max();
-  for (wire::PieceIndex p = 0; p < geo_.num_pieces(); ++p) {
-    if (revealed.contains(p) || conn.remote_have.has(p)) continue;
-    const std::uint32_t score = super_seed_->offer_count[p] * 2 +
-                                (super_seed_->confirmed.contains(p) ? 1 : 0);
-    if (score < best_score) {
-      best_score = score;
-      best = p;
-    }
-  }
-  if (!best.has_value()) return;
-  revealed.insert(*best);
-  super_seed_->pending_offer[conn.remote] = *best;
-  ++super_seed_->offer_count[*best];
-  send(conn.remote, wire::HaveMsg{*best});
-}
-
-void Peer::super_seed_on_remote_have(wire::PieceIndex piece, PeerId from) {
-  assert(super_seed_ != nullptr);
-  super_seed_->confirmed.insert(piece);
-  for (auto& [remote, offer] : super_seed_->pending_offer) {
-    if (!offer.has_value() || *offer != piece) continue;
-    // Reveal the next piece once the offered one is confirmed replicated
-    // by someone else (or by the offeree itself when it is alone).
-    if (remote != from || conns_.size() <= 1) {
-      offer.reset();
-      if (Connection* conn = find_conn(remote); conn != nullptr) {
-        super_seed_reveal(*conn);
-      }
-    }
-  }
+  upload_->on_block_sent(*conn, block, bytes);
 }
 
 }  // namespace swarmlab::peer

@@ -1,66 +1,31 @@
-// The BitTorrent peer state machine.
+// The BitTorrent peer: a thin composer over the protocol modules.
 //
-// Every simulated peer — the instrumented local peer and every remote peer
-// — runs this same implementation of the full protocol: bitfield/HAVE
-// bookkeeping, interest management, the rarest-first picker with random
-// first / strict priority / end game policies, the choke algorithm in
-// leecher and seed state, request pipelining, upload serving, and tracker
-// interaction. Only the attached PeerObserver distinguishes the local
-// peer (paper §III-A: a single instrumented mainline 4.0.2 client).
+// Every simulated peer — the instrumented local peer and every remote
+// peer — runs this same implementation of the full protocol. The logic
+// lives in six narrow modules (see peer_context.h): DownloadScheduler
+// (request pipeline, end game, hash-failure recovery), UploadServicer
+// (request queue, block sends), InterestTracker (bitfield/HAVE and
+// interest signalling), ChokeDriver (choke rounds), PeerSetManager
+// (tracker, admission, liveness), and SuperSeedPolicy. Peer itself only
+// composes them, routes Fabric callbacks, and answers queries. Only the
+// attached PeerObserver distinguishes the local peer (paper §III-A: a
+// single instrumented mainline 4.0.2 client).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
-#include <set>
 #include <vector>
 
-#include "core/availability.h"
-#include "core/bitfield.h"
-#include "core/choker.h"
-#include "core/params.h"
-#include "core/piece_picker.h"
-#include "peer/connection.h"
-#include "peer/content_store.h"
-#include "peer/fabric.h"
-#include "peer/observer.h"
-#include "peer/types.h"
-#include "wire/geometry.h"
+#include "peer/peer_context.h"
 
 namespace swarmlab::peer {
-
-/// Static configuration of one peer.
-struct PeerConfig {
-  PeerId id = kNoPeer;
-  core::ProtocolParams params;
-
-  /// Access-link capacities in bytes/second (paper default for the
-  /// monitored client: 20 kB/s up, unlimited down).
-  double upload_capacity = 20.0 * 1024.0;
-  double download_capacity = net::kUnlimited;
-
-  /// A free rider never serves anyone (§IV-B: leechers that never upload).
-  bool free_rider = false;
-
-  /// A polluter: every block it serves is garbage (fails the receiver's
-  /// piece hash check). Used for failure-injection experiments.
-  bool sends_corrupt_data = false;
-
-  /// Starts with the complete content (a seed).
-  bool start_complete = false;
-
-  /// Optional warm start: exact initial possession (overrides
-  /// start_complete when non-empty). Used to model joining a torrent in
-  /// steady state, where remote peers hold partial content.
-  std::vector<bool> initial_pieces;
-};
 
 /// One simulated BitTorrent peer.
 class Peer {
  public:
   Peer(Fabric& fabric, const wire::ContentGeometry& geometry, PeerConfig cfg,
        PeerObserver* observer = nullptr);
+  ~Peer();
 
   Peer(const Peer&) = delete;
   Peer& operator=(const Peer&) = delete;
@@ -81,7 +46,7 @@ class Peer {
   /// notice the silence.
   void crash();
 
-  [[nodiscard]] bool active() const { return started_ && !stopped_; }
+  [[nodiscard]] bool active() const { return ctx_.active(); }
 
   // --- fabric-driven entry points --------------------------------------
 
@@ -97,33 +62,35 @@ class Peer {
 
   // --- queries ----------------------------------------------------------
 
-  [[nodiscard]] PeerId id() const { return cfg_.id; }
-  [[nodiscard]] const PeerConfig& config() const { return cfg_; }
-  [[nodiscard]] const wire::ContentGeometry& geometry() const { return geo_; }
-  [[nodiscard]] bool is_seed() const { return have_.complete(); }
-  [[nodiscard]] const core::Bitfield& have() const { return have_; }
-  [[nodiscard]] const core::AvailabilityMap& availability() const {
-    return availability_;
+  [[nodiscard]] PeerId id() const { return ctx_.cfg.id; }
+  [[nodiscard]] const PeerConfig& config() const { return ctx_.cfg; }
+  [[nodiscard]] const wire::ContentGeometry& geometry() const {
+    return ctx_.geo;
   }
-  [[nodiscard]] std::size_t peer_set_size() const { return conns_.size(); }
+  [[nodiscard]] bool is_seed() const { return ctx_.is_seed(); }
+  [[nodiscard]] const core::Bitfield& have() const { return ctx_.have; }
+  [[nodiscard]] const core::AvailabilityMap& availability() const {
+    return ctx_.availability;
+  }
+  [[nodiscard]] std::size_t peer_set_size() const { return ctx_.conns.size(); }
   /// Connections this peer initiated (bounded by params.max_initiated).
   [[nodiscard]] std::size_t initiated_connections() const;
-  [[nodiscard]] const Connection* connection(PeerId remote) const;
-  [[nodiscard]] std::vector<PeerId> connected_peers() const;
-  [[nodiscard]] bool in_end_game() const { return end_game_active_; }
-  /// Time the peer joined; -1 before start().
-  [[nodiscard]] double start_time() const { return start_time_; }
-  /// Time the download completed; -1 while still leeching.
-  [[nodiscard]] double completion_time() const { return completion_time_; }
-  [[nodiscard]] std::uint64_t total_uploaded() const { return uploaded_; }
-  [[nodiscard]] std::uint64_t total_downloaded() const { return downloaded_; }
-  /// Pieces that failed hash verification and were re-downloaded.
-  [[nodiscard]] std::uint64_t corrupted_pieces() const {
-    return corrupted_pieces_;
+  [[nodiscard]] const Connection* connection(PeerId remote) const {
+    return ctx_.conns.find(remote);
   }
+  [[nodiscard]] std::vector<PeerId> connected_peers() const;
+  [[nodiscard]] bool in_end_game() const;
+  /// Time the peer joined; -1 before start().
+  [[nodiscard]] double start_time() const { return ctx_.start_time; }
+  /// Time the download completed; -1 while still leeching.
+  [[nodiscard]] double completion_time() const { return ctx_.completion_time; }
+  [[nodiscard]] std::uint64_t total_uploaded() const;
+  [[nodiscard]] std::uint64_t total_downloaded() const;
+  /// Pieces that failed hash verification and were re-downloaded.
+  [[nodiscard]] std::uint64_t corrupted_pieces() const;
   /// Non-null when the fabric runs the data plane (real content bytes).
   [[nodiscard]] const ContentStore* content_store() const {
-    return store_.get();
+    return ctx_.store.get();
   }
   /// Reads a block's bytes for upload (data plane only; the piece must
   /// be owned).
@@ -131,144 +98,25 @@ class Peer {
       wire::BlockRef block) const;
   /// Largest peer set observed while in leecher state (Table I col 5).
   [[nodiscard]] std::size_t max_peer_set_leecher() const {
-    return max_peer_set_leecher_;
+    return ctx_.max_peer_set_leecher;
   }
   /// Ghost connections evicted by the silence timeout (liveness timers).
-  [[nodiscard]] std::uint64_t ghosts_evicted() const {
-    return ghosts_evicted_;
-  }
+  [[nodiscard]] std::uint64_t ghosts_evicted() const;
   /// Block requests returned to the picker by the request timeout.
-  [[nodiscard]] std::uint64_t timed_out_requests() const {
-    return timed_out_requests_;
-  }
+  [[nodiscard]] std::uint64_t timed_out_requests() const;
   /// Tracker announces that failed (outages) and were retried.
-  [[nodiscard]] std::uint64_t announce_failures() const {
-    return announce_failures_;
-  }
+  [[nodiscard]] std::uint64_t announce_failures() const;
 
  private:
-  struct PieceProgress {
-    std::vector<std::uint8_t> requested_count;  // requests in flight per block
-    std::vector<bool> received;
-    std::uint32_t received_blocks = 0;
-    /// Some block came from a corrupting sender (hash check will fail).
-    bool tainted = false;
-    /// Everyone who contributed a block.
-    std::set<PeerId> contributors;
-    /// Exclusive-retry mode: after a multi-source verification failure
-    /// the piece is re-fetched from a single peer, so a second failure
-    /// proves that peer corrupt (cf. libtorrent's smart ban).
-    std::optional<PeerId> exclusive_source;
-  };
+  PeerContext ctx_;
+  PeerModules mods_;
 
-  // --- message handlers -------------------------------------------------
-  void handle_bitfield(Connection& conn, const wire::BitfieldMsg& msg);
-  void handle_have(Connection& conn, const wire::HaveMsg& msg);
-  void handle_interested(Connection& conn, bool interested);
-  void handle_choke(Connection& conn, bool choked);
-  void handle_request(Connection& conn, const wire::RequestMsg& msg);
-  void handle_cancel(Connection& conn, const wire::CancelMsg& msg);
-  void handle_reject(Connection& conn, const wire::RejectRequestMsg& msg);
-  void handle_block(Connection& conn, const wire::PieceMsg& msg);
-
-  // --- download side ----------------------------------------------------
-  void fill_requests(Connection& conn);
-  std::optional<wire::BlockRef> next_block(Connection& conn);
-  std::optional<wire::BlockRef> next_partial_block(const Connection& conn);
-  std::optional<wire::BlockRef> start_new_piece(Connection& conn);
-  std::optional<wire::BlockRef> next_end_game_block(Connection& conn);
-  void mark_requested(wire::BlockRef block);
-  void release_request(wire::BlockRef block);
-  void complete_piece(wire::PieceIndex piece);
-  /// Verification failure: drop all progress on `piece` (and optionally
-  /// the peers that contributed to it), making it re-downloadable.
-  void discard_piece(wire::PieceIndex piece);
-  void become_seed();
-  void update_interest(Connection& conn);
-
-  // --- upload side ------------------------------------------------------
-  void start_next_upload(Connection& conn);
-
-  // --- choke algorithm --------------------------------------------------
-  void schedule_choke_round();
-  void run_choke_round();
-  void apply_unchoke_set(const std::vector<PeerId>& selected);
-
-  // --- tracker / peer set -----------------------------------------------
-  void schedule_announce();
-  void do_announce(AnnounceEvent event);
-  void schedule_announce_retry();
-  void maybe_refill_peer_set();
-  void initiate_connections(const std::vector<PeerId>& candidates);
-
-  // --- liveness timers (params.liveness_timers) -------------------------
-  void schedule_liveness_tick();
-  void run_liveness_tick();
-
-  // --- super seeding (extension) ----------------------------------------
-  void super_seed_reveal(Connection& conn);
-  void super_seed_on_remote_have(wire::PieceIndex piece, PeerId from);
-
-  void send(PeerId to, wire::Message msg);
-  Connection* find_conn(PeerId remote);
-  [[nodiscard]] double now() const;
-
-  Fabric& fabric_;
-  wire::ContentGeometry geo_;
-  PeerConfig cfg_;
-  PeerObserver* observer_;  // may be null
-
-  core::Bitfield have_;
-  core::AvailabilityMap availability_;
-  ConnectionTable conns_;  // iterates in ascending remote id: deterministic
-  std::map<wire::PieceIndex, PieceProgress> active_pieces_;
-
-  std::unique_ptr<core::PiecePicker> picker_;
-  std::unique_ptr<core::Choker> leecher_choker_;
-  std::unique_ptr<core::Choker> seed_choker_;
-
-  /// Blocks of missing pieces with no request in flight.
-  std::uint64_t unrequested_blocks_ = 0;
-  bool end_game_active_ = false;
-
-  /// Data plane storage (null when the fabric has no metainfo).
-  std::unique_ptr<ContentStore> store_;
-
-  /// Peers proven to send corrupt data; never reconnected.
-  std::set<PeerId> banned_;
-  /// Pieces that failed verification and must be retried single-source.
-  std::set<wire::PieceIndex> retry_exclusive_;
-
-  bool started_ = false;
-  bool stopped_ = false;
-  double start_time_ = -1.0;
-  double completion_time_ = -1.0;
-  std::uint64_t uploaded_ = 0;
-  std::uint64_t downloaded_ = 0;
-  std::uint64_t corrupted_pieces_ = 0;
-  std::size_t max_peer_set_leecher_ = 0;
-
-  std::uint64_t choke_round_ = 0;
-  sim::EventId choke_event_ = 0;
-  sim::EventId announce_event_ = 0;
-  sim::EventId announce_retry_event_ = 0;
-  sim::EventId liveness_event_ = 0;
-  double last_refill_announce_ = -1e18;
-
-  // Liveness / fault-survival bookkeeping.
-  std::uint32_t announce_backoff_level_ = 0;
-  std::uint64_t announce_failures_ = 0;
-  std::uint64_t ghosts_evicted_ = 0;
-  std::uint64_t timed_out_requests_ = 0;
-
-  // Super seeding: pieces revealed per connection and global reveal cursor.
-  struct SuperSeedState {
-    std::map<PeerId, std::set<wire::PieceIndex>> revealed;
-    std::map<PeerId, std::optional<wire::PieceIndex>> pending_offer;
-    std::vector<std::uint32_t> offer_count;  // times each piece was offered
-    std::set<wire::PieceIndex> confirmed;    // seen HAVE from some peer
-  };
-  std::unique_ptr<SuperSeedState> super_seed_;  // non-null when enabled
+  std::unique_ptr<DownloadScheduler> download_;
+  std::unique_ptr<UploadServicer> upload_;
+  std::unique_ptr<InterestTracker> interest_;
+  std::unique_ptr<ChokeDriver> choke_;
+  std::unique_ptr<PeerSetManager> peer_set_;
+  std::unique_ptr<SuperSeedPolicy> super_seed_;  // non-null when enabled
 };
 
 }  // namespace swarmlab::peer

@@ -1,0 +1,90 @@
+// PeerSetManager: tracker interaction and peer-set maintenance.
+//
+// Owns the announce schedule (regular re-announces, retry with
+// exponential backoff + jitter on tracker outage, need-more-peers
+// refill), connection admission (peer-set caps, the corrupt-source ban
+// list), new-connection bootstrap (bitfield / Fast-Extension HaveAll /
+// super-seed reveal), and the liveness tick that evicts silent ghosts,
+// sends keepalives, and drives the request-timeout and wedged-upload
+// recovery hooks of the sibling modules.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "peer/fabric.h"
+#include "peer/peer_context.h"
+#include "sim/types.h"
+
+namespace swarmlab::peer {
+
+class PeerSetManager {
+ public:
+  PeerSetManager(PeerContext& ctx, PeerModules& mods)
+      : ctx_(ctx), mods_(mods) {}
+
+  // --- lifecycle --------------------------------------------------------
+  /// Joins the torrent: announces `started` and begins the re-announce
+  /// schedule.
+  void start();
+
+  /// Starts the liveness tick (params.liveness_timers).
+  void start_liveness();
+
+  /// Cancels the announce, retry, and liveness timers (stop / crash).
+  void cancel_timers();
+
+  // --- connection admission ---------------------------------------------
+  [[nodiscard]] bool accepts_connection(PeerId from) const;
+  void on_connected(PeerId remote, bool initiated_by_us);
+
+  /// Permanently bans a proven-corrupt peer and drops its connection.
+  void ban(PeerId remote);
+
+  /// Connections this peer initiated (bounded by params.max_initiated).
+  [[nodiscard]] std::size_t initiated_connections() const;
+
+  // --- tracker ----------------------------------------------------------
+  /// Announces now; on success initiates connections toward returned
+  /// candidates, on failure (outage) schedules a backoff retry.
+  void announce(AnnounceEvent event);
+
+  /// Announces for more peers when the set fell below min_peer_set
+  /// (cooldown-limited).
+  void maybe_refill_peer_set();
+
+  // --- queries ----------------------------------------------------------
+  /// Tracker announces that failed (outages) and were retried.
+  [[nodiscard]] std::uint64_t announce_failures() const {
+    return announce_failures_;
+  }
+  /// Ghost connections evicted by the silence timeout (liveness timers).
+  [[nodiscard]] std::uint64_t ghosts_evicted() const {
+    return ghosts_evicted_;
+  }
+
+ private:
+  void schedule_announce();
+  void schedule_announce_retry();
+  void initiate_connections(const std::vector<PeerId>& candidates);
+  void schedule_liveness_tick();
+  void run_liveness_tick();
+
+  PeerContext& ctx_;
+  PeerModules& mods_;
+
+  /// Peers proven to send corrupt data; never reconnected.
+  std::set<PeerId> banned_;
+
+  sim::EventId announce_event_ = 0;
+  sim::EventId announce_retry_event_ = 0;
+  sim::EventId liveness_event_ = 0;
+  double last_refill_announce_ = -1e18;
+
+  // Liveness / fault-survival bookkeeping.
+  std::uint32_t announce_backoff_level_ = 0;
+  std::uint64_t announce_failures_ = 0;
+  std::uint64_t ghosts_evicted_ = 0;
+};
+
+}  // namespace swarmlab::peer

@@ -1,0 +1,44 @@
+#include "peer/super_seed_policy.h"
+
+#include <limits>
+
+namespace swarmlab::peer {
+
+void SuperSeedPolicy::reveal_next(Connection& conn) {
+  auto& revealed = revealed_[conn.remote];
+  // Offer the piece with the fewest prior offers that this peer has not
+  // been offered and has not announced, preferring unconfirmed pieces.
+  std::optional<wire::PieceIndex> best;
+  std::uint32_t best_score = std::numeric_limits<std::uint32_t>::max();
+  for (wire::PieceIndex p = 0; p < ctx_.geo.num_pieces(); ++p) {
+    if (revealed.contains(p) || conn.remote_have.has(p)) continue;
+    const std::uint32_t score =
+        offer_count_[p] * 2 + (confirmed_.contains(p) ? 1 : 0);
+    if (score < best_score) {
+      best_score = score;
+      best = p;
+    }
+  }
+  if (!best.has_value()) return;
+  revealed.insert(*best);
+  pending_offer_[conn.remote] = *best;
+  ++offer_count_[*best];
+  ctx_.send(conn.remote, wire::HaveMsg{*best});
+}
+
+void SuperSeedPolicy::on_remote_have(wire::PieceIndex piece, PeerId from) {
+  confirmed_.insert(piece);
+  for (auto& [remote, offer] : pending_offer_) {
+    if (!offer.has_value() || *offer != piece) continue;
+    // Reveal the next piece once the offered one is confirmed replicated
+    // by someone else (or by the offeree itself when it is alone).
+    if (remote != from || ctx_.conns.size() <= 1) {
+      offer.reset();
+      if (Connection* conn = ctx_.find_conn(remote); conn != nullptr) {
+        reveal_next(*conn);
+      }
+    }
+  }
+}
+
+}  // namespace swarmlab::peer

@@ -1,0 +1,59 @@
+// SuperSeedPolicy: the initial-seed piece-revelation strategy.
+//
+// A super seed advertises nothing at handshake and instead reveals one
+// piece per connection via a targeted HAVE, revealing the next only
+// after the offered piece is confirmed replicated elsewhere. Requests
+// for unrevealed pieces are refused, which steers each leecher toward
+// uploading the piece it just got. Created by Peer only when
+// params.super_seeding is set and the peer starts complete.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "peer/peer_context.h"
+
+namespace swarmlab::peer {
+
+class SuperSeedPolicy {
+ public:
+  SuperSeedPolicy(PeerContext& ctx, PeerModules& mods)
+      : ctx_(ctx), mods_(mods) {
+    offer_count_.assign(ctx.geo.num_pieces(), 0);
+  }
+
+  /// Offers the best next piece to a freshly connected (or newly
+  /// confirmed) peer via a targeted HAVE.
+  void reveal_next(Connection& conn);
+
+  /// A HAVE arrived: the piece is confirmed replicated; peers whose
+  /// pending offer this confirms get their next reveal.
+  void on_remote_have(wire::PieceIndex piece, PeerId from);
+
+  /// True when `remote` was offered `piece` (requests for unrevealed
+  /// pieces are silently refused).
+  [[nodiscard]] bool allows_request(PeerId remote, wire::PieceIndex piece) const {
+    const auto it = revealed_.find(remote);
+    return it != revealed_.end() && it->second.contains(piece);
+  }
+
+  /// Drops per-connection reveal state for a departing peer.
+  void on_disconnect(PeerId remote) {
+    revealed_.erase(remote);
+    pending_offer_.erase(remote);
+  }
+
+ private:
+  PeerContext& ctx_;
+  PeerModules& mods_;
+
+  std::map<PeerId, std::set<wire::PieceIndex>> revealed_;
+  std::map<PeerId, std::optional<wire::PieceIndex>> pending_offer_;
+  std::vector<std::uint32_t> offer_count_;  // times each piece was offered
+  std::set<wire::PieceIndex> confirmed_;    // seen HAVE from some peer
+};
+
+}  // namespace swarmlab::peer

@@ -15,7 +15,7 @@
 
 #include "core/params.h"
 #include "fault/fault_plan.h"
-#include "net/fluid_network.h"
+#include "net/types.h"
 #include "peer/observer.h"
 #include "peer/peer.h"
 #include "sim/simulation.h"

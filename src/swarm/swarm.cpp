@@ -3,21 +3,29 @@
 #include <cassert>
 #include <utility>
 
+#include "net/backend.h"
+
 namespace swarmlab::swarm {
 
 Swarm::Swarm(sim::Simulation& sim, const wire::ContentGeometry& geometry,
-             double control_latency)
+             double control_latency, std::unique_ptr<net::Network> network)
     : sim_(sim),
       geo_(geometry),
-      net_(sim, control_latency),
+      net_(network != nullptr
+               ? std::move(network)
+               : net::make_network(net::kDefaultNetworkBackend, sim,
+                                   control_latency)),
       global_availability_(geometry.num_pieces()) {}
 
 Swarm::Swarm(sim::Simulation& sim, wire::Metainfo meta,
-             double control_latency)
+             double control_latency, std::unique_ptr<net::Network> network)
     : sim_(sim),
       geo_(meta.geometry()),
       meta_(std::move(meta)),
-      net_(sim, control_latency),
+      net_(network != nullptr
+               ? std::move(network)
+               : net::make_network(net::kDefaultNetworkBackend, sim,
+                                   control_latency)),
       global_availability_(geo_.num_pieces()) {}
 
 peer::Peer* Swarm::find_peer(peer::PeerId id) {
@@ -65,7 +73,7 @@ peer::PeerId Swarm::add_peer(peer::PeerConfig cfg,
   const peer::PeerId id = next_id_++;
   cfg.id = id;
   Slot slot;
-  slot.node = net_.add_node(cfg.upload_capacity, cfg.download_capacity);
+  slot.node = net_->add_node(cfg.upload_capacity, cfg.download_capacity);
   slot.peer = std::make_unique<peer::Peer>(*this, geo_, std::move(cfg),
                                            observer);
   slots_.push_back(std::move(slot));
@@ -94,7 +102,7 @@ void Swarm::stop_peer(peer::PeerId id) {
     global_availability_.remove_peer(slot.peer->have());
     slot.counted_in_global = false;
   }
-  net_.remove_node(slot.node);
+  net_->remove_node(slot.node);
 }
 
 bool Swarm::crash_peer(peer::PeerId id) {
@@ -110,7 +118,7 @@ bool Swarm::crash_peer(peer::PeerId id) {
   // Removing the node silently aborts every in-flight transfer touching
   // it — mirroring TCP streams dying with the host. Remote senders whose
   // upload flows vanish recover via their liveness tick.
-  net_.remove_node(slot.node);
+  net_->remove_node(slot.node);
   return true;
 }
 
@@ -118,7 +126,7 @@ void Swarm::send_control(peer::PeerId from, peer::PeerId to,
                          wire::Message msg) {
   double extra_delay = 0.0;
   if (control_fault_ && !control_fault_(&extra_delay)) return;  // lost
-  net_.send_control(
+  net_->send_control(
       [this, from, to, msg = std::move(msg)] {
         if (peer::Peer* p = active_peer(to); p != nullptr) {
           p->handle_message(from, msg);
@@ -140,7 +148,7 @@ void Swarm::broadcast_have(peer::PeerId from, wire::PieceIndex piece) {
     for (const peer::PeerId t : targets) {
       double extra_delay = 0.0;
       if (!control_fault_(&extra_delay)) continue;  // lost on this link
-      net_.send_control(
+      net_->send_control(
           [this, from, piece, t] {
             if (peer::Peer* p = active_peer(t); p != nullptr) {
               p->handle_message(from, wire::HaveMsg{piece});
@@ -152,7 +160,7 @@ void Swarm::broadcast_have(peer::PeerId from, wire::PieceIndex piece) {
   }
   // One scheduled delivery to all connections (event economy; equivalent
   // to per-connection control messages with identical latency).
-  net_.send_control([this, from, piece, targets = std::move(targets)] {
+  net_->send_control([this, from, piece, targets = std::move(targets)] {
     for (const peer::PeerId t : targets) {
       if (peer::Peer* p = active_peer(t); p != nullptr) {
         p->handle_message(from, wire::HaveMsg{piece});
@@ -171,7 +179,7 @@ net::FlowId Swarm::send_block(peer::PeerId from, peer::PeerId to,
   // A corrupting sender's blocks carry a one-byte taint marker — the
   // simulator's stand-in for data that will fail the piece hash check.
   const bool corrupt = from_slot->peer->config().sends_corrupt_data;
-  return net_.start_flow(
+  return net_->start_flow(
       from_slot->node, to_slot->node, bytes,
       [this, from, to, block, bytes, corrupt] {
         // Deliver the data to the receiver, then free the sender's slot.
@@ -196,7 +204,7 @@ net::FlowId Swarm::send_block(peer::PeerId from, peer::PeerId to,
 }
 
 void Swarm::connect(peer::PeerId from, peer::PeerId to) {
-  net_.send_control([this, from, to] {
+  net_->send_control([this, from, to] {
     peer::Peer* a = active_peer(from);
     peer::Peer* b = active_peer(to);
     if (a == nullptr || b == nullptr) return;

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/availability.h"
-#include "net/fluid_network.h"
+#include "net/network.h"
 #include "peer/fabric.h"
 #include "peer/observer.h"
 #include "peer/peer.h"
@@ -23,14 +23,20 @@ namespace swarmlab::swarm {
 /// One torrent's worth of simulated peers.
 class Swarm final : public peer::Fabric {
  public:
+  /// `network` selects the transport backend; null uses the default
+  /// ("fluid", see net/backend.h). The swarm depends only on
+  /// net::Network, so registered alternative backends slot in here
+  /// without any swarm change.
   Swarm(sim::Simulation& sim, const wire::ContentGeometry& geometry,
-        double control_latency = 0.05);
+        double control_latency = 0.05,
+        std::unique_ptr<net::Network> network = nullptr);
 
   /// Data-plane mode: peers exchange the real content bytes described by
   /// `meta` and verify every completed piece against its SHA-1. Heavier
   /// (blocks are materialized); intended for correctness-focused runs.
   Swarm(sim::Simulation& sim, wire::Metainfo meta,
-        double control_latency = 0.05);
+        double control_latency = 0.05,
+        std::unique_ptr<net::Network> network = nullptr);
 
   // --- peer management --------------------------------------------------
 
@@ -86,7 +92,7 @@ class Swarm final : public peer::Fabric {
   // --- Fabric -------------------------------------------------------------
 
   sim::Simulation& simulation() override { return sim_; }
-  net::FluidNetwork& network() override { return net_; }
+  net::Network& network() override { return *net_; }
   void send_control(peer::PeerId from, peer::PeerId to,
                     wire::Message msg) override;
   void broadcast_have(peer::PeerId from, wire::PieceIndex piece) override;
@@ -128,7 +134,7 @@ class Swarm final : public peer::Fabric {
   sim::Simulation& sim_;
   wire::ContentGeometry geo_;
   std::optional<wire::Metainfo> meta_;  // engaged in data-plane mode
-  net::FluidNetwork net_;
+  std::unique_ptr<net::Network> net_;
   Tracker tracker_;
   std::vector<Slot> slots_;  // index = PeerId - 1
   core::AvailabilityMap global_availability_;

@@ -17,7 +17,9 @@
 #include "instrument/local_log.h" // instrumented-client log
 #include "instrument/samplers.h"  // time-series samplers
 #include "instrument/trace.h"     // full event trace + observer fan-out
+#include "net/backend.h"          // network-backend registry
 #include "net/fluid_network.h"    // flow-level bandwidth model
+#include "net/network.h"          // abstract network backend
 #include "peer/peer.h"            // the peer state machine
 #include "sim/simulation.h"       // discrete-event engine
 #include "stats/cdf.h"            // empirical CDFs

@@ -1,0 +1,158 @@
+// DownloadScheduler in isolation: one Peer on a MockFabric, the test
+// plays the remote side and asserts on the recorded request traffic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mock_fabric.h"
+#include "peer/peer.h"
+
+namespace swarmlab {
+namespace {
+
+using peer::PeerConfig;
+using peer::PeerId;
+using test::MockFabric;
+
+constexpr PeerId kRemote = 7;
+
+struct Harness {
+  explicit Harness(std::uint32_t pieces = 4, PeerConfig cfg = {})
+      : geo(std::uint64_t{pieces} * 64 * 1024, 64 * 1024, 16 * 1024),
+        fabric(sim, geo),
+        local([&] {
+          cfg.id = 1;
+          return cfg;
+        }()),
+        peer(fabric, geo, local) {
+    peer.start();
+  }
+
+  /// Connects kRemote as a seed and unchokes us; returns after the peer
+  /// has pipelined its first requests.
+  void connect_seed_and_unchoke() {
+    peer.on_connected(kRemote, /*initiated_by_us=*/false);
+    wire::BitfieldMsg full;
+    full.bits.assign(geo.num_pieces(), true);
+    peer.handle_message(kRemote, full);
+    peer.handle_message(kRemote, wire::UnchokeMsg{});
+  }
+
+  /// Serves one outstanding request back as a block.
+  void serve(const wire::RequestMsg& req) {
+    peer.handle_message(kRemote, wire::PieceMsg{req.piece, req.begin, {}});
+  }
+
+  sim::Simulation sim{1};
+  wire::ContentGeometry geo;
+  MockFabric fabric;
+  PeerConfig local;
+  peer::Peer peer;
+};
+
+TEST(DownloadScheduler, PipelinesUpToDepthOnUnchoke) {
+  Harness h;
+  h.connect_seed_and_unchoke();
+  const auto reqs = h.fabric.sent_to<wire::RequestMsg>(kRemote);
+  EXPECT_EQ(reqs.size(), h.local.params.pipeline_depth);
+  // Strict priority: the pipeline drains one piece before starting the
+  // next, so all first-round requests target at most two distinct pieces
+  // (a piece holds 4 blocks here, and which pieces get picked is up to
+  // the rarest-first tiebreak).
+  std::set<wire::PieceIndex> pieces;
+  for (const auto& r : reqs) pieces.insert(r.piece);
+  EXPECT_LE(pieces.size(), 2u);
+}
+
+TEST(DownloadScheduler, ChokeReturnsBlocksAndReissuesAfterUnchoke) {
+  Harness h;
+  h.connect_seed_and_unchoke();
+  const std::size_t before = h.fabric.count_sent<wire::RequestMsg>(kRemote);
+  h.peer.handle_message(kRemote, wire::ChokeMsg{});
+  EXPECT_TRUE(h.peer.connection(kRemote)->outstanding.empty());
+  h.peer.handle_message(kRemote, wire::UnchokeMsg{});
+  // The freed blocks are re-requested: the pipeline refills to depth.
+  EXPECT_EQ(h.fabric.count_sent<wire::RequestMsg>(kRemote),
+            before + h.local.params.pipeline_depth);
+  EXPECT_EQ(h.peer.connection(kRemote)->outstanding.size(),
+            h.local.params.pipeline_depth);
+}
+
+TEST(DownloadScheduler, RejectFreesSlotAndReroutes) {
+  Harness h;
+  h.connect_seed_and_unchoke();
+  const auto reqs = h.fabric.sent_to<wire::RequestMsg>(kRemote);
+  const wire::RequestMsg victim = reqs.front();
+  h.peer.handle_message(
+      kRemote,
+      wire::RejectRequestMsg{victim.piece, victim.begin, victim.length});
+  // The slot is immediately refilled with a different block.
+  EXPECT_EQ(h.peer.connection(kRemote)->outstanding.size(),
+            h.local.params.pipeline_depth);
+  const auto after = h.fabric.sent_to<wire::RequestMsg>(kRemote);
+  EXPECT_EQ(after.size(), reqs.size() + 1);
+}
+
+TEST(DownloadScheduler, CompletedPieceIsBroadcastAndCounted) {
+  Harness h;
+  h.connect_seed_and_unchoke();
+  // Serve every request until the download completes.
+  std::size_t served = 0;
+  while (!h.peer.is_seed() && served < 1000) {
+    const auto reqs = h.fabric.sent_to<wire::RequestMsg>(kRemote);
+    ASSERT_LT(served, reqs.size()) << "pipeline stalled";
+    h.serve(reqs[served++]);
+  }
+  EXPECT_TRUE(h.peer.is_seed());
+  EXPECT_EQ(h.fabric.broadcast_haves.size(), h.geo.num_pieces());
+  EXPECT_EQ(h.peer.total_downloaded(), h.geo.total_bytes());
+  // A fresh seed announces Completed after its Started.
+  ASSERT_EQ(h.fabric.announces.size(), 2u);
+  EXPECT_EQ(h.fabric.announces[1], peer::AnnounceEvent::kCompleted);
+}
+
+TEST(DownloadScheduler, EndGameDuplicatesAndCancelsStragglers) {
+  PeerConfig cfg;
+  cfg.params.end_game = true;
+  Harness h(/*pieces=*/1, cfg);
+  h.connect_seed_and_unchoke();
+  // One piece of 4 blocks: everything is requested at kRemote, so a
+  // second seed joining enters end game and duplicates the stragglers.
+  const PeerId second = 9;
+  h.peer.on_connected(second, false);
+  h.peer.handle_message(second, wire::HaveAllMsg{});
+  h.peer.handle_message(second, wire::UnchokeMsg{});
+  EXPECT_TRUE(h.peer.in_end_game());
+  EXPECT_GT(h.fabric.count_sent<wire::RequestMsg>(second), 0u);
+  // First arrival of a duplicated block cancels the other copy.
+  const auto reqs = h.fabric.sent_to<wire::RequestMsg>(kRemote);
+  h.serve(reqs.front());
+  EXPECT_GE(h.fabric.count_sent<wire::CancelMsg>(second), 1u);
+}
+
+TEST(DownloadScheduler, CorruptSingleSourcePieceIsDiscardedAndBanned) {
+  PeerConfig cfg;
+  cfg.params.verify_pieces = true;
+  cfg.params.ban_corrupt_sources = true;
+  Harness h(/*pieces=*/1, cfg);
+  h.connect_seed_and_unchoke();
+  // Serve all 4 blocks with the corrupt marker (non-empty payload on the
+  // markerless control plane).
+  std::size_t served = 0;
+  while (h.peer.corrupted_pieces() == 0 && served < 100) {
+    const auto reqs = h.fabric.sent_to<wire::RequestMsg>(kRemote);
+    ASSERT_LT(served, reqs.size());
+    const auto& r = reqs[served++];
+    h.peer.handle_message(kRemote, wire::PieceMsg{r.piece, r.begin, {0xFF}});
+  }
+  EXPECT_EQ(h.peer.corrupted_pieces(), 1u);
+  EXPECT_FALSE(h.peer.is_seed());
+  // Single-source failure proves the sender corrupt: banned + dropped.
+  ASSERT_FALSE(h.fabric.disconnects.empty());
+  EXPECT_EQ(h.fabric.disconnects.front().second, kRemote);
+  h.peer.on_disconnected(kRemote);
+  EXPECT_FALSE(h.peer.accepts_connection(kRemote));
+}
+
+}  // namespace
+}  // namespace swarmlab

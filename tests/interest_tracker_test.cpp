@@ -1,0 +1,110 @@
+// InterestTracker in isolation: bitfield/HAVE bookkeeping and
+// Interested/NotInterested signalling, driven through a MockFabric.
+#include <gtest/gtest.h>
+
+#include "mock_fabric.h"
+#include "peer/peer.h"
+
+namespace swarmlab {
+namespace {
+
+using peer::PeerConfig;
+using peer::PeerId;
+using test::MockFabric;
+
+constexpr PeerId kRemote = 7;
+
+struct Harness {
+  explicit Harness(std::uint32_t pieces = 4,
+                   std::vector<bool> initial = {})
+      : geo(std::uint64_t{pieces} * 64 * 1024, 64 * 1024, 16 * 1024),
+        fabric(sim, geo),
+        peer(fabric, geo,
+             [&] {
+               PeerConfig cfg;
+               cfg.id = 1;
+               cfg.initial_pieces = std::move(initial);
+               return cfg;
+             }()) {
+    peer.start();
+    peer.on_connected(kRemote, false);
+  }
+
+  sim::Simulation sim{1};
+  wire::ContentGeometry geo;
+  MockFabric fabric;
+  peer::Peer peer;
+};
+
+TEST(InterestTracker, BitfieldWithNeededPiecesTriggersInterested) {
+  Harness h;
+  wire::BitfieldMsg msg;
+  msg.bits = {true, false, false, false};
+  h.peer.handle_message(kRemote, msg);
+  EXPECT_EQ(h.fabric.count_sent<wire::InterestedMsg>(kRemote), 1u);
+  EXPECT_TRUE(h.peer.connection(kRemote)->am_interested);
+  EXPECT_EQ(h.peer.connection(kRemote)->missing_count, 1u);
+}
+
+TEST(InterestTracker, EmptyBitfieldLeavesUsUninterested) {
+  Harness h;
+  wire::BitfieldMsg msg;
+  msg.bits.assign(4, false);
+  h.peer.handle_message(kRemote, msg);
+  EXPECT_EQ(h.fabric.count_sent<wire::InterestedMsg>(kRemote), 0u);
+  EXPECT_FALSE(h.peer.connection(kRemote)->am_interested);
+}
+
+TEST(InterestTracker, HaveForOwnedPieceDoesNotRaiseInterest) {
+  Harness h(4, {true, false, false, false});
+  wire::BitfieldMsg none;
+  none.bits.assign(4, false);
+  h.peer.handle_message(kRemote, none);
+  h.peer.handle_message(kRemote, wire::HaveMsg{0});  // we own piece 0
+  EXPECT_EQ(h.fabric.count_sent<wire::InterestedMsg>(kRemote), 0u);
+  h.peer.handle_message(kRemote, wire::HaveMsg{2});  // we miss piece 2
+  EXPECT_EQ(h.fabric.count_sent<wire::InterestedMsg>(kRemote), 1u);
+}
+
+TEST(InterestTracker, AvailabilityTracksRemoteKnowledge) {
+  Harness h;
+  wire::BitfieldMsg msg;
+  msg.bits = {true, true, false, false};
+  h.peer.handle_message(kRemote, msg);
+  EXPECT_EQ(h.peer.availability().copies(0), 1u);
+  EXPECT_EQ(h.peer.availability().copies(2), 0u);
+  h.peer.handle_message(kRemote, wire::HaveMsg{2});
+  EXPECT_EQ(h.peer.availability().copies(2), 1u);
+  // Teardown withdraws every piece the remote contributed.
+  h.peer.on_disconnected(kRemote);
+  EXPECT_EQ(h.peer.availability().copies(0), 0u);
+  EXPECT_EQ(h.peer.availability().copies(2), 0u);
+}
+
+TEST(InterestTracker, LocalCompletionWithdrawsInterest) {
+  Harness h(4, {true, true, true, false});  // we miss only piece 3
+  wire::BitfieldMsg msg;
+  msg.bits = {false, false, false, true};  // remote has exactly piece 3
+  h.peer.handle_message(kRemote, msg);
+  EXPECT_TRUE(h.peer.connection(kRemote)->am_interested);
+  // Complete piece 3 locally (remote unchoked us, one piece = 4 blocks).
+  h.peer.handle_message(kRemote, wire::UnchokeMsg{});
+  for (const auto& r : h.fabric.sent_to<wire::RequestMsg>(kRemote)) {
+    h.peer.handle_message(kRemote, wire::PieceMsg{r.piece, r.begin, {}});
+  }
+  EXPECT_TRUE(h.peer.is_seed());
+  EXPECT_EQ(h.fabric.count_sent<wire::NotInterestedMsg>(kRemote), 1u);
+}
+
+TEST(InterestTracker, SeedDropsConnectionToCompleteRemote) {
+  Harness h(4, {true, true, true, true});  // local peer starts as seed
+  wire::BitfieldMsg full;
+  full.bits.assign(4, true);
+  h.peer.handle_message(kRemote, full);
+  // Seeds do not keep connections to seeds.
+  ASSERT_EQ(h.fabric.disconnects.size(), 1u);
+  EXPECT_EQ(h.fabric.disconnects[0].second, kRemote);
+}
+
+}  // namespace
+}  // namespace swarmlab

@@ -1,0 +1,97 @@
+// MockFabric: a recording peer::Fabric for single-module unit tests.
+//
+// Drives one Peer in isolation: every outbound control message, block
+// send, connect, and disconnect is recorded instead of routed, so a test
+// plays the remote side by calling the peer's entry points directly and
+// asserts on exactly what the module under test emitted — no Swarm, no
+// tracker, no second peer.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/availability.h"
+#include "mock_network.h"
+#include "peer/fabric.h"
+#include "sim/simulation.h"
+
+namespace swarmlab::test {
+
+class MockFabric final : public peer::Fabric {
+ public:
+  MockFabric(sim::Simulation& sim, const wire::ContentGeometry& geo)
+      : sim_(sim), net_(sim, 0.05), global_avail_(geo.num_pieces()) {}
+
+  sim::Simulation& simulation() override { return sim_; }
+  net::Network& network() override { return net_; }
+
+  void send_control(peer::PeerId /*from*/, peer::PeerId to,
+                    wire::Message msg) override {
+    sent.push_back({to, std::move(msg)});
+  }
+
+  void broadcast_have(peer::PeerId /*from*/, wire::PieceIndex piece) override {
+    broadcast_haves.push_back(piece);
+  }
+
+  net::FlowId send_block(peer::PeerId /*from*/, peer::PeerId to,
+                         wire::BlockRef block) override {
+    blocks_sent.push_back({to, block});
+    if (fail_send_block) return 0;
+    return net_.start_flow(0, 0, 16 * 1024, [] {});
+  }
+
+  void connect(peer::PeerId /*from*/, peer::PeerId to) override {
+    connects.push_back(to);
+  }
+
+  void disconnect(peer::PeerId a, peer::PeerId b) override {
+    disconnects.push_back({a, b});
+  }
+
+  peer::AnnounceResult announce(peer::PeerId /*who*/,
+                                peer::AnnounceEvent event) override {
+    announces.push_back(event);
+    return announce_result;
+  }
+
+  const core::AvailabilityMap& global_availability() const override {
+    return global_avail_;
+  }
+
+  // --- recorded traffic --------------------------------------------------
+  std::vector<std::pair<peer::PeerId, wire::Message>> sent;
+  std::vector<wire::PieceIndex> broadcast_haves;
+  std::vector<std::pair<peer::PeerId, wire::BlockRef>> blocks_sent;
+  std::vector<peer::PeerId> connects;
+  std::vector<std::pair<peer::PeerId, peer::PeerId>> disconnects;
+  std::vector<peer::AnnounceEvent> announces;
+
+  /// What the next announce returns (default: success, no candidates).
+  peer::AnnounceResult announce_result;
+  /// When set, send_block reports failure (returns flow id 0).
+  bool fail_send_block = false;
+
+  /// Messages of type M sent to `to`, in send order.
+  template <typename M>
+  std::vector<M> sent_to(peer::PeerId to) const {
+    std::vector<M> out;
+    for (const auto& [dest, msg] : sent) {
+      if (dest != to) continue;
+      if (const auto* m = std::get_if<M>(&msg)) out.push_back(*m);
+    }
+    return out;
+  }
+
+  template <typename M>
+  std::size_t count_sent(peer::PeerId to) const {
+    return sent_to<M>(to).size();
+  }
+
+ private:
+  sim::Simulation& sim_;
+  MockNetwork net_;
+  core::AvailabilityMap global_avail_;
+};
+
+}  // namespace swarmlab::test

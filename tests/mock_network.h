@@ -1,0 +1,133 @@
+// MockNetwork: a trivially-timed net::Network for protocol-level tests.
+//
+// Control messages arrive after exactly `control_latency`; every flow
+// completes after exactly `flow_time`, independent of size, capacity,
+// and cross-traffic. That removes the fluid model's rate coupling from
+// a test's timeline, so assertions about *message ordering* hold by
+// construction and cannot be disturbed by bandwidth arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace swarmlab::test {
+
+class MockNetwork final : public net::Network {
+ public:
+  MockNetwork(sim::Simulation& sim, double control_latency,
+              double flow_time = 0.5)
+      : sim_(sim), control_latency_(control_latency), flow_time_(flow_time) {}
+
+  net::NodeId add_node(double up, double /*down*/) override {
+    const net::NodeId id = next_node_++;
+    nodes_[id] = up;
+    return id;
+  }
+
+  void remove_node(net::NodeId node) override {
+    nodes_.erase(node);
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->second.from == node || it->second.to == node) {
+        it = flows_.erase(it);  // silently aborted, no callback
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void set_node_capacity(net::NodeId node, double up,
+                         double /*down*/) override {
+    nodes_[node] = up;
+  }
+
+  [[nodiscard]] bool has_node(net::NodeId node) const override {
+    return nodes_.contains(node);
+  }
+
+  [[nodiscard]] bool has_flow(net::FlowId flow) const override {
+    return flows_.contains(flow);
+  }
+
+  [[nodiscard]] std::vector<net::FlowId> active_flow_ids() const override {
+    std::vector<net::FlowId> out;
+    out.reserve(flows_.size());
+    for (const auto& [id, f] : flows_) out.push_back(id);
+    return out;
+  }
+
+  net::FlowId start_flow(net::NodeId from, net::NodeId to,
+                         std::uint64_t bytes,
+                         std::function<void()> on_complete) override {
+    const net::FlowId id = next_flow_++;
+    flows_.emplace(id, Flow{from, to, bytes});
+    ++flows_started_;
+    sim_.schedule_in(flow_time_, [this, id, cb = std::move(on_complete)] {
+      if (flows_.erase(id) != 0) cb();
+    });
+    return id;
+  }
+
+  bool cancel_flow(net::FlowId flow) override {
+    ++flows_cancelled_;
+    return flows_.erase(flow) != 0;
+  }
+
+  [[nodiscard]] double flow_rate(net::FlowId flow) const override {
+    const auto it = flows_.find(flow);
+    return it == flows_.end()
+               ? 0.0
+               : static_cast<double>(it->second.bytes) / flow_time_;
+  }
+
+  void send_control(std::function<void()> deliver,
+                    double extra_delay = 0.0) override {
+    ++controls_sent_;
+    sim_.schedule_in(control_latency_ + extra_delay, std::move(deliver));
+  }
+
+  [[nodiscard]] double control_latency() const override {
+    return control_latency_;
+  }
+
+  [[nodiscard]] std::size_t active_flows() const override {
+    return flows_.size();
+  }
+
+  [[nodiscard]] double node_up(net::NodeId node) const override {
+    const auto it = nodes_.find(node);
+    return it == nodes_.end() ? 0.0 : it->second;
+  }
+
+  // --- test instrumentation ---------------------------------------------
+  [[nodiscard]] std::uint64_t controls_sent() const { return controls_sent_; }
+  [[nodiscard]] std::uint64_t flows_started() const { return flows_started_; }
+  [[nodiscard]] std::uint64_t flows_cancelled() const {
+    return flows_cancelled_;
+  }
+
+ private:
+  struct Flow {
+    net::NodeId from = 0;
+    net::NodeId to = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  sim::Simulation& sim_;
+  double control_latency_;
+  double flow_time_;
+
+  net::NodeId next_node_ = 0;
+  net::FlowId next_flow_ = 1;  // 0 is the "no flow" sentinel
+  std::map<net::NodeId, double> nodes_;
+  std::map<net::FlowId, Flow> flows_;
+
+  std::uint64_t controls_sent_ = 0;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_cancelled_ = 0;
+};
+
+}  // namespace swarmlab::test

@@ -1,9 +1,13 @@
 // Peer state-machine behavior, observed through real (small) swarms.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <set>
+#include <string>
 
 #include "instrument/local_log.h"
+#include "mock_network.h"
 #include "swarm/swarm.h"
 
 namespace swarmlab {
@@ -287,6 +291,58 @@ TEST(PeerProtocol, GlobalAvailabilityTracksCompletions) {
   for (wire::PieceIndex p = 0; p < 4; ++p) {
     EXPECT_EQ(h.swarm.global_availability().copies(p), 2u);
   }
+}
+
+// --- the net::Network seam -------------------------------------------------
+
+/// Records every message the observed peer receives, in arrival order.
+struct MessageOrderLog : peer::PeerObserver {
+  void on_message_received(sim::SimTime, PeerId,
+                           const wire::Message& msg) override {
+    names.push_back(wire::message_name(msg));
+  }
+  std::vector<std::string> names;
+
+  std::ptrdiff_t first(const std::string& name) const {
+    const auto it = std::find(names.begin(), names.end(), name);
+    return it == names.end() ? -1 : it - names.begin();
+  }
+};
+
+// A Swarm runs unchanged on an injected MockNetwork (constant control
+// latency, constant flow time), and the control-message ordering the
+// protocol guarantees — BITFIELD before UNCHOKE before the first block —
+// holds independently of the fluid model's rate arithmetic.
+TEST(PeerProtocol, ControlOrderingHoldsOnMockNetwork) {
+  sim::Simulation sim(1);
+  const wire::ContentGeometry geo(4 * 256 * 1024, 256 * 1024, 16 * 1024);
+  auto owned = std::make_unique<test::MockNetwork>(sim, 0.05,
+                                                   /*flow_time=*/0.25);
+  test::MockNetwork* mock = owned.get();
+  swarm::Swarm swarm(sim, geo, 0.05, std::move(owned));
+  // The swarm's network seam is exactly the injected backend.
+  ASSERT_EQ(&swarm.network(), mock);
+
+  PeerConfig seed_cfg;
+  seed_cfg.start_complete = true;
+  const PeerId s = swarm.add_peer(seed_cfg);
+  swarm.start_peer(s);
+  MessageOrderLog log;
+  const PeerId l = swarm.add_peer(PeerConfig{}, &log);
+  swarm.start_peer(l);
+  sim.run_until(200.0);
+
+  EXPECT_TRUE(swarm.find_peer(l)->is_seed());
+  EXPECT_GT(mock->flows_started(), 0u);
+  EXPECT_GT(mock->controls_sent(), 0u);
+  const auto bitfield = log.first("bitfield");
+  const auto unchoke = log.first("unchoke");
+  const auto block = log.first("piece");
+  ASSERT_NE(bitfield, -1);
+  ASSERT_NE(unchoke, -1);
+  ASSERT_NE(block, -1);
+  EXPECT_LT(bitfield, unchoke);
+  EXPECT_LT(unchoke, block);
 }
 
 }  // namespace

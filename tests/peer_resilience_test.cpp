@@ -2,6 +2,7 @@
 // churn under adversity.
 #include <gtest/gtest.h>
 
+#include "core/choker.h"
 #include "instrument/local_log.h"
 #include "swarm/swarm.h"
 

@@ -414,6 +414,49 @@ TEST(BatchDeterminism, GoldenTrajectoryDigestStableAcrossWorkerCounts) {
       << "trajectory digest changed: 0x" << std::hex << serial;
 }
 
+std::vector<RunResult> run_faulted_golden_jobs(int workers) {
+  // Same Table-I torrent, but under a compound fault plan (message loss
+  // + delay jitter, random crashes, flow kills, one tracker outage), so
+  // the digest also pins the fault-injection RNG stream, the liveness
+  // timers, and the retry/backoff machinery.
+  swarm::ScenarioConfig cfg = swarm::scenario_from_table1(3, tiny_limits());
+  cfg.faults.message_loss_rate = 0.05;
+  cfg.faults.message_delay_jitter = 0.25;
+  cfg.faults.peer_crash_rate = 1.0 / 400.0;
+  cfg.faults.flow_kill_rate = 1.0 / 200.0;
+  cfg.faults.tracker_outages.push_back({40.0, 30.0});
+  std::vector<BatchJob> jobs;
+  for (int i = 1; i <= 4; ++i) {
+    BatchJob job;
+    job.id = i;
+    job.name = "golden-faulted-" + std::to_string(i);
+    job.config = cfg;
+    job.seed = sim::fork_seed(20061025, 100 + static_cast<std::uint64_t>(i));
+    jobs.push_back(std::move(job));
+  }
+  BatchOptions opts;
+  opts.jobs = workers;
+  opts.master_seed = 20061025;
+  BatchRunner batch(opts);
+  return batch.run(jobs, [](const BatchJob& job) {
+    return runner::run_scenario_job(job, 200.0);
+  });
+}
+
+// Same contract as the fault-free digest above, but on the fault path:
+// replay identity must hold when the fault injector is drawing from its
+// forked RNG stream and peers exercise retries, ghost eviction, and
+// request timeouts. Update the constant ONLY for an intentional
+// trajectory change, and call it out in the commit message.
+TEST(BatchDeterminism, FaultedGoldenTrajectoryDigestStable) {
+  constexpr std::uint64_t kFaultedGoldenDigest = 0xbaa33ec6ee7d33b2ull;
+  const std::uint64_t serial = digest_results(run_faulted_golden_jobs(1));
+  const std::uint64_t parallel = digest_results(run_faulted_golden_jobs(8));
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, kFaultedGoldenDigest)
+      << "faulted trajectory digest changed: 0x" << std::hex << serial;
+}
+
 TEST(BatchDeterminism, SimulationIndependentOfHostThread) {
   // The same (config, seed) job run from an ad-hoc thread and from the
   // main thread must agree event for event.
