@@ -1,0 +1,202 @@
+// Cross-backend comparison harness: runs a representative cross-section
+// of the Table-I torrents plus a cold flash crowd on BOTH registered
+// transfer models ("fluid" and "packet") under identical seeds, then
+// checks the backends agree:
+//
+//  * structurally — a scenario that completes on one backend completes
+//    on the other (exact);
+//  * in aggregate — local completion times within a multiplicative
+//    tolerance band, and the Gini fairness index of per-remote download
+//    contributions within an absolute delta.
+//
+// Writes a machine-readable comparison report (--json, default
+// backend-compare.json) and exits non-zero if any scenario falls outside
+// its band — CI runs this and archives the report. The bands are
+// deliberately wide: the two models SHOULD disagree on timing detail
+// (that is the point of having both); the gate only catches a backend
+// drifting into a different qualitative regime.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace swarmlab;
+
+// Multiplicative band for packet/fluid local completion-time ratio.
+constexpr double kCompletionRatioBand = 2.0;
+// Absolute band for the fairness-index difference.
+constexpr double kGiniDeltaBand = 0.30;
+
+struct BackendOutcome {
+  bool completed = false;
+  double completion = -1.0;
+  double gini = 0.0;
+  std::uint64_t events = 0;
+};
+
+runner::JobFn make_job_fn() {
+  return [](const runner::BatchJob& job) {
+    return runner::run_scenario_job(
+        job, 500.0,
+        [](const swarm::ScenarioRunner&, const instrument::LocalPeerLog& log,
+           runner::RunResult& res) {
+          std::vector<double> shares;
+          shares.reserve(log.records().size());
+          for (const auto& [id, rec] : log.records()) {
+            shares.push_back(static_cast<double>(rec.down_bytes()));
+          }
+          res.metrics["download_gini"] = stats::gini(std::move(shares));
+        });
+  };
+}
+
+BackendOutcome outcome_of(const runner::RunResult& r) {
+  BackendOutcome out;
+  out.completed = r.completed;
+  out.completion = r.local_completion;
+  out.events = r.events_executed;
+  if (const auto* g = r.metrics.find("download_gini")) {
+    out.gini = g->as_double();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_bench_options(argc, argv);
+  const std::string json_path =
+      opts.json_path.empty() ? "backend-compare.json" : opts.json_path;
+
+  // A cross-section of Table I — transient and steady state, seed-poor
+  // and seed-rich — at a reduced scale so the per-segment packet model
+  // stays affordable, plus a cold flash crowd (the paper's §IV-A.1
+  // startup regime, which stresses rare-piece replication hardest).
+  swarm::ScaleLimits limits;
+  limits.max_peers = 48;
+  limits.max_pieces = 32;
+  limits.min_pieces = 16;
+  limits.duration = 25000.0;
+  const int table_rows[] = {2, 3, 7, 13, 16, 19};
+
+  std::vector<runner::BatchJob> scenarios;
+  int id = 0;
+  for (const int row : table_rows) {
+    runner::BatchJob job;
+    job.id = ++id;
+    job.config = swarm::scenario_from_table1(row, limits);
+    job.name = job.config.name;
+    job.seed = opts.seed + static_cast<std::uint64_t>(row);
+    scenarios.push_back(std::move(job));
+  }
+  {
+    runner::BatchJob job;
+    job.id = ++id;
+    swarm::ScenarioConfig cfg;
+    cfg.name = "flash-crowd-cold";
+    cfg.num_pieces = 32;
+    cfg.initial_seeds = 1;
+    cfg.initial_leechers = 40;
+    cfg.leechers_warm = false;
+    cfg.arrival_rate = 0.0;
+    cfg.duration = limits.duration;
+    job.config = cfg;
+    job.name = cfg.name;
+    job.seed = opts.seed + 100;
+    scenarios.push_back(std::move(job));
+  }
+
+  std::printf("=== Backend comparison: fluid vs packet ===\n");
+  std::printf("seed=%llu jobs=%d scenarios=%zu bands: completion x%.1f, "
+              "gini +/-%.2f\n\n",
+              static_cast<unsigned long long>(opts.seed), opts.jobs,
+              scenarios.size(), kCompletionRatioBand, kGiniDeltaBand);
+
+  // One batch per backend, identical jobs and seeds. Jobs parallelize
+  // within each batch; results merge in submission order, so stdout and
+  // the report are byte-stable for any --jobs.
+  runner::BatchOptions bopts;
+  bopts.jobs = opts.jobs;
+  bopts.master_seed = opts.seed;
+  std::vector<std::vector<runner::RunResult>> by_backend;
+  const char* backends[] = {"fluid", "packet"};
+  for (const char* backend : backends) {
+    std::vector<runner::BatchJob> jobs = scenarios;
+    for (auto& job : jobs) job.config.network_backend = backend;
+    runner::BatchRunner batch(bopts);
+    by_backend.push_back(batch.run(jobs, make_job_fn()));
+  }
+
+  std::printf("%-20s %12s %12s %8s %8s %8s %8s  %s\n", "scenario", "fluid_t",
+              "packet_t", "ratio", "f_gini", "p_gini", "d_gini", "verdict");
+
+  auto entries = runner::json::Value::array();
+  int failures = 0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const BackendOutcome f = outcome_of(by_backend[0][i]);
+    const BackendOutcome p = outcome_of(by_backend[1][i]);
+
+    std::string why;
+    if (f.completed != p.completed) {
+      why = "completion disagreement";
+    }
+    double ratio = 0.0;
+    if (f.completed && p.completed) {
+      ratio = p.completion / f.completion;
+      if (ratio > kCompletionRatioBand || ratio < 1.0 / kCompletionRatioBand) {
+        why = "completion-time ratio out of band";
+      }
+    }
+    const double gini_delta = p.gini - f.gini;
+    if (why.empty() && std::fabs(gini_delta) > kGiniDeltaBand) {
+      why = "fairness delta out of band";
+    }
+    if (!why.empty()) ++failures;
+
+    std::printf("%-20s %12.1f %12.1f %8.3f %8.3f %8.3f %8.3f  %s\n",
+                scenarios[i].name.c_str(), f.completion, p.completion, ratio,
+                f.gini, p.gini, gini_delta,
+                why.empty() ? "ok" : why.c_str());
+
+    auto entry = runner::json::Value::object();
+    entry["id"] = scenarios[i].id;
+    entry["name"] = scenarios[i].name;
+    entry["seed"] = scenarios[i].seed;
+    for (int b = 0; b < 2; ++b) {
+      const BackendOutcome& o = b == 0 ? f : p;
+      auto side = runner::json::Value::object();
+      side["completed"] = o.completed;
+      side["completion"] = o.completion;
+      side["download_gini"] = o.gini;
+      side["events"] = o.events;
+      entry[backends[b]] = std::move(side);
+    }
+    entry["completion_ratio"] = ratio;
+    entry["gini_delta"] = gini_delta;
+    entry["pass"] = why.empty();
+    if (!why.empty()) entry["why"] = why;
+    entries.push_back(std::move(entry));
+  }
+
+  auto report = runner::json::Value::object();
+  report["schema"] = "swarmlab.backend-compare/1";
+  report["master_seed"] = opts.seed;
+  report["completion_ratio_band"] = kCompletionRatioBand;
+  report["gini_delta_band"] = kGiniDeltaBand;
+  report["failures"] = failures;
+  report["results"] = std::move(entries);
+  std::string error;
+  if (!runner::write_report(json_path, report, &error)) {
+    std::fprintf(stderr, "bench_ext_backend_compare: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("\n%d/%zu scenarios within bands. Report written to %s.\n",
+              static_cast<int>(scenarios.size()) - failures,
+              scenarios.size(), json_path.c_str());
+  return failures == 0 ? 0 : 1;
+}

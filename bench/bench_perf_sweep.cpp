@@ -11,7 +11,13 @@
 // Always writes a compact machine-readable summary (default
 // BENCH_perf.json, override with --json PATH) so CI can archive the
 // throughput trend per commit.
+//
+// --tier small|medium|large|all restricts the ladder (CI's perf gate
+// runs only the small tier to keep the job fast).
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -41,7 +47,25 @@ swarmlab::swarm::ScenarioConfig perf_scenario(const char* name,
 
 int main(int argc, char** argv) {
   using namespace swarmlab;
-  auto opts = bench::parse_bench_options(argc, argv);
+  // Peel off --tier before handing the rest to the shared parser.
+  std::string tier = "all";
+  std::vector<char*> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tier") == 0 && i + 1 < argc) {
+      tier = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (tier != "all" && tier != "perf_small" && tier != "perf_medium" &&
+      tier != "perf_large" && tier != "small" && tier != "medium" &&
+      tier != "large") {
+    std::fprintf(stderr, "%s: unknown tier '%s'\n", argv[0], tier.c_str());
+    return 2;
+  }
+  auto opts = bench::parse_bench_options(static_cast<int>(rest.size()),
+                                         rest.data());
   if (opts.json_path.empty()) opts.json_path = "BENCH_perf.json";
 
   // The ladder: flash-crowd swarms of increasing population and content
@@ -56,10 +80,17 @@ int main(int argc, char** argv) {
   std::vector<runner::BatchJob> jobs;
   int id = 0;
   for (const auto& cfg : ladder) {
+    // Job ids (and thus per-job seeds) stay tied to the ladder position,
+    // so a tier run's trajectory matches the same tier in a full sweep.
+    ++id;
+    if (tier != "all" && cfg.name != "perf_" + tier && cfg.name != tier) {
+      continue;
+    }
     runner::BatchJob job;
-    job.id = ++id;
+    job.id = id;
     job.name = cfg.name;
     job.config = cfg;
+    job.config.network_backend = opts.backend;
     job.seed = sim::fork_seed(opts.seed, static_cast<std::uint64_t>(job.id));
     jobs.push_back(std::move(job));
   }

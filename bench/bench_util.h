@@ -2,6 +2,7 @@
 // table/figure; see DESIGN.md §3).
 #pragma once
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdarg>
 #include <cstdint>
@@ -32,16 +33,23 @@ inline bool parse_u64(const char* s, std::uint64_t* out) {
 
 /// Usage message shared by every bench binary.
 [[noreturn]] inline void usage(const char* argv0) {
+  std::string backends;
+  for (const auto& name : net::network_backends()) {
+    if (!backends.empty()) backends += ", ";
+    backends += name;
+  }
   std::fprintf(stderr,
-               "usage: %s [SEED] [--seed N] [--jobs N] [--json PATH]\n"
+               "usage: %s [SEED] [--seed N] [--jobs N] [--json PATH] "
+               "[--backend NAME]\n"
                "  SEED / --seed N  master RNG seed (decimal; default "
                "20061025)\n"
                "  --jobs N         worker threads (26-torrent sweep benches "
                "only, default 1);\n"
                "                   results are identical for any N\n"
                "  --json PATH      write the machine-readable batch report "
-               "(sweep benches only)\n",
-               argv0);
+               "(sweep benches only)\n"
+               "  --backend NAME   network backend (%s; default %s)\n",
+               argv0, backends.c_str(), net::kDefaultNetworkBackend);
   std::exit(2);
 }
 
@@ -66,6 +74,7 @@ struct BenchOptions {
   std::uint64_t seed = 20061025;
   int jobs = 1;
   std::string json_path;
+  std::string backend = net::kDefaultNetworkBackend;
 };
 
 inline BenchOptions parse_bench_options(int argc, char** argv,
@@ -86,6 +95,15 @@ inline BenchOptions parse_bench_options(int argc, char** argv,
       opts.jobs = static_cast<int>(v);
     } else if (arg == "--json") {
       opts.json_path = next(&i);
+    } else if (arg == "--backend") {
+      opts.backend = next(&i);
+      const auto known = net::network_backends();
+      if (std::find(known.begin(), known.end(), opts.backend) ==
+          known.end()) {
+        std::fprintf(stderr, "%s: unknown backend '%s'\n", argv[0],
+                     opts.backend.c_str());
+        usage(argv[0]);
+      }
     } else if (i == 1 && parse_u64(argv[1], &v)) {
       opts.seed = v;  // historical positional seed
     } else {
@@ -190,10 +208,13 @@ inline std::vector<runner::BatchJob> table1_bench_jobs(
 
 /// Runs a sweep through the BatchRunner: rows stream to stdout in
 /// submission order (so output is identical for any --jobs value) and
-/// the aggregate JSON report is written when --json was given.
+/// the aggregate JSON report is written when --json was given. The
+/// selected --backend is applied to every job's config, so any sweep
+/// bench runs on any registered network backend unchanged.
 inline std::vector<runner::RunResult> run_sweep(
     const char* tool, const BenchOptions& opts,
-    const std::vector<runner::BatchJob>& jobs, const runner::JobFn& fn) {
+    std::vector<runner::BatchJob> jobs, const runner::JobFn& fn) {
+  for (auto& job : jobs) job.config.network_backend = opts.backend;
   runner::BatchOptions bopts;
   bopts.jobs = opts.jobs;
   bopts.master_seed = opts.seed;

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_perf_sweep reports.
+
+Compares a fresh sweep (swarmlab.batch/* schema, as written by
+``bench_perf_sweep --json``) against the committed baseline at the repo
+root and fails when any tier's events-per-second throughput regressed by
+more than the threshold.
+
+Usage:
+    check_perf_regression.py BASELINE FRESH [--threshold 0.20]
+
+Only tiers present in BOTH reports are compared (so a small-tier CI run
+gates against the baseline's small tier without requiring the full
+ladder). events/s = results[].events / results[].wall.sim — the events
+numerator is deterministic; the wall-clock denominator varies with the
+host, which is why the baseline should be refreshed from the CI-uploaded
+artifact (same runner class), not from a developer machine. A fresh run
+much FASTER than baseline exits 0 but prints a refresh hint.
+"""
+import argparse
+import json
+import sys
+
+
+def events_per_second(report):
+    """Tier name -> events/s, from a swarmlab.batch report."""
+    schema = report.get("schema", "")
+    if not str(schema).startswith("swarmlab.batch/"):
+        sys.exit(f"error: unexpected report schema {schema!r}")
+    out = {}
+    for entry in report.get("results", []):
+        name = entry.get("name")
+        events = entry.get("events", 0)
+        sim_wall = entry.get("wall", {}).get("sim", 0.0)
+        if not name or not sim_wall:
+            continue
+        out[name] = events / sim_wall
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max tolerated fractional regression (default 0.20)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = events_per_second(json.load(f))
+    with open(args.fresh) as f:
+        fresh = events_per_second(json.load(f))
+
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        sys.exit("error: no common tiers between baseline and fresh report")
+
+    failures = []
+    print(f"{'tier':<14}{'baseline ev/s':>16}{'fresh ev/s':>16}{'delta':>10}")
+    for tier in shared:
+        delta = (fresh[tier] - base[tier]) / base[tier]
+        print(f"{tier:<14}{base[tier]:>16.0f}{fresh[tier]:>16.0f}"
+              f"{delta:>+9.1%}")
+        if delta < -args.threshold:
+            failures.append(tier)
+        elif delta > 0.5:
+            print(f"  note: {tier} is >50% faster than baseline — consider "
+                  f"refreshing {args.baseline} from the CI artifact")
+
+    if failures:
+        print(f"\nFAIL: events/s regressed >{args.threshold:.0%} on: "
+              + ", ".join(failures))
+        return 1
+    print(f"\nOK: no tier regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,19 +7,25 @@
 
 #include "net/fluid_network.h"
 #include "net/network.h"
+#include "net/packet_network.h"
 
 namespace swarmlab::net {
 
 namespace {
 
 std::map<std::string, NetworkFactory>& registry() {
-  // The built-in backend is seeded on first use so that registration
+  // The built-in backends are seeded on first use so that registration
   // needs no static-init ordering guarantees.
   static std::map<std::string, NetworkFactory> backends{
       {kDefaultNetworkBackend,
        [](sim::Simulation& sim, double control_latency) {
          return std::unique_ptr<Network>(
              new FluidNetwork(sim, control_latency));
+       }},
+      {"packet",
+       [](sim::Simulation& sim, double control_latency) {
+         return std::unique_ptr<Network>(
+             new PacketNetwork(sim, control_latency));
        }}};
   return backends;
 }

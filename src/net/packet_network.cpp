@@ -1,0 +1,299 @@
+#include "net/packet_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace swarmlab::net {
+
+namespace {
+// Service completions are scheduled with a tiny epsilon so float drift in
+// settle() cannot leave a sliver of a segment unfinished.
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+NodeId PacketNetwork::add_node(double up_bytes_per_sec,
+                               double down_bytes_per_sec) {
+  assert(up_bytes_per_sec > 0.0 && down_bytes_per_sec > 0.0);
+  NodeSlot node;
+  node.up.capacity = up_bytes_per_sec;
+  node.down.capacity = down_bytes_per_sec;
+  node.alive = true;
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size());
+}
+
+void PacketNetwork::remove_node(NodeId node) {
+  if (!has_node(node)) return;
+  // Abort every flow touching the node, in creation order (matching the
+  // enumeration order fault injection sees). cancel_flow evicts each flow
+  // from the node's links as it goes.
+  std::vector<std::pair<std::uint64_t, FlowId>> doomed;
+  for (std::uint32_t s = 0; s < flows_.size(); ++s) {
+    const FlowSlot& f = flows_[s];
+    if (f.seq != 0 && (f.from == node || f.to == node)) {
+      doomed.emplace_back(f.seq, pack(f.gen, s));
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());
+  for (const auto& [seq, id] : doomed) cancel_flow(id);
+  NodeSlot& n = nodes_[node - 1];
+  // Both links are idle now (they only ever serve the node's own flows);
+  // drop any tickets left behind by the aborted flows.
+  assert(n.up.serving == kNil && n.down.serving == kNil);
+  n.up.rr.clear();
+  n.down.rr.clear();
+  n.alive = false;
+}
+
+double PacketNetwork::node_up(NodeId node) const {
+  return has_node(node) ? nodes_[node - 1].up.capacity : 0.0;
+}
+
+void PacketNetwork::set_node_capacity(NodeId node, double up_bytes_per_sec,
+                                      double down_bytes_per_sec) {
+  if (!has_node(node)) return;
+  NodeSlot& n = nodes_[node - 1];
+  n.up.capacity = std::max(0.0, up_bytes_per_sec);
+  n.down.capacity = std::max(0.0, down_bytes_per_sec);
+  // Settle the in-service segment (if any) at its old rate and re-rate
+  // it. A segment parked at rate 0 keeps the link formally busy, so this
+  // reschedule is the guaranteed wake-up when capacity returns.
+  for (const bool up : {true, false}) {
+    Link& link = up ? n.up : n.down;
+    if (link.serving == kNil) continue;
+    settle(link);
+    link.rate = link.capacity;
+    reschedule(link, node, up);
+  }
+}
+
+std::vector<FlowId> PacketNetwork::active_flow_ids() const {
+  // Creation order — the deterministic enumeration fault injection draws
+  // random victims from. Slot indices are not creation-ordered (the free
+  // list reuses them), so sort by seq.
+  std::vector<std::pair<std::uint64_t, FlowId>> live;
+  live.reserve(flow_count_);
+  for (std::uint32_t s = 0; s < flows_.size(); ++s) {
+    if (flows_[s].seq != 0) {
+      live.emplace_back(flows_[s].seq, pack(flows_[s].gen, s));
+    }
+  }
+  std::sort(live.begin(), live.end());
+  std::vector<FlowId> ids;
+  ids.reserve(live.size());
+  for (const auto& [seq, id] : live) ids.push_back(id);
+  return ids;
+}
+
+double PacketNetwork::segment_size(const FlowSlot& flow,
+                                   std::uint32_t index) const {
+  assert(index < flow.segments);
+  if (index + 1 < flow.segments) {
+    return static_cast<double>(segment_bytes_);
+  }
+  const std::uint64_t before =
+      std::uint64_t{flow.segments - 1} * segment_bytes_;
+  return static_cast<double>(flow.bytes - before);
+}
+
+FlowId PacketNetwork::start_flow(NodeId from, NodeId to, std::uint64_t bytes,
+                                 std::function<void()> on_complete) {
+  assert(has_node(from) && has_node(to));
+  assert(bytes > 0);
+  std::uint32_t slot;
+  if (!free_flows_.empty()) {
+    slot = free_flows_.back();
+    free_flows_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+  }
+  FlowSlot& flow = flows_[slot];
+  flow.from = from;
+  flow.to = to;
+  flow.bytes = bytes;
+  flow.segments = static_cast<std::uint32_t>(
+      (bytes + segment_bytes_ - 1) / segment_bytes_);
+  flow.sent = 0;
+  flow.pending_down = 0;
+  flow.delivered = 0;
+  flow.in_up_queue = true;
+  flow.in_down_queue = false;
+  flow.on_complete = std::move(on_complete);
+  flow.seq = next_seq_++;
+  ++flow_count_;
+  const FlowId id = pack(flow.gen, slot);
+  nodes_[from - 1].up.rr.push_back({slot, flow.seq});
+  serve(from, /*up=*/true);
+  return id;
+}
+
+bool PacketNetwork::cancel_flow(FlowId id) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNil) return false;
+  FlowSlot& flow = flows_[slot];
+  const NodeId from = flow.from;
+  const NodeId to = flow.to;
+  retire(slot);
+  // Retire first (the slot's seq is zeroed, so queued tickets and
+  // in-flight propagation arrivals go stale), then free any link the
+  // flow was occupying so the next queued segment starts immediately.
+  evict_from_link(nodes_[from - 1].up, slot, from, /*up=*/true);
+  evict_from_link(nodes_[to - 1].down, slot, to, /*up=*/false);
+  return true;
+}
+
+double PacketNetwork::flow_rate(FlowId id) const {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNil) return 0.0;
+  const FlowSlot& flow = flows_[slot];
+  // The instantaneous service rate: what the wire is doing for this flow
+  // right now (0 while it only has queued or propagating segments).
+  const Link& up = nodes_[flow.from - 1].up;
+  if (up.serving == slot) return up.rate;
+  const Link& down = nodes_[flow.to - 1].down;
+  if (down.serving == slot) return down.rate;
+  return 0.0;
+}
+
+void PacketNetwork::send_control(std::function<void()> deliver,
+                                 double extra_delay) {
+  sim_.schedule_in(control_latency_ + std::max(0.0, extra_delay),
+                   std::move(deliver));
+}
+
+void PacketNetwork::settle(Link& link) {
+  const sim::SimTime now = sim_.now();
+  if (now > link.last_update && link.rate > 0.0) {
+    link.remaining =
+        std::max(0.0, link.remaining - link.rate * (now - link.last_update));
+  }
+  link.last_update = now;
+}
+
+void PacketNetwork::reschedule(Link& link, NodeId node, bool up) {
+  if (link.event != 0) {
+    sim_.cancel(link.event);
+    link.event = 0;
+  }
+  if (link.rate <= 0.0) return;  // parked; set_node_capacity wakes it
+  const double secs =
+      std::max(0.0, link.remaining - kByteEpsilon) / link.rate;
+  link.event = sim_.schedule_in(secs, [this, node, up] {
+    if (up) {
+      on_uplink_done(node);
+    } else {
+      on_downlink_done(node);
+    }
+  });
+}
+
+void PacketNetwork::serve(NodeId node, bool up) {
+  Link& link = up ? nodes_[node - 1].up : nodes_[node - 1].down;
+  if (link.serving != kNil) return;  // busy (possibly parked at rate 0)
+  while (!link.rr.empty()) {
+    const RRticket ticket = link.rr.front();
+    link.rr.pop_front();
+    FlowSlot& flow = flows_[ticket.slot];
+    if (flow.seq != ticket.seq) continue;  // cancelled; stale ticket
+    if (up) {
+      flow.in_up_queue = false;
+    } else {
+      flow.in_down_queue = false;
+      assert(flow.pending_down > 0);
+      --flow.pending_down;
+    }
+    link.serving = ticket.slot;
+    link.remaining = segment_size(flow, up ? flow.sent : flow.delivered);
+    link.rate = link.capacity;
+    link.last_update = sim_.now();
+    reschedule(link, node, up);
+    return;
+  }
+}
+
+void PacketNetwork::on_uplink_done(NodeId node) {
+  Link& link = nodes_[node - 1].up;
+  assert(link.serving != kNil);
+  const std::uint32_t slot = link.serving;
+  FlowSlot& flow = flows_[slot];
+  link.event = 0;
+  link.serving = kNil;
+  link.rate = 0.0;
+  ++flow.sent;
+  // The segment propagates; the arrival re-validates the id so a flow
+  // cancelled mid-propagation drops its segments silently.
+  sim_.schedule_in(control_latency_, [this, id = pack(flow.gen, slot)] {
+    on_segment_arrival(id);
+  });
+  if (flow.sent < flow.segments) {
+    flow.in_up_queue = true;
+    link.rr.push_back({slot, flow.seq});  // round-robin: back of the line
+  }
+  serve(node, /*up=*/true);
+}
+
+void PacketNetwork::on_segment_arrival(FlowId id) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNil) return;  // aborted while propagating
+  FlowSlot& flow = flows_[slot];
+  ++flow.pending_down;
+  if (!flow.in_down_queue) {
+    flow.in_down_queue = true;
+    nodes_[flow.to - 1].down.rr.push_back({slot, flow.seq});
+  }
+  serve(flow.to, /*up=*/false);
+}
+
+void PacketNetwork::on_downlink_done(NodeId node) {
+  Link& link = nodes_[node - 1].down;
+  assert(link.serving != kNil);
+  const std::uint32_t slot = link.serving;
+  FlowSlot& flow = flows_[slot];
+  link.event = 0;
+  link.serving = kNil;
+  link.rate = 0.0;
+  ++flow.delivered;
+  if (flow.delivered == flow.segments) {
+    // The last byte arrived. Retire before the callback — the callback
+    // typically starts the sender's next flow.
+    std::function<void()> on_complete = std::move(flow.on_complete);
+    retire(slot);
+    serve(node, /*up=*/false);
+    if (on_complete) on_complete();
+    return;
+  }
+  if (flow.pending_down > 0 && !flow.in_down_queue) {
+    flow.in_down_queue = true;
+    link.rr.push_back({slot, flow.seq});
+  }
+  serve(node, /*up=*/false);
+}
+
+void PacketNetwork::evict_from_link(Link& link, std::uint32_t slot,
+                                    NodeId node, bool up) {
+  if (link.serving != slot) return;
+  if (link.event != 0) {
+    sim_.cancel(link.event);
+    link.event = 0;
+  }
+  link.serving = kNil;
+  link.rate = 0.0;
+  serve(node, up);
+}
+
+void PacketNetwork::retire(std::uint32_t slot) {
+  FlowSlot& flow = flows_[slot];
+  assert(flow.seq != 0);
+  ++flow.gen;
+  flow.seq = 0;  // queued tickets and propagation arrivals go stale
+  flow.in_up_queue = false;
+  flow.in_down_queue = false;
+  flow.pending_down = 0;
+  flow.on_complete = nullptr;
+  free_flows_.push_back(slot);
+  --flow_count_;
+}
+
+}  // namespace swarmlab::net

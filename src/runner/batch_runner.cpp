@@ -40,6 +40,7 @@ RunResult guarded(const JobFn& fn, const BatchJob& job) {
     r.id = job.id;
     r.name = job.name;
     r.seed = job.seed;
+    r.backend = job.config.network_backend;
     r.error = e.what();
     return r;
   } catch (...) {
@@ -47,6 +48,7 @@ RunResult guarded(const JobFn& fn, const BatchJob& job) {
     r.id = job.id;
     r.name = job.name;
     r.seed = job.seed;
+    r.backend = job.config.network_backend;
     r.error = "unknown exception";
     return r;
   }
@@ -128,6 +130,7 @@ RunResult run_scenario_job(const BatchJob& job, double extra_after,
   res.id = job.id;
   res.name = job.name;
   res.seed = job.seed;
+  res.backend = job.config.network_backend;
 
   const auto t0 = Clock::now();
   instrument::LocalPeerLog log(job.config.num_pieces);
@@ -224,6 +227,7 @@ json::Value make_report(const std::string& tool, const BatchOptions& opts,
     entry["id"] = r.id;
     entry["name"] = r.name;
     entry["seed"] = r.seed;
+    entry["backend"] = r.backend;
     entry["end_time"] = r.end_time;
     entry["local_completion"] = r.local_completion;
     // Both flags are emitted so fault-sweep consumers can filter either

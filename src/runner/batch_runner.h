@@ -40,6 +40,8 @@ struct RunResult {
   int id = 0;
   std::string name;
   std::uint64_t seed = 0;
+  /// Network backend the job ran on (from ScenarioConfig::network_backend).
+  std::string backend;
 
   // --- deterministic simulation outcomes -----------------------------------
   double end_time = 0.0;           ///< simulated stop time (seconds)
@@ -120,7 +122,9 @@ std::vector<BatchJob> table1_jobs(std::uint64_t master,
 /// faulted runs) a `metrics.faults` object.
 /// v3: per-result `perf` object — event-queue counters `scheduled`,
 /// `cancelled`, `peak_pending` (deterministic; see docs/performance.md).
-inline constexpr const char* kReportSchema = "swarmlab.batch/3";
+/// v4: per-result `backend` — the network backend the scenario ran on
+/// ("fluid", "packet", ...; deterministic).
+inline constexpr const char* kReportSchema = "swarmlab.batch/4";
 
 /// Assembles the aggregate report: schema version, tool name, git
 /// describe (baked in at build time), host info, master seed, worker

@@ -131,8 +131,10 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig cfg, std::uint64_t seed,
                                peer::PeerObserver* local_observer)
     : cfg_(std::move(cfg)),
       sim_(std::make_unique<sim::Simulation>(seed)),
-      swarm_(std::make_unique<Swarm>(*sim_, cfg_.geometry(),
-                                     cfg_.control_latency)),
+      swarm_(std::make_unique<Swarm>(
+          *sim_, cfg_.geometry(), cfg_.control_latency,
+          net::make_network(cfg_.network_backend, *sim_,
+                            cfg_.control_latency))),
       local_observer_(local_observer) {
   if (cfg_.faults.any()) {
     // Fault scenarios need the liveness machinery: crashed peers are

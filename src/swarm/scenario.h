@@ -15,6 +15,7 @@
 
 #include "core/params.h"
 #include "fault/fault_plan.h"
+#include "net/backend.h"
 #include "net/types.h"
 #include "peer/observer.h"
 #include "peer/peer.h"
@@ -106,6 +107,9 @@ struct ScenarioConfig {
   // --- run control ------------------------------------------------------------
   double control_latency = 0.05;
   double duration = 40000.0;  ///< hard stop (simulated seconds)
+  /// Network backend name (net/backend.h registry): "fluid" (max-min
+  /// rate model, the default) or "packet" (store-and-forward segments).
+  std::string network_backend = net::kDefaultNetworkBackend;
 };
 
 /// One Table-I row as published.

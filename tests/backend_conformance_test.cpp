@@ -1,0 +1,218 @@
+// Cross-backend conformance: the same scenarios run on "fluid" and
+// "packet" and must agree on every structural invariant — all leechers
+// finish, rarest-first ordering is preserved, fault-injected churn never
+// resurrects a stale FlowId — even though the two models produce
+// different timings. Tolerance-band *metric* comparison (completion-time
+// ratios, fairness deltas) lives in bench/bench_ext_backend_compare.cpp;
+// this file holds the exact, always-on checks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "instrument/local_log.h"
+#include "net/backend.h"
+#include "runner/batch_runner.h"
+#include "runner/json.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "swarm/scenario.h"
+#include "swarm/swarm.h"
+
+namespace swarmlab {
+namespace {
+
+using runner::BatchJob;
+using runner::BatchOptions;
+using runner::BatchRunner;
+using runner::RunResult;
+
+class BackendConformance : public ::testing::TestWithParam<const char*> {};
+
+/// A small cold flash crowd: one seed, uniform leechers, 1 MiB content.
+/// Small enough that the packet backend's per-segment events stay cheap.
+swarm::ScenarioConfig flash_crowd_cfg(const std::string& backend) {
+  swarm::ScenarioConfig cfg;
+  cfg.name = "conformance-flash-crowd";
+  cfg.num_pieces = 16;
+  cfg.piece_size = 64 * 1024;
+  cfg.block_size = 16 * 1024;
+  cfg.initial_seeds = 1;
+  cfg.initial_leechers = 8;
+  cfg.leechers_warm = false;
+  cfg.arrival_rate = 0.0;
+  cfg.seed_linger_mean = 0.0;  // finished peers stay: everyone must finish
+  cfg.initial_seed_upload = 64.0 * 1024;
+  cfg.leecher_classes = {{1.0, 32.0 * 1024, 256.0 * 1024}};
+  cfg.local_upload = 32.0 * 1024;
+  cfg.duration = 6000.0;
+  cfg.network_backend = backend;
+  return cfg;
+}
+
+TEST_P(BackendConformance, FlashCrowdEveryLeecherCompletes) {
+  instrument::LocalPeerLog log(16);
+  swarm::ScenarioRunner runner(flash_crowd_cfg(GetParam()), /*seed=*/42,
+                               &log);
+  runner.run();
+  log.finalize(runner.simulation().now());
+
+  // The local peer finished and saw each piece complete exactly once, in
+  // nondecreasing time.
+  EXPECT_TRUE(log.local_is_seed());
+  ASSERT_EQ(log.piece_events().size(), 16u);
+  std::set<wire::PieceIndex> seen;
+  double last = 0.0;
+  for (const auto& ev : log.piece_events()) {
+    EXPECT_TRUE(seen.insert(ev.piece).second)
+        << "piece " << ev.piece << " completed twice";
+    EXPECT_GE(ev.time, last);
+    last = ev.time;
+  }
+
+  // Every peer in the swarm — seed, remote leechers, local — ended as a
+  // seed well before the duration cap.
+  for (const peer::PeerId id : runner.swarm().peer_ids()) {
+    const peer::Peer* p = runner.swarm().find_peer(id);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(p->is_seed()) << "peer " << id << " never completed on "
+                              << GetParam();
+  }
+}
+
+TEST_P(BackendConformance, RarestPieceIsFetchedFirst) {
+  // One seed holds everything; three free riders hold pieces 0..6 but
+  // never upload. Piece 7 therefore has one copy, pieces 0..6 have four —
+  // and the seed is the only source of anything. A pure rarest-first
+  // local peer (random-first disabled) must complete piece 7 first, on
+  // any backend.
+  sim::Simulation sim(7);
+  const wire::ContentGeometry geo(8 * 64 * 1024, 64 * 1024, 16 * 1024);
+  swarm::Swarm swarm(sim, geo, 0.05,
+                     net::make_network(GetParam(), sim, 0.05));
+
+  peer::PeerConfig seed_cfg;
+  seed_cfg.start_complete = true;
+  seed_cfg.upload_capacity = 64.0 * 1024;
+  const peer::PeerId seed = swarm.add_peer(seed_cfg);
+
+  for (int i = 0; i < 3; ++i) {
+    peer::PeerConfig rc;
+    rc.free_rider = true;
+    rc.initial_pieces.assign(8, true);
+    rc.initial_pieces[7] = false;
+    swarm.add_peer(rc);
+  }
+
+  peer::PeerConfig lc;
+  lc.params.random_first_threshold = 0;  // rarest-first from block one
+  lc.upload_capacity = 32.0 * 1024;
+  instrument::LocalPeerLog log(8);
+  const peer::PeerId local = swarm.add_peer(lc, &log);
+
+  for (const peer::PeerId id : swarm.peer_ids()) swarm.start_peer(id);
+  sim.run_until(4000.0);
+  log.finalize(sim.now());
+
+  ASSERT_TRUE(swarm.find_peer(local)->is_seed())
+      << "local never completed on " << GetParam();
+  ASSERT_FALSE(log.piece_events().empty());
+  EXPECT_EQ(log.piece_events().front().piece, 7u)
+      << "rarest piece not fetched first on " << GetParam();
+  EXPECT_TRUE(swarm.find_peer(seed)->is_seed());
+}
+
+TEST_P(BackendConformance, FaultedChurnNeverTripsStaleFlowIds) {
+  // Flow kills + crashes + message loss keep the fault injector holding
+  // and cancelling FlowIds across node churn. The run completing (or
+  // stalling) without assertion/sanitizer failures is the invariant; the
+  // stats prove the paths were actually taken.
+  swarm::ScenarioConfig cfg = flash_crowd_cfg(GetParam());
+  cfg.faults.flow_kill_rate = 1.0 / 50.0;
+  cfg.faults.peer_crash_rate = 1.0 / 500.0;
+  cfg.faults.message_loss_rate = 0.02;
+
+  BatchJob job;
+  job.id = 1;
+  job.name = cfg.name;
+  job.config = cfg;
+  job.seed = 1234;
+  const RunResult res = runner::run_scenario_job(job, 200.0);
+
+  EXPECT_TRUE(res.error.empty()) << res.error;
+  EXPECT_GT(res.end_time, 0.0);
+  const runner::json::Value* faults = res.metrics.find("faults");
+  ASSERT_NE(faults, nullptr);
+  const runner::json::Value* killed = faults->find("flows_killed");
+  ASSERT_NE(killed, nullptr);
+  EXPECT_GT(killed->as_uint64(), 0u)
+      << "fault plan never exercised cancel_flow on " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
+                         ::testing::Values("fluid", "packet"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// --- packet-backend batch determinism ----------------------------------------
+
+struct SweepOutput {
+  std::string text;
+  std::string report_core;
+};
+
+SweepOutput run_packet_sweep(int workers) {
+  swarm::ScaleLimits limits;
+  limits.max_peers = 24;
+  limits.max_pieces = 16;
+  limits.min_pieces = 16;
+  limits.duration = 6000.0;
+
+  BatchOptions opts;
+  opts.jobs = workers;
+  opts.master_seed = 20061025;
+  std::vector<BatchJob> jobs = runner::table1_jobs(opts.master_seed, limits);
+  jobs.resize(8);  // a cross-section; CI smokes the full 26 via bench_table1
+  for (auto& job : jobs) job.config.network_backend = "packet";
+
+  BatchRunner batch(opts);
+  SweepOutput out;
+  const auto results = batch.run(
+      jobs,
+      [](const BatchJob& job) {
+        return runner::run_scenario_job(
+            job, 200.0,
+            [&job](const swarm::ScenarioRunner&,
+                   const instrument::LocalPeerLog& log, RunResult& res) {
+              char row[96];
+              std::snprintf(row, sizeof row, "%d done=%.2f peers=%zu\n",
+                            job.id, res.local_completion,
+                            log.records().size());
+              res.text = row;
+            });
+      },
+      [&](const RunResult& r) { out.text += r.text; });
+  const auto report = runner::make_report("backend_conformance_test", opts,
+                                          results, batch.wall_seconds());
+  out.report_core = dump(runner::deterministic_view(report), 2);
+  return out;
+}
+
+// The packet backend honors the same replay-identity contract as fluid:
+// a sweep is byte-identical for any worker count, and the report records
+// which backend produced it.
+TEST(PacketBatchDeterminism, SweepIsIdenticalAcrossWorkerCounts) {
+  const SweepOutput serial = run_packet_sweep(1);
+  const SweepOutput parallel = run_packet_sweep(8);
+  EXPECT_EQ(serial.text, parallel.text);
+  EXPECT_EQ(serial.report_core, parallel.report_core);
+  EXPECT_NE(serial.text.find("1 done="), std::string::npos);
+  EXPECT_NE(serial.report_core.find("\"backend\": \"packet\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace swarmlab
