@@ -38,10 +38,10 @@ struct BackendOutcome {
   std::uint64_t events = 0;
 };
 
-runner::JobFn make_job_fn() {
-  return [](const runner::BatchJob& job) {
+runner::JobFnCtx make_job_fn() {
+  return [](const runner::BatchJob& job, const runner::JobContext& ctx) {
     return runner::run_scenario_job(
-        job, 500.0,
+        job, ctx, 500.0,
         [](const swarm::ScenarioRunner&, const instrument::LocalPeerLog& log,
            runner::RunResult& res) {
           std::vector<double> shares;
@@ -119,14 +119,25 @@ int main(int argc, char** argv) {
   // One batch per backend, identical jobs and seeds. Jobs parallelize
   // within each batch; results merge in submission order, so stdout and
   // the report are byte-stable for any --jobs.
+  if (!opts.hostile.empty() &&
+      !bench::apply_hostile_spec(opts.hostile, scenarios)) {
+    return 2;
+  }
   runner::BatchOptions bopts;
   bopts.jobs = opts.jobs;
   bopts.master_seed = opts.seed;
+  bopts.job_timeout = opts.timeout;
+  bopts.retries = opts.retries;
   std::vector<std::vector<runner::RunResult>> by_backend;
   const char* backends[] = {"fluid", "packet"};
   for (const char* backend : backends) {
     std::vector<runner::BatchJob> jobs = scenarios;
     for (auto& job : jobs) job.config.network_backend = backend;
+    // Each backend gets its own checkpoint file: the two batches share
+    // job ids, so one JSONL stream could not hold both result sets.
+    bopts.checkpoint_path =
+        opts.resume_path.empty() ? ""
+                                 : opts.resume_path + "." + backend;
     runner::BatchRunner batch(bopts);
     by_backend.push_back(batch.run(jobs, make_job_fn()));
   }
@@ -198,5 +209,12 @@ int main(int argc, char** argv) {
   std::printf("\n%d/%zu scenarios within bands. Report written to %s.\n",
               static_cast<int>(scenarios.size()) - failures,
               scenarios.size(), json_path.c_str());
+  for (const auto& results : by_backend) {
+    const std::string summary = runner::failure_summary(results);
+    if (!summary.empty()) {
+      std::fputs(summary.c_str(), stderr);
+      ++failures;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }

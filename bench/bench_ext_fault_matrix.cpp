@@ -107,11 +107,11 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t per_torrent = levels.size();
-  bench::run_sweep(
+  const auto outcome = bench::run_sweep(
       "bench_ext_fault_matrix", opts, jobs,
-      [&](const runner::BatchJob& job) {
+      [&](const runner::BatchJob& job, const runner::JobContext& ctx) {
         return runner::run_scenario_job(
-            job, 500.0,
+            job, ctx, 500.0,
             [&](const swarm::ScenarioRunner& sr,
                 const instrument::LocalPeerLog&, runner::RunResult& res) {
               const std::size_t idx =
@@ -146,5 +146,5 @@ int main(int argc, char** argv) {
               "crash counts seed deaths; annfl = failed announces;\nghost "
               "= dead neighbours the local peer evicted via its silence "
               "timeout.\n");
-  return 0;
+  return outcome.exit_code;
 }

@@ -28,10 +28,11 @@ int main(int argc, char** argv) {
               "--------------------------------------\n");
 
   const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
-  const auto results = bench::run_sweep(
-      "bench_fig01_entropy", opts, jobs, [](const runner::BatchJob& job) {
+  const auto outcome = bench::run_sweep(
+      "bench_fig01_entropy", opts, jobs,
+      [](const runner::BatchJob& job, const runner::JobContext& ctx) {
         return runner::run_scenario_job(
-            job, 1000.0,
+            job, ctx, 1000.0,
             [&job](const swarm::ScenarioRunner& sr,
                    const instrument::LocalPeerLog& log,
                    runner::RunResult& res) {
@@ -64,7 +65,8 @@ int main(int argc, char** argv) {
   int steady_count = 0;
   double transient_medians = 0.0;
   int transient_count = 0;
-  for (const auto& res : results) {
+  for (const auto& res : outcome.results) {
+    if (!res.ok()) continue;  // failed jobs carry no entropy metrics
     const double median = res.metrics.find("median_local")->as_double();
     if (res.metrics.find("transient")->as_bool()) {
       transient_medians += median;
@@ -81,5 +83,5 @@ int main(int argc, char** argv) {
               steady_count > 0 ? steady_medians / steady_count : 0.0,
               transient_count > 0 ? transient_medians / transient_count
                                   : 0.0);
-  return 0;
+  return outcome.exit_code;
 }

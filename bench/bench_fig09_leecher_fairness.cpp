@@ -28,11 +28,11 @@ int main(int argc, char** argv) {
               "-----------------------------------------\n");
 
   const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
-  const auto results = bench::run_sweep(
+  const auto outcome = bench::run_sweep(
       "bench_fig09_leecher_fairness", opts, jobs,
-      [](const runner::BatchJob& job) {
+      [](const runner::BatchJob& job, const runner::JobContext& ctx) {
         return runner::run_scenario_job(
-            job, 500.0,
+            job, ctx, 500.0,
             [&job](const swarm::ScenarioRunner& sr,
                    const instrument::LocalPeerLog& log,
                    runner::RunResult& res) {
@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
 
   double corr_sum = 0.0;
   int corr_n = 0;
-  for (const auto& res : results) {
+  for (const auto& res : outcome.results) {
+    if (!res.ok()) continue;  // failed jobs carry no fairness metrics
     corr_sum += res.metrics.find("pearson")->as_double();
     ++corr_n;
   }
@@ -80,5 +81,5 @@ int main(int argc, char** argv) {
               "correlation of upload vs download shares = %.2f "
               "(paper: strong correlation)\n",
               corr_n > 0 ? corr_sum / corr_n : 0.0);
-  return 0;
+  return outcome.exit_code;
 }

@@ -28,12 +28,12 @@ int main(int argc, char** argv) {
               "--------------\n");
 
   const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
-  const auto results = bench::run_sweep(
+  const auto outcome = bench::run_sweep(
       "bench_fig11_seed_fairness", opts, jobs,
-      [](const runner::BatchJob& job) {
+      [](const runner::BatchJob& job, const runner::JobContext& ctx) {
         // Long seeding tail so the rotation serves many peers.
         return runner::run_scenario_job(
-            job, 6000.0,
+            job, ctx, 6000.0,
             [&job](const swarm::ScenarioRunner&,
                    const instrument::LocalPeerLog& log,
                    runner::RunResult& res) {
@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
 
   double top_share_sum = 0.0;
   int counted = 0;
-  for (const auto& res : results) {
+  for (const auto& res : outcome.results) {
+    if (!res.ok()) continue;  // failed jobs carry no fairness metrics
     if (res.metrics.find("served")->as_uint64() >= 10) {
       top_share_sum +=
           res.metrics.find("upload_fraction")->at(0).as_double();
@@ -82,5 +83,5 @@ int main(int argc, char** argv) {
               "concentrate trivially, as the paper notes for torrents 6 "
               "and 15)\n",
               counted > 0 ? top_share_sum / counted : 0.0);
-  return 0;
+  return outcome.exit_code;
 }

@@ -103,14 +103,20 @@ int main(int argc, char** argv) {
 
   // Driven directly (not via run_sweep): the streamed rows here contain
   // wall-clock throughput, which only exists after the job returns.
+  if (!opts.hostile.empty() && !bench::apply_hostile_spec(opts.hostile, jobs)) {
+    return 2;
+  }
   runner::BatchOptions bopts;
   bopts.jobs = opts.jobs;
   bopts.master_seed = opts.seed;
+  bopts.job_timeout = opts.timeout;
+  bopts.retries = opts.retries;
+  bopts.checkpoint_path = opts.resume_path;
   runner::BatchRunner batch(bopts);
   const auto results = batch.run(
       jobs,
-      [](const runner::BatchJob& job) {
-        return runner::run_scenario_job(job, 300.0);
+      [](const runner::BatchJob& job, const runner::JobContext& ctx) {
+        return runner::run_scenario_job(job, ctx, 300.0);
       },
       [](const runner::RunResult& r) {
         const double evps =
@@ -137,5 +143,10 @@ int main(int argc, char** argv) {
               "and cancelled are\ndeterministic. Report written to %s "
               "(schema %s).\n",
               opts.json_path.c_str(), runner::kReportSchema);
+  const std::string summary = runner::failure_summary(results);
+  if (!summary.empty()) {
+    std::fputs(summary.c_str(), stderr);
+    return 1;
+  }
   return 0;
 }

@@ -26,10 +26,11 @@ int main(int argc, char** argv) {
               "--------------------\n");
 
   const auto jobs = bench::table1_bench_jobs(opts.seed, limits);
-  bench::run_sweep(
-      "bench_table1", opts, jobs, [](const runner::BatchJob& job) {
+  const auto outcome = bench::run_sweep(
+      "bench_table1", opts, jobs,
+      [](const runner::BatchJob& job, const runner::JobContext& ctx) {
         return runner::run_scenario_job(
-            job, 500.0,
+            job, ctx, 500.0,
             [&job](const swarm::ScenarioRunner& sr,
                    const instrument::LocalPeerLog&, runner::RunResult& res) {
               const auto& spec = swarm::table1_torrents()
@@ -65,5 +66,5 @@ int main(int argc, char** argv) {
   std::printf("\nMaxPS = observed maximum peer set size of the local peer "
               "in leecher state\n(caps at the mainline default of 80; "
               "smaller torrents saturate below it, as in the paper).\n");
-  return 0;
+  return outcome.exit_code;
 }

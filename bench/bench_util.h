@@ -41,6 +41,8 @@ inline bool parse_u64(const char* s, std::uint64_t* out) {
   std::fprintf(stderr,
                "usage: %s [SEED] [--seed N] [--jobs N] [--json PATH] "
                "[--backend NAME]\n"
+               "          [--timeout SECS] [--retries N] [--resume PATH] "
+               "[--hostile SPEC]\n"
                "  SEED / --seed N  master RNG seed (decimal; default "
                "20061025)\n"
                "  --jobs N         worker threads (26-torrent sweep benches "
@@ -48,7 +50,21 @@ inline bool parse_u64(const char* s, std::uint64_t* out) {
                "                   results are identical for any N\n"
                "  --json PATH      write the machine-readable batch report "
                "(sweep benches only)\n"
-               "  --backend NAME   network backend (%s; default %s)\n",
+               "  --backend NAME   network backend (%s; default %s)\n"
+               "  --timeout SECS   per-job wall-clock budget; a job over "
+               "budget is recorded\n"
+               "                   with status \"timeout\" and the sweep "
+               "continues\n"
+               "  --retries N      extra attempts for failed jobs (same "
+               "seed each attempt)\n"
+               "  --resume PATH    JSONL checkpoint: completed jobs stream "
+               "to PATH and a rerun\n"
+               "                   with the same PATH skips them "
+               "(byte-identical output)\n"
+               "  --hostile SPEC   test-only fault hook: ID:MODE[:ATTEMPTS]"
+               "[,...] with MODE in\n"
+               "                   throw|wedge|spin, e.g. "
+               "'7:wedge,13:throw:1'\n",
                argv0, backends.c_str(), net::kDefaultNetworkBackend);
   std::exit(2);
 }
@@ -68,14 +84,101 @@ inline std::uint64_t bench_seed(int argc, char** argv,
   return seed;
 }
 
+/// Strict decimal double parse for flag values (whole token, finite,
+/// non-negative).
+inline bool parse_f64(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno == ERANGE || end == nullptr || *end != '\0' || !(v >= 0.0) ||
+      v > 1e12) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 /// Options shared by the sweep benches: master seed (positional for
-/// backwards compatibility or --seed), worker count, JSON report path.
+/// backwards compatibility or --seed), worker count, JSON report path,
+/// plus the resilience knobs threaded into BatchOptions.
 struct BenchOptions {
   std::uint64_t seed = 20061025;
   int jobs = 1;
   std::string json_path;
   std::string backend = net::kDefaultNetworkBackend;
+  double timeout = 0.0;      ///< per-job wall budget (0 disables)
+  int retries = 0;           ///< extra attempts for failed jobs
+  std::string resume_path;   ///< JSONL checkpoint path ("" disables)
+  std::string hostile;       ///< raw --hostile spec (test-only)
 };
+
+/// Parses a --hostile spec ("ID:MODE[:ATTEMPTS]" comma-separated, MODE in
+/// throw|wedge|spin) onto the matching jobs. Returns false (with a
+/// message on stderr) on a malformed spec or an ID with no matching job.
+inline bool apply_hostile_spec(const std::string& spec,
+                               std::vector<runner::BatchJob>& jobs) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+
+    const std::size_t c1 = item.find(':');
+    if (c1 == std::string::npos) {
+      std::fprintf(stderr, "hostile spec '%s': expected ID:MODE\n",
+                   item.c_str());
+      return false;
+    }
+    std::size_t c2 = item.find(':', c1 + 1);
+    const std::string id_tok = item.substr(0, c1);
+    const std::string mode_tok =
+        item.substr(c1 + 1, (c2 == std::string::npos ? item.size() : c2) -
+                                (c1 + 1));
+    std::uint64_t id = 0;
+    if (!parse_u64(id_tok.c_str(), &id)) {
+      std::fprintf(stderr, "hostile spec '%s': bad job id\n", item.c_str());
+      return false;
+    }
+    runner::HostileSpec hostile;
+    if (mode_tok == "throw") {
+      hostile.mode = runner::HostileSpec::Mode::kThrow;
+    } else if (mode_tok == "wedge") {
+      hostile.mode = runner::HostileSpec::Mode::kWedge;
+    } else if (mode_tok == "spin") {
+      hostile.mode = runner::HostileSpec::Mode::kSpin;
+    } else {
+      std::fprintf(stderr,
+                   "hostile spec '%s': mode must be throw|wedge|spin\n",
+                   item.c_str());
+      return false;
+    }
+    if (c2 != std::string::npos) {
+      std::uint64_t attempts = 0;
+      if (!parse_u64(item.substr(c2 + 1).c_str(), &attempts) ||
+          attempts == 0) {
+        std::fprintf(stderr, "hostile spec '%s': bad attempt limit\n",
+                     item.c_str());
+        return false;
+      }
+      hostile.attempts = static_cast<int>(attempts);
+    }
+    bool matched = false;
+    for (auto& job : jobs) {
+      if (job.id == static_cast<int>(id)) {
+        job.hostile = hostile;
+        matched = true;
+      }
+    }
+    if (!matched) {
+      std::fprintf(stderr, "hostile spec '%s': no job with id %llu\n",
+                   item.c_str(), static_cast<unsigned long long>(id));
+      return false;
+    }
+  }
+  return true;
+}
 
 inline BenchOptions parse_bench_options(int argc, char** argv,
                                         std::uint64_t fallback = 20061025) {
@@ -104,6 +207,15 @@ inline BenchOptions parse_bench_options(int argc, char** argv,
                      opts.backend.c_str());
         usage(argv[0]);
       }
+    } else if (arg == "--timeout") {
+      if (!parse_f64(next(&i), &opts.timeout)) usage(argv[0]);
+    } else if (arg == "--retries") {
+      if (!parse_u64(next(&i), &v) || v > 100) usage(argv[0]);
+      opts.retries = static_cast<int>(v);
+    } else if (arg == "--resume") {
+      opts.resume_path = next(&i);
+    } else if (arg == "--hostile") {
+      opts.hostile = next(&i);
     } else if (i == 1 && parse_u64(argv[1], &v)) {
       opts.seed = v;  // historical positional seed
     } else {
@@ -206,33 +318,73 @@ inline std::vector<runner::BatchJob> table1_bench_jobs(
   return jobs;
 }
 
+/// What a sweep produced: the per-job results plus the process exit code
+/// the bench should return (0 = all jobs completed, 1 = at least one
+/// failed/wedged/timed out — the report still contains every result).
+struct SweepOutcome {
+  std::vector<runner::RunResult> results;
+  int exit_code = 0;
+};
+
 /// Runs a sweep through the BatchRunner: rows stream to stdout in
 /// submission order (so output is identical for any --jobs value) and
 /// the aggregate JSON report is written when --json was given. The
 /// selected --backend is applied to every job's config, so any sweep
-/// bench runs on any registered network backend unchanged.
-inline std::vector<runner::RunResult> run_sweep(
-    const char* tool, const BenchOptions& opts,
-    std::vector<runner::BatchJob> jobs, const runner::JobFn& fn) {
+/// bench runs on any registered network backend unchanged. The
+/// resilience knobs (--timeout/--retries/--resume/--hostile) are
+/// threaded into BatchOptions; failures are contained per job, summarized
+/// on stderr, and reflected in `exit_code` rather than thrown.
+inline SweepOutcome run_sweep(const char* tool, const BenchOptions& opts,
+                              std::vector<runner::BatchJob> jobs,
+                              const runner::JobFnCtx& fn) {
   for (auto& job : jobs) job.config.network_backend = opts.backend;
+  if (!opts.hostile.empty() && !apply_hostile_spec(opts.hostile, jobs)) {
+    usage(tool);
+  }
   runner::BatchOptions bopts;
   bopts.jobs = opts.jobs;
   bopts.master_seed = opts.seed;
+  bopts.job_timeout = opts.timeout;
+  bopts.retries = opts.retries;
+  bopts.checkpoint_path = opts.resume_path;
   runner::BatchRunner batch(bopts);
-  auto results = batch.run(jobs, fn, [](const runner::RunResult& r) {
+  SweepOutcome out;
+  out.results = batch.run(jobs, fn, [](const runner::RunResult& r) {
     std::fputs(r.text.c_str(), stdout);
     std::fflush(stdout);
   });
+  if (batch.resumed_jobs() > 0) {
+    std::fprintf(stderr, "%s: resumed %zu of %zu jobs from %s\n", tool,
+                 batch.resumed_jobs(), jobs.size(),
+                 opts.resume_path.c_str());
+  }
   if (!opts.json_path.empty()) {
     const auto report =
-        runner::make_report(tool, bopts, results, batch.wall_seconds());
+        runner::make_report(tool, bopts, out.results, batch.wall_seconds());
     std::string error;
     if (!runner::write_report(opts.json_path, report, &error)) {
       std::fprintf(stderr, "%s: %s\n", tool, error.c_str());
       std::exit(1);
     }
   }
-  return results;
+  const std::string summary = runner::failure_summary(out.results);
+  if (!summary.empty()) {
+    std::fputs(summary.c_str(), stderr);
+    out.exit_code = 1;
+  }
+  return out;
+}
+
+/// Convenience overload for context-free job functions (benches that
+/// ignore the per-attempt JobContext).
+inline SweepOutcome run_sweep(const char* tool, const BenchOptions& opts,
+                              std::vector<runner::BatchJob> jobs,
+                              const runner::JobFn& fn) {
+  return run_sweep(
+      tool, opts, std::move(jobs),
+      [&fn](const runner::BatchJob& job, const runner::JobContext&) {
+        return fn(job);
+      });
 }
 
 /// Renders a 0..1 value as a small ASCII bar (for figure-like output).

@@ -136,6 +136,11 @@ int run_sweep(std::uint64_t rng_seed, int jobs, const std::string& json_path,
                         runner::make_report("scenario_explorer", bopts,
                                             results, batch.wall_seconds()));
   }
+  const std::string summary = runner::failure_summary(results);
+  if (!summary.empty()) {
+    std::fputs(summary.c_str(), stderr);
+    return 1;
+  }
   return 0;
 }
 

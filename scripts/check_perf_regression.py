@@ -22,16 +22,54 @@ import json
 import sys
 
 
-def events_per_second(report):
-    """Tier name -> events/s, from a swarmlab.batch report."""
+def load_report(path, role):
+    """Parse a report file, exiting with an actionable message (not a
+    traceback) when it is missing, unreadable, or not a batch report."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        sys.exit(
+            f"error: {role} report {path!r} does not exist.\n"
+            f"  baseline: the committed BENCH_perf.json at the repo root "
+            f"(refresh it from the CI perf-gate artifact);\n"
+            f"  fresh: produce one with "
+            f"'bench_perf_sweep --tier small --json <path>'."
+        )
+    except OSError as e:
+        sys.exit(f"error: cannot read {role} report {path!r}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(
+            f"error: {role} report {path!r} is not valid JSON "
+            f"(line {e.lineno}, column {e.colno}: {e.msg}).\n"
+            f"  The file may be truncated (e.g. a killed bench run) — "
+            f"regenerate it with bench_perf_sweep --json."
+        )
+    if not isinstance(report, dict):
+        sys.exit(
+            f"error: {role} report {path!r} holds a JSON "
+            f"{type(report).__name__}, expected a swarmlab.batch object."
+        )
     schema = report.get("schema", "")
     if not str(schema).startswith("swarmlab.batch/"):
-        sys.exit(f"error: unexpected report schema {schema!r}")
+        sys.exit(
+            f"error: {role} report {path!r} has schema {schema!r}, "
+            f"expected swarmlab.batch/* (is this a bench_perf_sweep "
+            f"--json report?)"
+        )
+    return report
+
+
+def events_per_second(report):
+    """Tier name -> events/s, from a swarmlab.batch report."""
     out = {}
     for entry in report.get("results", []):
+        if not isinstance(entry, dict):
+            continue
         name = entry.get("name")
         events = entry.get("events", 0)
-        sim_wall = entry.get("wall", {}).get("sim", 0.0)
+        wall = entry.get("wall", {})
+        sim_wall = wall.get("sim", 0.0) if isinstance(wall, dict) else 0.0
         if not name or not sim_wall:
             continue
         out[name] = events / sim_wall
@@ -46,14 +84,22 @@ def main():
                     help="max tolerated fractional regression (default 0.20)")
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        base = events_per_second(json.load(f))
-    with open(args.fresh) as f:
-        fresh = events_per_second(json.load(f))
+    base = events_per_second(load_report(args.baseline, "baseline"))
+    fresh = events_per_second(load_report(args.fresh, "fresh"))
 
+    if not base or not fresh:
+        which = args.baseline if not base else args.fresh
+        sys.exit(
+            f"error: {which!r} contains no usable tier entries "
+            f"(each needs a name, an events count and wall.sim > 0)."
+        )
     shared = sorted(set(base) & set(fresh))
     if not shared:
-        sys.exit("error: no common tiers between baseline and fresh report")
+        sys.exit(
+            "error: no common tiers between baseline "
+            f"({', '.join(sorted(base))}) and fresh report "
+            f"({', '.join(sorted(fresh))}) — did the tier names change?"
+        )
 
     failures = []
     print(f"{'tier':<14}{'baseline ev/s':>16}{'fresh ev/s':>16}{'delta':>10}")

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -32,36 +34,203 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-RunResult guarded(const JobFn& fn, const BatchJob& job) {
-  try {
-    return fn(job);
-  } catch (const std::exception& e) {
-    RunResult r;
-    r.id = job.id;
-    r.name = job.name;
-    r.seed = job.seed;
-    r.backend = job.config.network_backend;
-    r.error = e.what();
-    return r;
-  } catch (...) {
-    RunResult r;
-    r.id = job.id;
-    r.name = job.name;
-    r.seed = job.seed;
-    r.backend = job.config.network_backend;
-    r.error = "unknown exception";
-    return r;
+RunResult failure_result(const BatchJob& job, int attempt,
+                         std::string error) {
+  RunResult r;
+  r.id = job.id;
+  r.name = job.name;
+  r.seed = job.seed;
+  r.backend = job.config.network_backend;
+  r.status = JobStatus::kFailed;
+  r.attempts = attempt;
+  r.error = std::move(error);
+  return r;
+}
+
+/// Runs one job with exception containment and the deterministic retry
+/// policy: every attempt re-runs the job on its ORIGINAL seed (a
+/// deterministic failure fails identically — the honest answer — while
+/// environmental or attempt-limited hostile failures get a clean rerun).
+RunResult execute_job(const JobFnCtx& fn, const BatchJob& job,
+                      const BatchOptions& opts) {
+  RunResult r;
+  const int max_attempts = 1 + std::max(0, opts.retries);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    JobContext ctx;
+    ctx.attempt = attempt;
+    ctx.monitor = opts.monitor;
+    if (opts.job_timeout > 0.0) ctx.monitor.wall_budget = opts.job_timeout;
+    try {
+      r = fn(job, ctx);
+      r.attempts = std::max(r.attempts, attempt);
+    } catch (const std::exception& e) {
+      r = failure_result(job, attempt, e.what());
+    } catch (...) {
+      r = failure_result(job, attempt, "unknown exception");
+    }
+    if (r.ok()) break;
+  }
+  return r;
+}
+
+/// JSONL checkpoint: a header line, then one complete result entry per
+/// finished job, appended and flushed as each job completes so a killed
+/// process loses at most the jobs still in flight. A torn final line
+/// (the kill landed mid-write) parses as garbage and is skipped on
+/// resume; a header that does not match this sweep (different master
+/// seed or schema) invalidates the whole file and it is started fresh.
+class Checkpoint {
+ public:
+  void open(const std::string& path, std::uint64_t master_seed) {
+    bool header_ok = false;
+    {
+      std::ifstream in(path);
+      std::string line;
+      bool first = true;
+      while (in && std::getline(in, line)) {
+        if (line.empty()) continue;
+        json::Value v;
+        if (!json::parse(line, &v)) continue;  // torn tail line
+        if (first) {
+          first = false;
+          const json::Value* schema = v.find("schema");
+          const json::Value* seed = v.find("master_seed");
+          header_ok = schema != nullptr && schema->is_string() &&
+                      schema->as_string() == kCheckpointSchema &&
+                      seed != nullptr && seed->is_number() &&
+                      seed->as_uint64() == master_seed;
+          if (!header_ok) {
+            std::fprintf(stderr,
+                         "batch: checkpoint %s belongs to a different "
+                         "sweep (header mismatch); starting fresh\n",
+                         path.c_str());
+            break;
+          }
+          continue;
+        }
+        RunResult r;
+        // Only completed entries are reusable; failed/wedged attempts
+        // are re-run on resume. Later duplicates win (a resumed run
+        // appends behind the entries of the interrupted one).
+        if (result_from_entry(v, &r) && r.ok()) {
+          entries_[r.id] = std::move(r);
+        }
+      }
+    }
+    out_.open(path, header_ok ? (std::ios::out | std::ios::app)
+                              : (std::ios::out | std::ios::trunc));
+    if (!out_) {
+      throw std::runtime_error("batch: cannot open checkpoint " + path +
+                               " for writing");
+    }
+    if (!header_ok) {
+      json::Value header = json::Value::object();
+      header["schema"] = kCheckpointSchema;
+      header["master_seed"] = master_seed;
+      out_ << dump(header) << '\n';
+      out_.flush();
+    }
+  }
+
+  [[nodiscard]] bool active() const { return out_.is_open(); }
+
+  /// The cached result for `job`, or nullptr. Identity is the full
+  /// (id, name, seed, backend) tuple so a stale checkpoint from an
+  /// edited sweep never leaks a wrong trajectory into the report.
+  [[nodiscard]] const RunResult* find(const BatchJob& job) const {
+    const auto it = entries_.find(job.id);
+    if (it == entries_.end()) return nullptr;
+    const RunResult& r = it->second;
+    if (r.name != job.name || r.seed != job.seed ||
+        r.backend != job.config.network_backend) {
+      return nullptr;
+    }
+    return &r;
+  }
+
+  void append(const RunResult& r) {
+    if (!out_.is_open()) return;
+    const std::string line = dump(result_entry(r, /*include_text=*/true));
+    const std::lock_guard<std::mutex> lock(mu_);
+    out_ << line << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::map<int, RunResult> entries_;
+  std::ofstream out_;
+  std::mutex mu_;
+};
+
+JobStatus status_from_trip(sim::MonitorTrip trip) {
+  switch (trip) {
+    case sim::MonitorTrip::kWallBudget:
+    case sim::MonitorTrip::kCancelled:
+      return JobStatus::kTimeout;
+    default:
+      return JobStatus::kWedged;
+  }
+}
+
+/// Self-rescheduling hostile event: step == 0 freezes simulated time
+/// (livelock → kWedged), a tiny step crawls it forward so only the wall
+/// budget can end the run (→ kTimeout).
+struct HostileLoop {
+  sim::Simulation* sim;
+  double step;
+  void operator()() const { sim->schedule_in(step, *this); }
+};
+
+void arm_hostility(sim::Simulation& sim, const HostileSpec& spec) {
+  switch (spec.mode) {
+    case HostileSpec::Mode::kNone:
+      break;
+    case HostileSpec::Mode::kThrow:
+      sim.schedule_at(spec.at, [] {
+        throw std::runtime_error("hostile job: induced crash");
+      });
+      break;
+    case HostileSpec::Mode::kWedge:
+      sim.schedule_at(spec.at, HostileLoop{&sim, 0.0});
+      break;
+    case HostileSpec::Mode::kSpin:
+      sim.schedule_at(spec.at, HostileLoop{&sim, 1e-6});
+      break;
   }
 }
 
 }  // namespace
 
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kWedged: return "wedged";
+    case JobStatus::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
 std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
-                                        const JobFn& fn,
+                                        const JobFnCtx& fn,
                                         const ResultFn& on_result) {
   const auto start = Clock::now();
   const std::size_t n = jobs.size();
   std::vector<RunResult> results(n);
+  std::vector<char> done(n, 0);
+  resumed_jobs_ = 0;
+
+  Checkpoint ckpt;
+  if (!opts_.checkpoint_path.empty()) {
+    ckpt.open(opts_.checkpoint_path, opts_.master_seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const RunResult* cached = ckpt.find(jobs[i])) {
+        results[i] = *cached;
+        done[i] = 1;
+        ++resumed_jobs_;
+      }
+    }
+  }
 
   const int workers =
       static_cast<int>(std::min<std::size_t>(
@@ -70,20 +239,24 @@ std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
     // Inline path: identical semantics (results stream in submission
     // order), no thread machinery.
     for (std::size_t i = 0; i < n; ++i) {
-      results[i] = guarded(fn, jobs[i]);
+      if (!done[i]) {
+        results[i] = execute_job(fn, jobs[i], opts_);
+        ckpt.append(results[i]);
+      }
       if (on_result) on_result(results[i]);
     }
   } else {
     std::atomic<std::size_t> next{0};
     std::mutex mu;
     std::condition_variable done_cv;
-    std::vector<char> done(n, 0);
 
     const auto work = [&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        RunResult r = guarded(fn, jobs[i]);
+        if (done[i]) continue;  // satisfied from the checkpoint
+        RunResult r = execute_job(fn, jobs[i], opts_);
+        ckpt.append(r);  // completion order; its own mutex + flush
         {
           const std::lock_guard<std::mutex> lock(mu);
           results[i] = std::move(r);
@@ -115,26 +288,55 @@ std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
   }
 
   wall_seconds_ = seconds_since(start);
-  for (const auto& r : results) {
-    if (!r.error.empty()) {
-      throw std::runtime_error("batch job " + std::to_string(r.id) +
-                               " failed: " + r.error);
-    }
-  }
   return results;
 }
 
-RunResult run_scenario_job(const BatchJob& job, double extra_after,
-                           const AnalyzeFn& analyze) {
+std::vector<RunResult> BatchRunner::run(const std::vector<BatchJob>& jobs,
+                                        const JobFn& fn,
+                                        const ResultFn& on_result) {
+  return run(
+      jobs,
+      [&fn](const BatchJob& job, const JobContext&) { return fn(job); },
+      on_result);
+}
+
+std::string failure_summary(const std::vector<RunResult>& results) {
+  std::string lines;
+  int failed = 0;
+  for (const RunResult& r : results) {
+    if (r.ok()) continue;
+    ++failed;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "  job %d (%s): %s after %d attempt%s: ",
+                  r.id, r.name.c_str(), to_string(r.status), r.attempts,
+                  r.attempts == 1 ? "" : "s");
+    lines += buf;
+    lines += r.error.empty() ? "(no detail)" : r.error;
+    lines += '\n';
+  }
+  if (failed == 0) return "";
+  char head[96];
+  std::snprintf(head, sizeof head, "%d of %zu job%s did not complete:\n",
+                failed, results.size(), results.size() == 1 ? "" : "s");
+  return head + lines;
+}
+
+RunResult run_scenario_job(const BatchJob& job, const JobContext& ctx,
+                           double extra_after, const AnalyzeFn& analyze) {
   RunResult res;
   res.id = job.id;
   res.name = job.name;
   res.seed = job.seed;
   res.backend = job.config.network_backend;
+  res.attempts = ctx.attempt;
 
   const auto t0 = Clock::now();
   instrument::LocalPeerLog log(job.config.num_pieces);
   swarm::ScenarioRunner runner(job.config, job.seed, &log);
+  // Liveness guard: observational until it trips, so attaching it keeps
+  // healthy trajectories (and the golden digests) byte-identical.
+  sim::ProgressMonitor monitor(ctx.monitor);
+  runner.simulation().attach_monitor(&monitor);
   // The injector only exists for non-trivial plans: an all-zero FaultPlan
   // adds no events and no RNG draws, keeping the run byte-identical to a
   // fault-free build.
@@ -142,12 +344,19 @@ RunResult run_scenario_job(const BatchJob& job, double extra_after,
   if (job.config.faults.any()) {
     injector = std::make_unique<fault::FaultInjector>(runner, job.seed);
   }
+  if (job.hostile.active(ctx.attempt)) {
+    arm_hostility(runner.simulation(), job.hostile);
+  }
   const auto t1 = Clock::now();
 
   res.end_time = runner.run_until_local_complete(extra_after);
   log.finalize(res.end_time);
   const auto t2 = Clock::now();
 
+  if (monitor.tripped()) {
+    res.status = status_from_trip(monitor.trip());
+    res.error = monitor.diagnostic();
+  }
   res.local_completion =
       log.local_is_seed() ? runner.local_peer().completion_time() : -1.0;
   res.completed = res.local_completion >= 0.0;
@@ -175,11 +384,17 @@ RunResult run_scenario_job(const BatchJob& job, double extra_after,
     res.metrics["faults"] = std::move(faults);
   }
   if (analyze) analyze(runner, log, res);
+  runner.simulation().attach_monitor(nullptr);
 
   res.setup_seconds = std::chrono::duration<double>(t1 - t0).count();
   res.sim_seconds = std::chrono::duration<double>(t2 - t1).count();
   res.analyze_seconds = seconds_since(t2);
   return res;
+}
+
+RunResult run_scenario_job(const BatchJob& job, double extra_after,
+                           const AnalyzeFn& analyze) {
+  return run_scenario_job(job, JobContext{}, extra_after, analyze);
 }
 
 std::vector<BatchJob> table1_jobs(std::uint64_t master,
@@ -197,6 +412,127 @@ std::vector<BatchJob> table1_jobs(std::uint64_t master,
   return jobs;
 }
 
+json::Value result_entry(const RunResult& r, bool include_text) {
+  json::Value entry = json::Value::object();
+  entry["id"] = r.id;
+  entry["name"] = r.name;
+  entry["seed"] = r.seed;
+  entry["backend"] = r.backend;
+  // Execution status (harness-level), distinct from the simulated
+  // `completed` outcome below; `error` carries the exception message or
+  // the ProgressMonitor diagnostic.
+  entry["status"] = to_string(r.status);
+  entry["attempts"] = r.attempts;
+  if (!r.error.empty()) entry["error"] = r.error;
+  entry["end_time"] = r.end_time;
+  entry["local_completion"] = r.local_completion;
+  // Both flags are emitted so fault-sweep consumers can filter either
+  // way without re-deriving the convention (deterministic fields).
+  entry["completed"] = r.completed;
+  entry["stalled"] = !r.completed;
+  entry["events"] = r.events_executed;
+  // Event-queue counters: deterministic (pure functions of the
+  // simulated trajectory), hence outside the "wall" object and kept by
+  // deterministic_view().
+  json::Value perf = json::Value::object();
+  perf["scheduled"] = r.events_scheduled;
+  perf["cancelled"] = r.events_cancelled;
+  perf["peak_pending"] = r.peak_pending;
+  entry["perf"] = std::move(perf);
+  entry["metrics"] = r.metrics;
+  json::Value wall = json::Value::object();
+  wall["setup"] = r.setup_seconds;
+  wall["sim"] = r.sim_seconds;
+  wall["analyze"] = r.analyze_seconds;
+  // Wall clock elapsed when the simulation stopped (setup + sim; i.e.
+  // excluding analysis/formatting) — how long a stalled run burned.
+  wall["at_stop"] = r.setup_seconds + r.sim_seconds;
+  entry["wall"] = std::move(wall);
+  if (include_text) entry["text"] = r.text;
+  return entry;
+}
+
+namespace {
+
+bool parse_status(const json::Value* v, JobStatus* out) {
+  if (v == nullptr || !v->is_string()) return false;
+  for (const JobStatus s :
+       {JobStatus::kCompleted, JobStatus::kFailed, JobStatus::kWedged,
+        JobStatus::kTimeout}) {
+    if (v->as_string() == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool result_from_entry(const json::Value& entry, RunResult* out) {
+  if (!entry.is_object()) return false;
+  const json::Value* id = entry.find("id");
+  const json::Value* name = entry.find("name");
+  const json::Value* seed = entry.find("seed");
+  const json::Value* backend = entry.find("backend");
+  const json::Value* end_time = entry.find("end_time");
+  const json::Value* local_completion = entry.find("local_completion");
+  const json::Value* completed = entry.find("completed");
+  const json::Value* events = entry.find("events");
+  const json::Value* attempts = entry.find("attempts");
+  const json::Value* perf = entry.find("perf");
+  const json::Value* wall = entry.find("wall");
+  const json::Value* text = entry.find("text");
+  if (id == nullptr || !id->is_number() || name == nullptr ||
+      !name->is_string() || seed == nullptr || !seed->is_number() ||
+      backend == nullptr || !backend->is_string() || end_time == nullptr ||
+      !end_time->is_number() || local_completion == nullptr ||
+      !local_completion->is_number() || completed == nullptr ||
+      !completed->is_bool() || events == nullptr || !events->is_number() ||
+      attempts == nullptr || !attempts->is_number() || perf == nullptr ||
+      !perf->is_object() || wall == nullptr || !wall->is_object() ||
+      text == nullptr || !text->is_string()) {
+    return false;
+  }
+  RunResult r;
+  if (!parse_status(entry.find("status"), &r.status)) return false;
+  r.id = static_cast<int>(id->as_int64());
+  r.name = name->as_string();
+  r.seed = seed->as_uint64();
+  r.backend = backend->as_string();
+  r.attempts = static_cast<int>(attempts->as_int64());
+  if (const json::Value* e = entry.find("error")) {
+    if (!e->is_string()) return false;
+    r.error = e->as_string();
+  }
+  r.end_time = end_time->as_double();
+  r.local_completion = local_completion->as_double();
+  r.completed = completed->as_bool();
+  r.events_executed = events->as_uint64();
+  const json::Value* scheduled = perf->find("scheduled");
+  const json::Value* cancelled = perf->find("cancelled");
+  const json::Value* peak = perf->find("peak_pending");
+  if (scheduled == nullptr || cancelled == nullptr || peak == nullptr) {
+    return false;
+  }
+  r.events_scheduled = scheduled->as_uint64();
+  r.events_cancelled = cancelled->as_uint64();
+  r.peak_pending = peak->as_uint64();
+  if (const json::Value* metrics = entry.find("metrics")) {
+    r.metrics = *metrics;
+  }
+  const json::Value* setup = wall->find("setup");
+  const json::Value* sim = wall->find("sim");
+  const json::Value* analyze = wall->find("analyze");
+  if (setup == nullptr || sim == nullptr || analyze == nullptr) return false;
+  r.setup_seconds = setup->as_double();
+  r.sim_seconds = sim->as_double();
+  r.analyze_seconds = analyze->as_double();
+  r.text = text->as_string();
+  *out = std::move(r);
+  return true;
+}
+
 json::Value make_report(const std::string& tool, const BatchOptions& opts,
                         const std::vector<RunResult>& results,
                         double wall_seconds) {
@@ -206,6 +542,13 @@ json::Value make_report(const std::string& tool, const BatchOptions& opts,
   report["git"] = SWARMLAB_GIT_DESCRIBE;
   report["master_seed"] = opts.master_seed;
   report["scenarios"] = static_cast<unsigned long long>(results.size());
+  // Count of results whose status != completed (deterministic except
+  // when wall-clock timeouts are in play).
+  int failed = 0;
+  for (const RunResult& r : results) {
+    if (!r.ok()) ++failed;
+  }
+  report["failed"] = failed;
 
   json::Value host = json::Value::object();
 #if defined(__unix__) || defined(__APPLE__)
@@ -223,36 +566,7 @@ json::Value make_report(const std::string& tool, const BatchOptions& opts,
 
   json::Value arr = json::Value::array();
   for (const auto& r : results) {
-    json::Value entry = json::Value::object();
-    entry["id"] = r.id;
-    entry["name"] = r.name;
-    entry["seed"] = r.seed;
-    entry["backend"] = r.backend;
-    entry["end_time"] = r.end_time;
-    entry["local_completion"] = r.local_completion;
-    // Both flags are emitted so fault-sweep consumers can filter either
-    // way without re-deriving the convention (deterministic fields).
-    entry["completed"] = r.completed;
-    entry["stalled"] = !r.completed;
-    entry["events"] = r.events_executed;
-    // Event-queue counters: deterministic (pure functions of the
-    // simulated trajectory), hence outside the "wall" object and kept by
-    // deterministic_view().
-    json::Value perf = json::Value::object();
-    perf["scheduled"] = r.events_scheduled;
-    perf["cancelled"] = r.events_cancelled;
-    perf["peak_pending"] = r.peak_pending;
-    entry["perf"] = std::move(perf);
-    entry["metrics"] = r.metrics;
-    json::Value wall = json::Value::object();
-    wall["setup"] = r.setup_seconds;
-    wall["sim"] = r.sim_seconds;
-    wall["analyze"] = r.analyze_seconds;
-    // Wall clock elapsed when the simulation stopped (setup + sim; i.e.
-    // excluding analysis/formatting) — how long a stalled run burned.
-    wall["at_stop"] = r.setup_seconds + r.sim_seconds;
-    entry["wall"] = std::move(wall);
-    arr.push_back(std::move(entry));
+    arr.push_back(result_entry(r, /*include_text=*/false));
   }
   report["results"] = std::move(arr);
   return report;

@@ -402,22 +402,41 @@ class Parser {
   }
 
   bool parse_number(Value* out) {
+    // Strict RFC 8259 grammar: int = "0" / [1-9] DIGIT*, frac and exp
+    // each require at least one digit. Sloppy forms ("01", "1.", ".5",
+    // "1.e5") must be rejected, not silently normalised — reports are
+    // byte-compared, so accepting them would mask producer bugs.
     const std::size_t start = pos_;
     if (consume('-')) {}
-    while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (at_end() || peek() < '0' || peek() > '9') {
+      return fail("invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;
+      if (!at_end() && peek() >= '0' && peek() <= '9') {
+        return fail("invalid number: leading zero");
+      }
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
     bool integral = true;
     if (consume('.')) {
       integral = false;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("invalid number: fraction needs a digit");
+      }
       while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
     }
     if (!at_end() && (peek() == 'e' || peek() == 'E')) {
       integral = false;
       ++pos_;
       if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("invalid number: exponent needs a digit");
+      }
       while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
     }
     const std::string_view tok = text_.substr(start, pos_ - start);
-    if (tok.empty() || tok == "-") return fail("invalid number");
     const char* first = tok.data();
     const char* last = tok.data() + tok.size();
     if (integral) {

@@ -1,0 +1,104 @@
+#include "sim/progress_monitor.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace swarmlab::sim {
+
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string format_diag(const char* fmt, double a, double b,
+                        unsigned long long c) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, fmt, a, b, c);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(MonitorTrip trip) {
+  switch (trip) {
+    case MonitorTrip::kNone: return "none";
+    case MonitorTrip::kWallBudget: return "wall-budget";
+    case MonitorTrip::kEventBudget: return "event-budget";
+    case MonitorTrip::kLivelock: return "livelock";
+    case MonitorTrip::kStalled: return "stalled";
+    case MonitorTrip::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+ProgressMonitor::ProgressMonitor(MonitorConfig cfg) : cfg_(cfg) {
+  if (cfg_.check_interval == 0) cfg_.check_interval = 1;
+  until_check_ = cfg_.check_interval;
+  start_wall_ = wall_now();
+  last_advance_wall_ = start_wall_;
+}
+
+bool ProgressMonitor::set_trip(MonitorTrip trip, std::string diagnostic) {
+  trip_ = trip;
+  diagnostic_ = std::move(diagnostic);
+  return true;
+}
+
+bool ProgressMonitor::trip_livelock(double sim_now) {
+  return set_trip(
+      MonitorTrip::kLivelock,
+      format_diag("livelock: sim-time frozen at t=%.6f for %.0f consecutive "
+                  "events (%llu executed)",
+                  sim_now, static_cast<double>(cfg_.livelock_events),
+                  static_cast<unsigned long long>(executed_)));
+}
+
+bool ProgressMonitor::trip_event_budget(double sim_now) {
+  return set_trip(
+      MonitorTrip::kEventBudget,
+      format_diag("event budget exhausted: %.0f events executed by t=%.6f "
+                  "(budget %llu)",
+                  static_cast<double>(executed_), sim_now,
+                  static_cast<unsigned long long>(cfg_.event_budget)));
+}
+
+bool ProgressMonitor::slow_check(double sim_now) {
+  until_check_ = cfg_.check_interval;
+  const double wall = wall_now();
+  if (cancel_.load(std::memory_order_relaxed)) {
+    return set_trip(
+        MonitorTrip::kCancelled,
+        format_diag("cancelled externally at t=%.6f after %.1f wall "
+                    "seconds (%llu events)",
+                    sim_now, wall - start_wall_,
+                    static_cast<unsigned long long>(executed_)));
+  }
+  if (cfg_.wall_budget > 0.0 && wall - start_wall_ > cfg_.wall_budget) {
+    return set_trip(
+        MonitorTrip::kWallBudget,
+        format_diag("wall-clock budget exhausted: %.1f s elapsed at "
+                    "t=%.6f (budget %llu ms)",
+                    wall - start_wall_, sim_now,
+                    static_cast<unsigned long long>(cfg_.wall_budget *
+                                                    1000.0)));
+  }
+  if (cfg_.stall_wall_seconds > 0.0) {
+    if (sim_now > last_advance_sim_) {
+      last_advance_sim_ = sim_now;
+      last_advance_wall_ = wall;
+    } else if (wall - last_advance_wall_ > cfg_.stall_wall_seconds) {
+      return set_trip(
+          MonitorTrip::kStalled,
+          format_diag("stalled: sim-time frozen at t=%.6f for %.1f wall "
+                      "seconds (%llu events)",
+                      sim_now, wall - last_advance_wall_,
+                      static_cast<unsigned long long>(executed_)));
+    }
+  }
+  return false;
+}
+
+}  // namespace swarmlab::sim

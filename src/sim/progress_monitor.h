@@ -1,0 +1,115 @@
+// Liveness guard for Simulation runs.
+//
+// A discrete-event simulation only returns control between events, so a
+// pathological scenario can burn wall clock in three distinct ways:
+// exceed a sensible wall/event budget while still making progress,
+// livelock (events churn but simulated time never advances, e.g. a
+// zero-delay reschedule cycle), or stall (simulated time frozen for many
+// wall seconds). ProgressMonitor watches all three from inside the event
+// loop and trips a sticky flag that makes Simulation::run_until() return
+// immediately with a diagnostic, instead of spinning until someone kills
+// the process.
+//
+// The monitor is purely observational until it trips: attaching one to a
+// run that stays inside its budgets changes no trajectory, no RNG draw,
+// and no event count, so golden-digest replay identity is preserved.
+// Wall-clock checks happen only every `check_interval` events to keep the
+// per-event cost to a few arithmetic instructions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace swarmlab::sim {
+
+/// Why a monitored run was cut short (kNone = still healthy).
+enum class MonitorTrip {
+  kNone,
+  kWallBudget,   ///< wall-clock budget exhausted (run made progress)
+  kEventBudget,  ///< executed-event budget exhausted
+  kLivelock,     ///< sim-time frozen across too many consecutive events
+  kStalled,      ///< sim-time frozen for too many wall seconds
+  kCancelled,    ///< external request_stop()
+};
+
+[[nodiscard]] const char* to_string(MonitorTrip trip);
+
+struct MonitorConfig {
+  /// Wall-clock budget for the whole run (seconds); <= 0 disables.
+  double wall_budget = 0.0;
+  /// Budget of executed events; 0 disables.
+  std::uint64_t event_budget = 0;
+  /// Trip after this many consecutive events at a frozen simulated time
+  /// (zero-delay reschedule cycles); 0 disables. The default is far above
+  /// any legitimate same-timestamp event batch (peak_pending tops out in
+  /// the thousands) but catches a livelock within ~1 wall second.
+  std::uint64_t livelock_events = 4'000'000;
+  /// Trip when simulated time has not advanced for this many wall
+  /// seconds; <= 0 disables. Catches slow-churn livelocks that the
+  /// consecutive-event counter would take too long to notice.
+  double stall_wall_seconds = 0.0;
+  /// Events between wall-clock reads (budget/stall/cancel checks live on
+  /// this slow path; the livelock counter is checked every event).
+  std::uint64_t check_interval = 4096;
+};
+
+class ProgressMonitor {
+ public:
+  explicit ProgressMonitor(MonitorConfig cfg = {});
+
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+  /// Called by Simulation::run_until() after each fired event. Returns
+  /// true once the monitor has tripped (sticky).
+  bool on_event(double sim_now) {
+    if (trip_ != MonitorTrip::kNone) return true;
+    if (sim_now > last_sim_time_) {
+      last_sim_time_ = sim_now;
+      frozen_run_ = 0;
+    } else if (cfg_.livelock_events != 0 &&
+               ++frozen_run_ >= cfg_.livelock_events) {
+      return trip_livelock(sim_now);
+    }
+    ++executed_;
+    if (cfg_.event_budget != 0 && executed_ >= cfg_.event_budget) {
+      return trip_event_budget(sim_now);
+    }
+    if (--until_check_ == 0) return slow_check(sim_now);
+    return false;
+  }
+
+  /// Thread-safe external cancellation (e.g. a harness watchdog). Takes
+  /// effect at the next slow-path check; trips as kCancelled.
+  void request_stop() { cancel_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool tripped() const { return trip_ != MonitorTrip::kNone; }
+  [[nodiscard]] MonitorTrip trip() const { return trip_; }
+  /// Human-readable trip reason ("" while healthy).
+  [[nodiscard]] const std::string& diagnostic() const { return diagnostic_; }
+  [[nodiscard]] const MonitorConfig& config() const { return cfg_; }
+  /// Events observed so far (equals the run's executed-event delta).
+  [[nodiscard]] std::uint64_t events_observed() const { return executed_; }
+
+ private:
+  bool trip_livelock(double sim_now);
+  bool trip_event_budget(double sim_now);
+  /// Wall-clock reads: budget, stall and cancellation checks.
+  bool slow_check(double sim_now);
+  bool set_trip(MonitorTrip trip, std::string diagnostic);
+
+  MonitorConfig cfg_;
+  double last_sim_time_ = -1.0;
+  std::uint64_t frozen_run_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t until_check_ = 0;
+  double start_wall_ = 0.0;          ///< steady-clock seconds at ctor
+  double last_advance_wall_ = 0.0;   ///< wall time of last sim-time advance
+  double last_advance_sim_ = -1.0;   ///< sim time seen at that advance
+  MonitorTrip trip_ = MonitorTrip::kNone;
+  std::string diagnostic_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace swarmlab::sim

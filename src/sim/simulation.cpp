@@ -17,12 +17,16 @@ EventId Simulation::schedule_at(SimTime at, EventFn fn) {
 
 SimTime Simulation::run_until(SimTime deadline) {
   stopped_ = false;
+  // A tripped monitor is sticky: the run was terminated for liveness
+  // reasons and re-entering the loop would just spin it again.
+  if (halted()) return now_;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
     auto fired = queue_.pop();
     assert(fired.time >= now_);
     now_ = fired.time;
     ++executed_;
     fired.fn();
+    if (monitor_ != nullptr && monitor_->on_event(now_)) return now_;
   }
   // When the deadline cuts the run short, report the deadline as "now" so
   // periodic samplers see a full final interval.

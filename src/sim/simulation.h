@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "sim/event_queue.h"
+#include "sim/progress_monitor.h"
 #include "sim/rng.h"
 #include "sim/types.h"
 
@@ -13,7 +14,8 @@ namespace swarmlab::sim {
 
 /// Owns simulated time. Components schedule callbacks against it; run()
 /// advances the clock from event to event until the queue drains, a
-/// deadline passes, or stop() is called.
+/// deadline passes, stop() is called, or an attached ProgressMonitor
+/// trips (wall/event budget, livelock, stall — see progress_monitor.h).
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed) : rng_(seed) {}
@@ -47,6 +49,20 @@ class Simulation {
   /// Requests that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
 
+  /// Attaches (or detaches, with nullptr) a liveness guard. The monitor
+  /// is consulted after every fired event; once it trips, run_until()
+  /// returns immediately and refuses to execute further events (sticky),
+  /// so driver loops must check halted(). The monitor must outlive the
+  /// simulation or be detached first.
+  void attach_monitor(ProgressMonitor* monitor) { monitor_ = monitor; }
+  [[nodiscard]] ProgressMonitor* monitor() const { return monitor_; }
+
+  /// True once an attached monitor has tripped: the run was terminated
+  /// for liveness reasons and no further events will execute.
+  [[nodiscard]] bool halted() const {
+    return monitor_ != nullptr && monitor_->tripped();
+  }
+
   /// Number of events executed so far (for progress/perf reporting).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
@@ -74,6 +90,7 @@ class Simulation {
   SimTime now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  ProgressMonitor* monitor_ = nullptr;
 };
 
 }  // namespace swarmlab::sim

@@ -298,10 +298,14 @@ void ScenarioRunner::run() { sim_->run_until(cfg_.duration); }
 double ScenarioRunner::run_until_local_complete(double extra) {
   assert(cfg_.spawn_local_peer);
   const double step = 50.0;
-  while (sim_->now() < cfg_.duration &&
+  // halted(): an attached ProgressMonitor tripped mid-step. run_until()
+  // then returns without advancing the clock, so looping on it again
+  // would spin the host forever — bail out and report the trip time.
+  while (sim_->now() < cfg_.duration && !sim_->halted() &&
          local_peer().completion_time() < 0.0) {
     sim_->run_until(std::min(sim_->now() + step, cfg_.duration));
   }
+  if (sim_->halted()) return sim_->now();
   const double done = local_peer().completion_time();
   const double stop_at =
       done >= 0.0 ? std::min(done + extra, cfg_.duration) : cfg_.duration;

@@ -1,0 +1,183 @@
+// Unit tests for the ProgressMonitor liveness guard: livelock, stall,
+// wall/event budgets, external cancellation, stickiness, and the
+// no-trip observational guarantee on healthy runs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "sim/progress_monitor.h"
+#include "sim/simulation.h"
+
+namespace swarmlab::sim {
+namespace {
+
+/// Copyable self-rescheduling event (a lambda capturing itself cannot
+/// be): step == 0 freezes sim time, > 0 crawls it forward.
+struct Reschedule {
+  Simulation* sim;
+  double step;
+  void operator()() const { sim->schedule_in(step, *this); }
+};
+
+TEST(ProgressMonitor, HealthyRunNeverTrips) {
+  Simulation sim(1);
+  MonitorConfig cfg;
+  cfg.check_interval = 1;  // exercise the slow path on every event
+  ProgressMonitor monitor(cfg);
+  sim.attach_monitor(&monitor);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  }
+  sim.run_until(2000.0);
+  EXPECT_EQ(fired, 1000);
+  EXPECT_FALSE(monitor.tripped());
+  EXPECT_EQ(monitor.trip(), MonitorTrip::kNone);
+  EXPECT_TRUE(monitor.diagnostic().empty());
+  EXPECT_EQ(monitor.events_observed(), 1000u);
+  EXPECT_FALSE(sim.halted());
+  EXPECT_EQ(sim.now(), 2000.0);
+}
+
+TEST(ProgressMonitor, AttachedMonitorDoesNotPerturbTrajectory) {
+  // The digest of what executed must be identical with and without a
+  // (never-tripping) monitor attached — the observational guarantee the
+  // golden-digest tests rely on.
+  const auto run = [](bool monitored) {
+    Simulation sim(1);
+    MonitorConfig cfg;
+    cfg.check_interval = 3;
+    ProgressMonitor monitor(cfg);
+    if (monitored) sim.attach_monitor(&monitor);
+    std::uint64_t digest = 1469598103934665603ull;
+    for (int i = 0; i < 500; ++i) {
+      sim.schedule_at(static_cast<double>(i % 37), [&digest, i] {
+        digest = (digest ^ static_cast<std::uint64_t>(i)) *
+                 1099511628211ull;
+      });
+    }
+    sim.run_until(100.0);
+    return digest ^ sim.events_executed();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ProgressMonitor, LivelockTripsAtDeterministicEventCount) {
+  Simulation sim(1);
+  MonitorConfig cfg;
+  cfg.livelock_events = 1000;
+  ProgressMonitor monitor(cfg);
+  sim.attach_monitor(&monitor);
+  sim.schedule_at(5.0, Reschedule{&sim, 0.0});  // freeze sim time at 5.0
+  const double stopped_at = sim.run_until(50.0);
+  EXPECT_TRUE(monitor.tripped());
+  EXPECT_EQ(monitor.trip(), MonitorTrip::kLivelock);
+  EXPECT_EQ(stopped_at, 5.0);
+  EXPECT_TRUE(sim.halted());
+  EXPECT_NE(monitor.diagnostic().find("livelock"), std::string::npos)
+      << monitor.diagnostic();
+  // Deterministic: the frozen-run counter reaches the threshold at an
+  // exact event count, independent of wall clock.
+  EXPECT_EQ(monitor.events_observed(), 1000u);
+}
+
+TEST(ProgressMonitor, EventBudgetTrips) {
+  Simulation sim(1);
+  MonitorConfig cfg;
+  cfg.event_budget = 200;
+  ProgressMonitor monitor(cfg);
+  sim.attach_monitor(&monitor);
+  sim.schedule_at(0.0, Reschedule{&sim, 0.5});  // healthy but unbounded
+  sim.run_until(1e9);
+  EXPECT_EQ(monitor.trip(), MonitorTrip::kEventBudget);
+  EXPECT_EQ(monitor.events_observed(), 200u);
+  EXPECT_NE(monitor.diagnostic().find("event budget"), std::string::npos);
+}
+
+TEST(ProgressMonitor, WallBudgetTripsOnSpinningRun) {
+  Simulation sim(1);
+  MonitorConfig cfg;
+  cfg.wall_budget = 0.05;  // 50 ms
+  cfg.check_interval = 64;
+  ProgressMonitor monitor(cfg);
+  sim.attach_monitor(&monitor);
+  // Sim time advances (no livelock), but the run never ends on its own
+  // and each event burns a little wall clock.
+  struct SleepyLoop {
+    Simulation* s;
+    void operator()() const {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      s->schedule_in(1e-7, *this);
+    }
+  };
+  sim.schedule_at(0.0, SleepyLoop{&sim});
+  sim.run_until(1e9);
+  EXPECT_EQ(monitor.trip(), MonitorTrip::kWallBudget);
+  EXPECT_NE(monitor.diagnostic().find("wall-clock budget"),
+            std::string::npos);
+}
+
+TEST(ProgressMonitor, StallDetectorTripsWhenSimTimeFreezesInWallClock) {
+  Simulation sim(1);
+  MonitorConfig cfg;
+  cfg.livelock_events = 0;        // disable the event-count detector
+  cfg.stall_wall_seconds = 0.05;  // 50 ms of frozen sim time
+  cfg.check_interval = 16;
+  ProgressMonitor monitor(cfg);
+  sim.attach_monitor(&monitor);
+  struct SleepyFreeze {
+    Simulation* s;
+    void operator()() const {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      s->schedule_in(0.0, *this);  // sim time pinned
+    }
+  };
+  sim.schedule_at(2.0, SleepyFreeze{&sim});
+  sim.run_until(10.0);
+  EXPECT_EQ(monitor.trip(), MonitorTrip::kStalled);
+  EXPECT_NE(monitor.diagnostic().find("stalled"), std::string::npos);
+}
+
+TEST(ProgressMonitor, RequestStopTripsAsCancelled) {
+  Simulation sim(1);
+  MonitorConfig cfg;
+  cfg.check_interval = 8;
+  ProgressMonitor monitor(cfg);
+  sim.attach_monitor(&monitor);
+  sim.schedule_at(0.0, Reschedule{&sim, 0.25});
+  sim.schedule_at(10.0, [&monitor] { monitor.request_stop(); });
+  sim.run_until(1e9);
+  EXPECT_EQ(monitor.trip(), MonitorTrip::kCancelled);
+  EXPECT_NE(monitor.diagnostic().find("cancelled"), std::string::npos);
+}
+
+TEST(ProgressMonitor, TripIsStickyAcrossRunUntilCalls) {
+  Simulation sim(1);
+  MonitorConfig cfg;
+  cfg.event_budget = 50;
+  ProgressMonitor monitor(cfg);
+  sim.attach_monitor(&monitor);
+  sim.schedule_at(1.0, Reschedule{&sim, 1.0});
+  const double stop = sim.run_until(1e9);
+  ASSERT_TRUE(sim.halted());
+  // Re-entering the loop must return immediately without firing events.
+  const std::uint64_t executed = sim.events_executed();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(sim.run_until(1e9), stop);
+    EXPECT_EQ(sim.events_executed(), executed);
+  }
+}
+
+TEST(ProgressMonitor, ToStringCoversAllTrips) {
+  EXPECT_STREQ(to_string(MonitorTrip::kNone), "none");
+  EXPECT_STREQ(to_string(MonitorTrip::kWallBudget), "wall-budget");
+  EXPECT_STREQ(to_string(MonitorTrip::kEventBudget), "event-budget");
+  EXPECT_STREQ(to_string(MonitorTrip::kLivelock), "livelock");
+  EXPECT_STREQ(to_string(MonitorTrip::kStalled), "stalled");
+  EXPECT_STREQ(to_string(MonitorTrip::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace swarmlab::sim

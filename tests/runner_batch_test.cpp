@@ -29,7 +29,9 @@ namespace {
 using runner::BatchJob;
 using runner::BatchOptions;
 using runner::BatchRunner;
+using runner::JobStatus;
 using runner::RunResult;
+using runner::failure_summary;
 namespace json = runner::json;
 
 // --- JSON writer -------------------------------------------------------------
@@ -139,6 +141,67 @@ TEST(JsonParser, RejectsMalformedInput) {
   }
 }
 
+TEST(JsonParser, RejectsTrailingGarbageAfterTopLevelValue) {
+  // Regression: a complete value followed by junk must fail, never
+  // silently return the prefix.
+  const char* bad[] = {
+      "{}x",      "{} {}",   "[1]2",       "1 2",
+      "null!",    "true,",   "\"a\"b",     "{\"a\":1}\xe2\x82\xac",
+  };
+  for (const char* text : bad) {
+    json::Value v;
+    std::string error;
+    EXPECT_FALSE(json::parse(text, &v, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+  // Trailing whitespace (including newlines) is NOT garbage.
+  json::Value v;
+  ASSERT_TRUE(json::parse("{\"a\": 1}  \n\t ", &v));
+  EXPECT_EQ(v.find("a")->as_int64(), 1);
+}
+
+TEST(JsonParser, RejectsSloppyNumberGrammar) {
+  // RFC 8259: int = "0" / [1-9] DIGIT*; frac and exp need >= 1 digit.
+  const char* bad[] = {
+      "01", "0123", "-01", "00", "1.", "-1.", ".5", "-.5", "1.e5",
+      "1e",  "1e+",  "+1",  "[01]", "{\"a\":00}",
+  };
+  for (const char* text : bad) {
+    json::Value v;
+    std::string error;
+    EXPECT_FALSE(json::parse(text, &v, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+  // The strict forms these sloppy spellings shadow stay accepted.
+  const char* good[] = {"0", "-0", "10", "0.5", "1.0e5", "0e0"};
+  for (const char* text : good) {
+    json::Value v;
+    std::string error;
+    EXPECT_TRUE(json::parse(text, &v, &error)) << text << ": " << error;
+  }
+}
+
+TEST(JsonWriter, RoundTripRejectsAppendedGarbage) {
+  // Writer output is exactly one value: round-trip parses, but the same
+  // bytes with anything appended must not.
+  json::Value v = json::Value::object();
+  v["pi"] = 3.25;
+  v["n"] = -7;
+  auto arr = json::Value::array();
+  arr.push_back(true);
+  arr.push_back(json::Value());
+  v["flags"] = std::move(arr);
+  const std::string text = json::dump(v);
+  json::Value parsed;
+  ASSERT_TRUE(json::parse(text, &parsed));
+  EXPECT_TRUE(parsed == v);
+  for (const char* suffix : {"x", "{}", "0", " null"}) {
+    json::Value junk;
+    std::string error;
+    EXPECT_FALSE(json::parse(text + suffix, &junk, &error)) << suffix;
+  }
+}
+
 TEST(JsonParser, ParsesNumbersIntoNarrowestKind) {
   json::Value v;
   ASSERT_TRUE(json::parse("[-3, 7, 18446744073709551615, 2.5, 1e3]", &v));
@@ -202,20 +265,38 @@ TEST(BatchRunner, MergesResultsInSubmissionOrder) {
   }
 }
 
-TEST(BatchRunner, PropagatesJobFailures) {
+TEST(BatchRunner, ContainsJobFailures) {
+  // A throwing job no longer aborts the sweep: its result carries
+  // status=failed and the error text, every other job still runs, and
+  // failure_summary() gives callers the nonzero-exit signal.
   BatchOptions opts;
   opts.jobs = 4;
   BatchRunner batch(opts);
-  EXPECT_THROW(batch.run(fake_jobs(8),
-                         [](const BatchJob& job) -> RunResult {
-                           if (job.id == 5) {
-                             throw std::runtime_error("boom");
-                           }
-                           RunResult r;
-                           r.id = job.id;
-                           return r;
-                         }),
-               std::runtime_error);
+  const auto results = batch.run(fake_jobs(8),
+                                 [](const BatchJob& job) -> RunResult {
+                                   if (job.id == 5) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                   RunResult r;
+                                   r.id = job.id;
+                                   return r;
+                                 });
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) {
+    if (r.id == 5) {
+      EXPECT_EQ(r.status, JobStatus::kFailed);
+      EXPECT_FALSE(r.ok());
+      EXPECT_EQ(r.error, "boom");
+    } else {
+      EXPECT_TRUE(r.ok());
+      EXPECT_TRUE(r.error.empty());
+    }
+  }
+  const std::string summary = failure_summary(results);
+  EXPECT_NE(summary.find("1 of 8 jobs did not complete"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("boom"), std::string::npos) << summary;
+  EXPECT_TRUE(failure_summary({}).empty());
 }
 
 TEST(BatchRunner, ReportSeparatesDeterministicFromWallClock) {

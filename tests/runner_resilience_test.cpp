@@ -1,0 +1,354 @@
+// Resilience-layer tests for the BatchRunner: failure containment with
+// per-result statuses, deterministic hostile-job handling across worker
+// counts, checkpoint/resume byte-identity (interrupted sweeps and
+// hostile-then-clean reruns), checkpoint robustness (torn lines, stale
+// headers), deterministic retries, and the checkpoint entry round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "swarmlab/swarmlab.h"
+
+namespace swarmlab {
+namespace {
+
+using runner::BatchJob;
+using runner::BatchOptions;
+using runner::BatchRunner;
+using runner::HostileSpec;
+using runner::JobContext;
+using runner::JobStatus;
+using runner::RunResult;
+
+swarm::ScaleLimits tiny_limits() {
+  swarm::ScaleLimits limits;
+  limits.max_peers = 24;
+  limits.max_pieces = 16;
+  limits.min_pieces = 16;
+  limits.duration = 6000.0;
+  return limits;
+}
+
+constexpr std::uint64_t kMasterSeed = 20061025;
+
+std::vector<BatchJob> tiny_jobs() {
+  return runner::table1_jobs(kMasterSeed, tiny_limits());
+}
+
+/// Batch options for the tiny sweep. The livelock threshold is lowered
+/// so an induced wedge trips in milliseconds — still at a deterministic
+/// event count, so reports stay identical for any worker count.
+BatchOptions tiny_opts(int workers) {
+  BatchOptions opts;
+  opts.jobs = workers;
+  opts.master_seed = kMasterSeed;
+  opts.monitor.livelock_events = 50'000;
+  return opts;
+}
+
+runner::JobFnCtx tiny_job_fn() {
+  return [](const BatchJob& job, const JobContext& ctx) {
+    return runner::run_scenario_job(
+        job, ctx, 200.0,
+        [&job](const swarm::ScenarioRunner&,
+               const instrument::LocalPeerLog& log, RunResult& res) {
+          char row[96];
+          std::snprintf(row, sizeof row, "%d done=%.2f peers=%zu\n", job.id,
+                        res.local_completion, log.records().size());
+          res.text = row;
+          res.metrics["peers_seen"] =
+              static_cast<unsigned long long>(log.records().size());
+        });
+  };
+}
+
+struct SweepOutput {
+  std::string text;         // concatenated streamed rows
+  std::string report_core;  // dump of the deterministic report view
+  std::vector<RunResult> results;
+  std::size_t resumed = 0;
+};
+
+SweepOutput run_tiny_sweep(BatchOptions opts, std::vector<BatchJob> jobs) {
+  BatchRunner batch(opts);
+  SweepOutput out;
+  out.results = batch.run(jobs, tiny_job_fn(),
+                          [&](const RunResult& r) { out.text += r.text; });
+  const auto report = runner::make_report("runner_resilience_test", opts,
+                                          out.results, batch.wall_seconds());
+  out.report_core = dump(runner::deterministic_view(report), 2);
+  out.resumed = batch.resumed_jobs();
+  return out;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// --- failure containment -----------------------------------------------------
+
+TEST(ResilienceSweep, HostileJobsAreContainedWithCorrectStatuses) {
+  auto jobs = tiny_jobs();
+  jobs[6].hostile.mode = HostileSpec::Mode::kWedge;   // id 7
+  jobs[12].hostile.mode = HostileSpec::Mode::kThrow;  // id 13
+
+  const SweepOutput out = run_tiny_sweep(tiny_opts(1), jobs);
+  ASSERT_EQ(out.results.size(), 26u);
+  int failed = 0;
+  for (const auto& r : out.results) {
+    if (r.id == 7) {
+      EXPECT_EQ(r.status, JobStatus::kWedged);
+      EXPECT_NE(r.error.find("livelock"), std::string::npos) << r.error;
+      ++failed;
+    } else if (r.id == 13) {
+      EXPECT_EQ(r.status, JobStatus::kFailed);
+      EXPECT_NE(r.error.find("induced crash"), std::string::npos) << r.error;
+      ++failed;
+    } else {
+      EXPECT_TRUE(r.ok()) << "job " << r.id << ": " << r.error;
+    }
+  }
+  EXPECT_EQ(failed, 2);
+
+  const std::string summary = runner::failure_summary(out.results);
+  EXPECT_NE(summary.find("2 of 26 jobs did not complete"),
+            std::string::npos)
+      << summary;
+
+  // Report-level failure count and per-entry status land in the report.
+  ASSERT_NE(out.report_core.find("\"failed\": 2"), std::string::npos);
+  EXPECT_NE(out.report_core.find("\"status\": \"wedged\""),
+            std::string::npos);
+  EXPECT_NE(out.report_core.find("\"status\": \"failed\""),
+            std::string::npos);
+}
+
+TEST(ResilienceSweep, HostileSweepIsIdenticalAcrossWorkerCounts) {
+  // Livelock trips at a deterministic event count, and a throw is a
+  // deterministic simulated event — so even a failing sweep's rows and
+  // deterministic report must not depend on the worker count.
+  auto jobs = tiny_jobs();
+  jobs[6].hostile.mode = HostileSpec::Mode::kWedge;
+  jobs[12].hostile.mode = HostileSpec::Mode::kThrow;
+
+  const SweepOutput serial = run_tiny_sweep(tiny_opts(1), jobs);
+  const SweepOutput parallel = run_tiny_sweep(tiny_opts(8), jobs);
+  EXPECT_EQ(serial.text, parallel.text);
+  EXPECT_EQ(serial.report_core, parallel.report_core);
+}
+
+// --- checkpoint / resume -----------------------------------------------------
+
+TEST(ResilienceSweep, InterruptedThenResumedSweepIsByteIdentical) {
+  // Emulate a kill after K of 26 scenarios by checkpointing a K-job
+  // prefix batch, then resuming the full batch from the same file. The
+  // merged output must match an uninterrupted sweep byte for byte — at
+  // one worker and at eight.
+  const auto all = tiny_jobs();
+  constexpr std::size_t kFinishedBeforeKill = 9;
+
+  for (const int workers : {1, 8}) {
+    SCOPED_TRACE(testing::Message() << "workers=" << workers);
+    const SweepOutput uninterrupted = run_tiny_sweep(tiny_opts(workers), all);
+
+    const std::string ckpt = temp_path("resilience_resume.jsonl");
+    std::remove(ckpt.c_str());
+
+    BatchOptions opts = tiny_opts(workers);
+    opts.checkpoint_path = ckpt;
+    const std::vector<BatchJob> prefix(all.begin(),
+                                       all.begin() + kFinishedBeforeKill);
+    (void)run_tiny_sweep(opts, prefix);  // "killed" after K scenarios
+
+    const SweepOutput resumed = run_tiny_sweep(opts, all);
+    EXPECT_EQ(resumed.resumed, kFinishedBeforeKill);
+    EXPECT_EQ(resumed.text, uninterrupted.text);
+    EXPECT_EQ(resumed.report_core, uninterrupted.report_core);
+    std::remove(ckpt.c_str());
+  }
+}
+
+TEST(ResilienceSweep, HostileThenCleanResumeMatchesCleanSweep) {
+  // First pass: two jobs misbehave, 24 complete and are checkpointed.
+  // Second pass without hostility reuses the 24 and re-runs only the
+  // two failures — ending byte-identical to a sweep that never failed.
+  const auto clean_jobs = tiny_jobs();
+  const SweepOutput clean = run_tiny_sweep(tiny_opts(1), clean_jobs);
+
+  const std::string ckpt = temp_path("resilience_hostile_resume.jsonl");
+  std::remove(ckpt.c_str());
+
+  auto hostile_jobs = clean_jobs;
+  hostile_jobs[6].hostile.mode = HostileSpec::Mode::kWedge;
+  hostile_jobs[12].hostile.mode = HostileSpec::Mode::kThrow;
+  BatchOptions opts = tiny_opts(1);
+  opts.checkpoint_path = ckpt;
+  const SweepOutput first = run_tiny_sweep(opts, hostile_jobs);
+  EXPECT_FALSE(runner::failure_summary(first.results).empty());
+
+  const SweepOutput second = run_tiny_sweep(opts, clean_jobs);
+  EXPECT_EQ(second.resumed, 24u);
+  EXPECT_TRUE(runner::failure_summary(second.results).empty());
+  EXPECT_EQ(second.text, clean.text);
+  EXPECT_EQ(second.report_core, clean.report_core);
+  std::remove(ckpt.c_str());
+}
+
+TEST(ResilienceSweep, TornCheckpointTailLineIsIgnored) {
+  // A kill can land mid-append; the torn final line must be skipped
+  // while every complete line before it is still reused.
+  const auto all = tiny_jobs();
+  const std::string ckpt = temp_path("resilience_torn.jsonl");
+  std::remove(ckpt.c_str());
+
+  BatchOptions opts = tiny_opts(1);
+  opts.checkpoint_path = ckpt;
+  const std::vector<BatchJob> prefix(all.begin(), all.begin() + 5);
+  (void)run_tiny_sweep(opts, prefix);
+
+  {
+    // Chop the file mid-way through its final line.
+    std::ifstream in(ckpt);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string contents = buf.str();
+    ASSERT_GT(contents.size(), 40u);
+    contents.resize(contents.size() - 25);
+    std::ofstream out(ckpt, std::ios::trunc);
+    out << contents;
+  }
+
+  const SweepOutput uninterrupted = run_tiny_sweep(tiny_opts(1), all);
+  const SweepOutput resumed = run_tiny_sweep(opts, all);
+  EXPECT_EQ(resumed.resumed, 4u);  // 5 checkpointed, last line torn
+  EXPECT_EQ(resumed.text, uninterrupted.text);
+  EXPECT_EQ(resumed.report_core, uninterrupted.report_core);
+  std::remove(ckpt.c_str());
+}
+
+TEST(ResilienceSweep, CheckpointFromDifferentSweepIsNotReused) {
+  // Same job list, different master seed in the header: the stale file
+  // must be discarded wholesale (and rewritten), not merged.
+  const auto all = tiny_jobs();
+  const std::string ckpt = temp_path("resilience_stale.jsonl");
+  std::remove(ckpt.c_str());
+
+  BatchOptions other = tiny_opts(1);
+  other.master_seed = kMasterSeed + 1;
+  other.checkpoint_path = ckpt;
+  const std::vector<BatchJob> prefix(all.begin(), all.begin() + 3);
+  {
+    BatchRunner batch(other);
+    (void)batch.run(prefix, tiny_job_fn());
+  }
+
+  BatchOptions opts = tiny_opts(1);
+  opts.checkpoint_path = ckpt;
+  BatchRunner batch(opts);
+  (void)batch.run(prefix, tiny_job_fn());
+  EXPECT_EQ(batch.resumed_jobs(), 0u);
+
+  // The file now belongs to the current sweep: a rerun reuses it.
+  BatchRunner again(opts);
+  (void)again.run(prefix, tiny_job_fn());
+  EXPECT_EQ(again.resumed_jobs(), 3u);
+  std::remove(ckpt.c_str());
+}
+
+// --- retries -----------------------------------------------------------------
+
+TEST(ResilienceSweep, RetryRerunsFailedJobOnOriginalSeed) {
+  // Hostility limited to attempt 1 + one retry: the job fails once,
+  // reruns on the SAME seed, succeeds, and records attempts=2 — with
+  // rows and trajectory identical to a sweep that never failed.
+  const auto clean = run_tiny_sweep(tiny_opts(1), tiny_jobs());
+
+  auto jobs = tiny_jobs();
+  jobs[12].hostile.mode = HostileSpec::Mode::kThrow;  // id 13
+  jobs[12].hostile.attempts = 1;
+  BatchOptions opts = tiny_opts(1);
+  opts.retries = 1;
+  const SweepOutput out = run_tiny_sweep(opts, jobs);
+
+  EXPECT_TRUE(runner::failure_summary(out.results).empty());
+  EXPECT_EQ(out.results[12].attempts, 2);
+  EXPECT_EQ(out.results[12].status, JobStatus::kCompleted);
+  EXPECT_EQ(out.text, clean.text);
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    EXPECT_EQ(out.results[i].end_time, clean.results[i].end_time);
+    EXPECT_EQ(out.results[i].events_executed,
+              clean.results[i].events_executed);
+  }
+}
+
+TEST(ResilienceSweep, DeterministicFailureStillFailsAfterRetries) {
+  auto jobs = tiny_jobs();
+  jobs[12].hostile.mode = HostileSpec::Mode::kThrow;  // every attempt
+  BatchOptions opts = tiny_opts(1);
+  opts.retries = 2;
+  const SweepOutput out = run_tiny_sweep(opts, jobs);
+  EXPECT_EQ(out.results[12].status, JobStatus::kFailed);
+  EXPECT_EQ(out.results[12].attempts, 3);
+}
+
+// --- checkpoint entry round-trip ---------------------------------------------
+
+TEST(ResultEntry, RoundTripsThroughJson) {
+  RunResult r;
+  r.id = 42;
+  r.name = "roundtrip";
+  r.seed = 0xdeadbeefcafef00dull;
+  r.backend = "packet";
+  r.status = JobStatus::kWedged;
+  r.attempts = 3;
+  r.error = "livelock: frozen";
+  r.end_time = 1234.5;
+  r.local_completion = -1.0;
+  r.completed = false;
+  r.events_executed = 777;
+  r.events_scheduled = 999;
+  r.events_cancelled = 11;
+  r.peak_pending = 222;
+  r.metrics = runner::json::Value::object();
+  r.metrics["k"] = 7;
+  r.text = "42 done=-1.00\n";
+  r.setup_seconds = 0.125;
+  r.sim_seconds = 2.5;
+  r.analyze_seconds = 0.0625;
+
+  const auto entry = runner::result_entry(r, /*include_text=*/true);
+  RunResult back;
+  ASSERT_TRUE(runner::result_from_entry(entry, &back));
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.name, r.name);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.backend, r.backend);
+  EXPECT_EQ(back.status, r.status);
+  EXPECT_EQ(back.attempts, r.attempts);
+  EXPECT_EQ(back.error, r.error);
+  EXPECT_EQ(back.end_time, r.end_time);
+  EXPECT_EQ(back.local_completion, r.local_completion);
+  EXPECT_EQ(back.completed, r.completed);
+  EXPECT_EQ(back.events_executed, r.events_executed);
+  EXPECT_EQ(back.events_scheduled, r.events_scheduled);
+  EXPECT_EQ(back.events_cancelled, r.events_cancelled);
+  EXPECT_EQ(back.peak_pending, r.peak_pending);
+  EXPECT_TRUE(back.metrics == r.metrics);
+  EXPECT_EQ(back.text, r.text);
+  EXPECT_EQ(back.setup_seconds, r.setup_seconds);
+  EXPECT_EQ(back.sim_seconds, r.sim_seconds);
+  EXPECT_EQ(back.analyze_seconds, r.analyze_seconds);
+
+  // Report entries (no text) are deliberately NOT resumable.
+  RunResult incomplete;
+  EXPECT_FALSE(runner::result_from_entry(
+      runner::result_entry(r, /*include_text=*/false), &incomplete));
+  EXPECT_FALSE(runner::result_from_entry(runner::json::Value(), &incomplete));
+}
+
+}  // namespace
+}  // namespace swarmlab
