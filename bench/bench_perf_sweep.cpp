@@ -12,8 +12,10 @@
 // BENCH_perf.json, override with --json PATH) so CI can archive the
 // throughput trend per commit.
 //
-// --tier small|medium|large|all restricts the ladder (CI's perf gate
-// runs only the small tier to keep the job fast).
+// --tier NAME|all restricts the ladder to one tier (CI's perf gate runs
+// only the small tiers to keep the job fast). Tier names: perf_small,
+// perf_medium, perf_large (fluid; "small" etc. accepted as shorthand)
+// and pkt_small, pkt_medium, pkt_large (frozen to the packet backend).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -43,6 +45,44 @@ swarmlab::swarm::ScenarioConfig perf_scenario(const char* name,
   return cfg;
 }
 
+// Packet tiers: bulk-transfer heavy so the segment hot path (not the
+// peer layer) dominates — larger pieces/blocks (256 KiB blocks = 64
+// four-KiB segments per flow, the full train cap) and smaller
+// populations than the fluid tiers because the packet model executes
+// ~an order of magnitude more events per delivered byte.
+swarmlab::swarm::ScenarioConfig pkt_scenario(const char* name,
+                                             std::uint32_t leechers,
+                                             std::uint32_t seeds,
+                                             std::uint32_t pieces,
+                                             double arrival,
+                                             std::uint32_t max_pop) {
+  swarmlab::swarm::ScenarioConfig cfg;
+  cfg.name = name;
+  cfg.num_pieces = pieces;
+  cfg.piece_size = 256 * 1024;
+  cfg.block_size = 256 * 1024;
+  cfg.initial_seeds = seeds;
+  cfg.initial_leechers = leechers;
+  cfg.leechers_warm = true;
+  cfg.arrival_rate = arrival;
+  cfg.max_population = max_pop;
+  cfg.duration = 20000.0;
+  cfg.network_backend = "packet";
+  // The bulk-transfer regime the packet hot path is built for: narrow
+  // active sets (1 regular + 1 optimistic slot) keep access links mostly
+  // single-flow, uplinks faster than downlinks keep receiver downlinks
+  // saturated, and a fast local peer keeps the measured run short. This
+  // deliberately measures the segment machinery, not the choke dynamics
+  // the fluid tiers cover.
+  cfg.remote_params.regular_unchoke_slots = 1;
+  cfg.remote_params.active_set_size = 2;
+  cfg.local_params = cfg.remote_params;
+  cfg.leecher_classes = {{1.0, 256.0 * 1024, 192.0 * 1024}};
+  cfg.initial_seed_upload = 1024.0 * 1024;
+  cfg.local_upload = 256.0 * 1024;
+  return cfg;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,7 +100,8 @@ int main(int argc, char** argv) {
   }
   if (tier != "all" && tier != "perf_small" && tier != "perf_medium" &&
       tier != "perf_large" && tier != "small" && tier != "medium" &&
-      tier != "large") {
+      tier != "large" && tier != "pkt_small" && tier != "pkt_medium" &&
+      tier != "pkt_large") {
     std::fprintf(stderr, "%s: unknown tier '%s'\n", argv[0], tier.c_str());
     return 2;
   }
@@ -75,6 +116,9 @@ int main(int argc, char** argv) {
       perf_scenario("perf_small", 48, 1, 128, 0.02, 96),
       perf_scenario("perf_medium", 150, 1, 384, 0.05, 220),
       perf_scenario("perf_large", 320, 2, 1024, 0.08, 420),
+      pkt_scenario("pkt_small", 16, 1, 256, 0.005, 32),
+      pkt_scenario("pkt_medium", 32, 1, 512, 0.01, 64),
+      pkt_scenario("pkt_large", 256, 2, 512, 0.05, 320),
   };
 
   std::vector<runner::BatchJob> jobs;
@@ -90,7 +134,13 @@ int main(int argc, char** argv) {
     job.id = id;
     job.name = cfg.name;
     job.config = cfg;
-    job.config.network_backend = opts.backend;
+    // Fluid tiers follow --backend (the historical behaviour, used by
+    // the CI backend smoke); the pkt_* tiers are frozen to the packet
+    // backend unless --backend is given explicitly.
+    if (opts.backend_explicit ||
+        job.config.network_backend == net::kDefaultNetworkBackend) {
+      job.config.network_backend = opts.backend;
+    }
     job.seed = sim::fork_seed(opts.seed, static_cast<std::uint64_t>(job.id));
     jobs.push_back(std::move(job));
   }
@@ -98,8 +148,9 @@ int main(int argc, char** argv) {
   std::printf("=== Perf sweep: simulator throughput ladder ===\n");
   std::printf("seed=%llu jobs=%d\n\n",
               static_cast<unsigned long long>(opts.seed), opts.jobs);
-  std::printf("%-12s %10s %14s %12s %12s %12s\n", "tier", "wall_s", "events",
-              "events/s", "peak_pend", "cancelled");
+  std::printf("%-12s %10s %14s %12s %12s %12s %14s %12s\n", "tier", "wall_s",
+              "events", "events/s", "peak_pend", "cancelled", "fastpath",
+              "trains");
 
   // Driven directly (not via run_sweep): the streamed rows here contain
   // wall-clock throughput, which only exists after the job returns.
@@ -123,11 +174,13 @@ int main(int argc, char** argv) {
             r.sim_seconds > 0.0
                 ? static_cast<double>(r.events_executed) / r.sim_seconds
                 : 0.0;
-        std::printf("%-12s %10.3f %14llu %12.0f %12llu %12llu\n",
+        std::printf("%-12s %10.3f %14llu %12.0f %12llu %12llu %14llu %12llu\n",
                     r.name.c_str(), r.sim_seconds,
                     static_cast<unsigned long long>(r.events_executed), evps,
                     static_cast<unsigned long long>(r.peak_pending),
-                    static_cast<unsigned long long>(r.events_cancelled));
+                    static_cast<unsigned long long>(r.events_cancelled),
+                    static_cast<unsigned long long>(r.events_fastpath),
+                    static_cast<unsigned long long>(r.train_segments));
         std::fflush(stdout);
       });
 

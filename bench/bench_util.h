@@ -107,6 +107,10 @@ struct BenchOptions {
   int jobs = 1;
   std::string json_path;
   std::string backend = net::kDefaultNetworkBackend;
+  /// True when --backend was passed on the command line. Benches whose
+  /// jobs carry a frozen per-tier backend (bench_perf_sweep) only
+  /// override it on an explicit flag.
+  bool backend_explicit = false;
   double timeout = 0.0;      ///< per-job wall budget (0 disables)
   int retries = 0;           ///< extra attempts for failed jobs
   std::string resume_path;   ///< JSONL checkpoint path ("" disables)
@@ -200,6 +204,7 @@ inline BenchOptions parse_bench_options(int argc, char** argv,
       opts.json_path = next(&i);
     } else if (arg == "--backend") {
       opts.backend = next(&i);
+      opts.backend_explicit = true;
       const auto known = net::network_backends();
       if (std::find(known.begin(), known.end(), opts.backend) ==
           known.end()) {

@@ -3,19 +3,27 @@
 
 Compares a fresh sweep (swarmlab.batch/* schema, as written by
 ``bench_perf_sweep --json``) against the committed baseline at the repo
-root and fails when any tier's events-per-second throughput regressed by
-more than the threshold.
+root and fails when any (tier, backend) pair's events-per-second
+throughput regressed by more than its threshold.
 
 Usage:
     check_perf_regression.py BASELINE FRESH [--threshold 0.20]
+        [--pair-threshold TIER:BACKEND=FRACTION ...]
 
-Only tiers present in BOTH reports are compared (so a small-tier CI run
-gates against the baseline's small tier without requiring the full
-ladder). events/s = results[].events / results[].wall.sim — the events
-numerator is deterministic; the wall-clock denominator varies with the
-host, which is why the baseline should be refreshed from the CI-uploaded
-artifact (same runner class), not from a developer machine. A fresh run
-much FASTER than baseline exits 0 but prints a refresh hint.
+Pairs are keyed by (tier name, network backend) — the same tier run on
+a different backend is a different workload, so a fluid-vs-packet mixup
+can never silently pass the gate. Only pairs present in BOTH reports
+are compared (so a small-tier CI run gates against the baseline's small
+tiers without requiring the full ladder). --pair-threshold overrides the
+global threshold for one pair; the packet tiers typically want a looser
+bound than the fluid ones because their wall time is shorter and so
+noisier.
+
+events/s = results[].events / results[].wall.sim — the events numerator
+is deterministic; the wall-clock denominator varies with the host, which
+is why the baseline should be refreshed from the CI-uploaded artifact
+(same runner class), not from a developer machine. A fresh run much
+FASTER than baseline exits 0 but prints a refresh hint.
 """
 import argparse
 import json
@@ -61,18 +69,44 @@ def load_report(path, role):
 
 
 def events_per_second(report):
-    """Tier name -> events/s, from a swarmlab.batch report."""
+    """(tier name, backend) -> events/s, from a swarmlab.batch report.
+
+    Pre-v6 reports lack the per-entry backend field; those entries key
+    under "fluid", the only backend that existed then.
+    """
     out = {}
     for entry in report.get("results", []):
         if not isinstance(entry, dict):
             continue
         name = entry.get("name")
+        backend = entry.get("backend") or "fluid"
         events = entry.get("events", 0)
         wall = entry.get("wall", {})
         sim_wall = wall.get("sim", 0.0) if isinstance(wall, dict) else 0.0
         if not name or not sim_wall:
             continue
-        out[name] = events / sim_wall
+        out[(name, backend)] = events / sim_wall
+    return out
+
+
+def parse_pair_thresholds(specs):
+    """["pkt_small:packet=0.3", ...] -> {("pkt_small", "packet"): 0.3}."""
+    out = {}
+    for spec in specs:
+        key, eq, value = spec.partition("=")
+        tier, colon, backend = key.partition(":")
+        if not eq or not colon or not tier or not backend:
+            sys.exit(
+                f"error: bad --pair-threshold {spec!r} — expected "
+                f"TIER:BACKEND=FRACTION (e.g. pkt_small:packet=0.3)."
+            )
+        try:
+            out[(tier, backend)] = float(value)
+        except ValueError:
+            sys.exit(
+                f"error: bad --pair-threshold {spec!r} — {value!r} is not "
+                f"a number."
+            )
     return out
 
 
@@ -82,7 +116,12 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="max tolerated fractional regression (default 0.20)")
+    ap.add_argument("--pair-threshold", action="append", default=[],
+                    metavar="TIER:BACKEND=FRACTION",
+                    help="override the threshold for one (tier, backend) "
+                         "pair; repeatable")
     args = ap.parse_args()
+    pair_thresholds = parse_pair_thresholds(args.pair_threshold)
 
     base = events_per_second(load_report(args.baseline, "baseline"))
     fresh = events_per_second(load_report(args.fresh, "fresh"))
@@ -95,29 +134,40 @@ def main():
         )
     shared = sorted(set(base) & set(fresh))
     if not shared:
+        def fmt(keys):
+            return ", ".join(f"{t}[{b}]" for t, b in sorted(keys))
         sys.exit(
-            "error: no common tiers between baseline "
-            f"({', '.join(sorted(base))}) and fresh report "
-            f"({', '.join(sorted(fresh))}) — did the tier names change?"
+            "error: no common (tier, backend) pairs between baseline "
+            f"({fmt(base)}) and fresh report ({fmt(fresh)}) — did the "
+            f"tier names or backend assignments change?"
         )
 
     failures = []
-    print(f"{'tier':<14}{'baseline ev/s':>16}{'fresh ev/s':>16}{'delta':>10}")
-    for tier in shared:
-        delta = (fresh[tier] - base[tier]) / base[tier]
-        print(f"{tier:<14}{base[tier]:>16.0f}{fresh[tier]:>16.0f}"
-              f"{delta:>+9.1%}")
-        if delta < -args.threshold:
-            failures.append(tier)
+    print(f"{'tier[backend]':<22}{'baseline ev/s':>16}{'fresh ev/s':>16}"
+          f"{'delta':>10}{'gate':>8}")
+    for pair in shared:
+        tier, backend = pair
+        label = f"{tier}[{backend}]"
+        threshold = pair_thresholds.get(pair, args.threshold)
+        delta = (fresh[pair] - base[pair]) / base[pair]
+        print(f"{label:<22}{base[pair]:>16.0f}{fresh[pair]:>16.0f}"
+              f"{delta:>+9.1%}{threshold:>8.0%}")
+        if delta < -threshold:
+            failures.append(label)
         elif delta > 0.5:
-            print(f"  note: {tier} is >50% faster than baseline — consider "
+            print(f"  note: {label} is >50% faster than baseline — consider "
                   f"refreshing {args.baseline} from the CI artifact")
 
+    unknown = sorted(set(pair_thresholds) - set(base) - set(fresh))
+    for tier, backend in unknown:
+        print(f"  note: --pair-threshold {tier}:{backend} matched no entry "
+              f"in either report")
+
     if failures:
-        print(f"\nFAIL: events/s regressed >{args.threshold:.0%} on: "
+        print("\nFAIL: events/s regressed beyond the gate on: "
               + ", ".join(failures))
         return 1
-    print(f"\nOK: no tier regressed more than {args.threshold:.0%}")
+    print("\nOK: no (tier, backend) pair regressed beyond its threshold")
     return 0
 
 

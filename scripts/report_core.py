@@ -7,6 +7,10 @@ object — and prints the rest as stable, sorted-key JSON. Two runs of the
 same (jobs, master seed) sweep must produce byte-identical output here
 for any worker count, and an interrupted-then-resumed sweep must match
 its uninterrupted twin; CI's resilience job diffs exactly this view.
+The schema-v6 perf counters (``fastpath``, ``compactions``,
+``train_segments``) are deterministic and therefore part of the core —
+a coalescing or event-dispatch behaviour change shows up as a diff
+here, not just as a throughput delta.
 
 This is the Python twin of runner::deterministic_view() (see
 src/runner/batch_runner.h), usable on archived artifacts without a

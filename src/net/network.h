@@ -84,6 +84,11 @@ class Network {
 
   /// Upload capacity of a node (for diagnostics).
   [[nodiscard]] virtual double node_up(NodeId node) const = 0;
+
+  /// Segments served through coalesced multi-segment service events
+  /// (segment trains / downlink plans). Zero for backends that do not
+  /// coalesce; surfaced in the batch report's perf object.
+  [[nodiscard]] virtual std::uint64_t train_segments() const { return 0; }
 };
 
 }  // namespace swarmlab::net

@@ -12,6 +12,32 @@ namespace {
 constexpr double kByteEpsilon = 1e-6;
 }  // namespace
 
+PacketNetwork::PacketNetwork(sim::Simulation& sim, double control_latency,
+                             std::uint32_t segment_bytes,
+                             std::uint32_t max_train)
+    : sim_(sim),
+      control_latency_(control_latency),
+      segment_bytes_(segment_bytes > 0 ? segment_bytes : kDefaultSegmentBytes),
+      max_train_(max_train > 0 ? max_train : 1),
+      ch_link_done_(sim.add_fast_channel(&link_done_trampoline, this)),
+      ch_arrive_(sim.add_fast_channel(&arrive_trampoline, this)) {}
+
+void PacketNetwork::link_done_trampoline(void* ctx,
+                                         const sim::FastPayload& p) {
+  auto* self = static_cast<PacketNetwork*>(ctx);
+  const auto node = static_cast<NodeId>(p.a);
+  if (p.b != 0) {
+    self->on_uplink_done(node);
+  } else {
+    self->on_downlink_done(node);
+  }
+}
+
+void PacketNetwork::arrive_trampoline(void* ctx, const sim::FastPayload& p) {
+  static_cast<PacketNetwork*>(ctx)->on_arrive(static_cast<FlowId>(p.a),
+                                              p.b != 0);
+}
+
 NodeId PacketNetwork::add_node(double up_bytes_per_sec,
                                double down_bytes_per_sec) {
   assert(up_bytes_per_sec > 0.0 && down_bytes_per_sec > 0.0);
@@ -28,15 +54,12 @@ void PacketNetwork::remove_node(NodeId node) {
   // Abort every flow touching the node, in creation order (matching the
   // enumeration order fault injection sees). cancel_flow evicts each flow
   // from the node's links as it goes.
-  std::vector<std::pair<std::uint64_t, FlowId>> doomed;
-  for (std::uint32_t s = 0; s < flows_.size(); ++s) {
+  std::vector<FlowId> doomed;
+  for (std::uint32_t s = all_head_; s != kNil; s = flows_[s].all_next) {
     const FlowSlot& f = flows_[s];
-    if (f.seq != 0 && (f.from == node || f.to == node)) {
-      doomed.emplace_back(f.seq, pack(f.gen, s));
-    }
+    if (f.from == node || f.to == node) doomed.push_back(pack(f.gen, s));
   }
-  std::sort(doomed.begin(), doomed.end());
-  for (const auto& [seq, id] : doomed) cancel_flow(id);
+  for (const FlowId id : doomed) cancel_flow(id);
   NodeSlot& n = nodes_[node - 1];
   // Both links are idle now (they only ever serve the node's own flows);
   // drop any tickets left behind by the aborted flows.
@@ -53,36 +76,44 @@ double PacketNetwork::node_up(NodeId node) const {
 void PacketNetwork::set_node_capacity(NodeId node, double up_bytes_per_sec,
                                       double down_bytes_per_sec) {
   if (!has_node(node)) return;
-  NodeSlot& n = nodes_[node - 1];
-  n.up.capacity = std::max(0.0, up_bytes_per_sec);
-  n.down.capacity = std::max(0.0, down_bytes_per_sec);
+  nodes_[node - 1].up.capacity = std::max(0.0, up_bytes_per_sec);
+  nodes_[node - 1].down.capacity = std::max(0.0, down_bytes_per_sec);
   // Settle the in-service segment (if any) at its old rate and re-rate
   // it. A segment parked at rate 0 keeps the link formally busy, so this
-  // reschedule is the guaranteed wake-up when capacity returns.
+  // reschedule is the guaranteed wake-up when capacity returns. A
+  // mid-batch link first falls back to the exact single-segment state;
+  // break_plan can complete a flow, whose callback may reshape the node
+  // and flow tables, so every reference is re-resolved after.
   for (const bool up : {true, false}) {
-    Link& link = up ? n.up : n.down;
-    if (link.serving == kNil) continue;
-    settle(link);
-    link.rate = link.capacity;
-    reschedule(link, node, up);
+    if (!has_node(node)) return;
+    Link* link = up ? &nodes_[node - 1].up : &nodes_[node - 1].down;
+    if (link->serving == kNil) continue;
+    if (link->batch != 0) {
+      if (up) {
+        break_train(*link, node);
+      } else {
+        break_plan(*link, node);
+      }
+      if (!has_node(node)) return;
+      link = up ? &nodes_[node - 1].up : &nodes_[node - 1].down;
+      // A batch that elapsed in full re-served the link; anything the
+      // re-serve started already runs at the new capacity.
+      if (link->serving == kNil || link->batch != 0) continue;
+    }
+    settle(*link);
+    link->rate = link->capacity;
+    reschedule(*link, node, up);
   }
 }
 
 std::vector<FlowId> PacketNetwork::active_flow_ids() const {
   // Creation order — the deterministic enumeration fault injection draws
-  // random victims from. Slot indices are not creation-ordered (the free
-  // list reuses them), so sort by seq.
-  std::vector<std::pair<std::uint64_t, FlowId>> live;
-  live.reserve(flow_count_);
-  for (std::uint32_t s = 0; s < flows_.size(); ++s) {
-    if (flows_[s].seq != 0) {
-      live.emplace_back(flows_[s].seq, pack(flows_[s].gen, s));
-    }
-  }
-  std::sort(live.begin(), live.end());
+  // random victims from. The intrusive list keeps it without a sort.
   std::vector<FlowId> ids;
-  ids.reserve(live.size());
-  for (const auto& [seq, id] : live) ids.push_back(id);
+  ids.reserve(flow_count_);
+  for (std::uint32_t s = all_head_; s != kNil; s = flows_[s].all_next) {
+    ids.push_back(pack(flows_[s].gen, s));
+  }
   return ids;
 }
 
@@ -97,10 +128,31 @@ double PacketNetwork::segment_size(const FlowSlot& flow,
   return static_cast<double>(flow.bytes - before);
 }
 
+std::uint32_t PacketNetwork::full_segments_from(const FlowSlot& flow,
+                                                std::uint32_t first) const {
+  // The final segment carries the remainder; it only counts as full when
+  // the flow divides evenly.
+  const std::uint32_t full = flow.bytes % segment_bytes_ == 0
+                                 ? flow.segments
+                                 : flow.segments - 1;
+  return first < full ? full - first : 0;
+}
+
+double PacketNetwork::seg_time(double size, double rate) {
+  // The exact expression reschedule() uses for a fresh segment.
+  return std::max(0.0, size - kByteEpsilon) / rate;
+}
+
 FlowId PacketNetwork::start_flow(NodeId from, NodeId to, std::uint64_t bytes,
                                  std::function<void()> on_complete) {
   assert(has_node(from) && has_node(to));
   assert(bytes > 0);
+  // A new ticket is about to contend the sender's uplink; a mid-train
+  // batch there must first fall back to the exact single-segment state
+  // (an uncontested-queue train ends the moment contention appears).
+  if (nodes_[from - 1].up.batch != 0) {
+    break_train(nodes_[from - 1].up, from);
+  }
   std::uint32_t slot;
   if (!free_flows_.empty()) {
     slot = free_flows_.back();
@@ -122,6 +174,20 @@ FlowId PacketNetwork::start_flow(NodeId from, NodeId to, std::uint64_t bytes,
   flow.in_down_queue = false;
   flow.on_complete = std::move(on_complete);
   flow.seq = next_seq_++;
+  flow.train_u = 0.0;
+  flow.train_spacing = 0.0;
+  flow.train_tail = -1.0;
+  flow.train_left = 0;
+  flow.arr_event = 0;
+  // Append to the creation-order list.
+  flow.all_prev = all_tail_;
+  flow.all_next = kNil;
+  if (all_tail_ != kNil) {
+    flows_[all_tail_].all_next = slot;
+  } else {
+    all_head_ = slot;
+  }
+  all_tail_ = slot;
   ++flow_count_;
   const FlowId id = pack(flow.gen, slot);
   nodes_[from - 1].up.rr.push_back({slot, flow.seq});
@@ -180,13 +246,9 @@ void PacketNetwork::reschedule(Link& link, NodeId node, bool up) {
   if (link.rate <= 0.0) return;  // parked; set_node_capacity wakes it
   const double secs =
       std::max(0.0, link.remaining - kByteEpsilon) / link.rate;
-  link.event = sim_.schedule_in(secs, [this, node, up] {
-    if (up) {
-      on_uplink_done(node);
-    } else {
-      on_downlink_done(node);
-    }
-  });
+  link.event = sim_.schedule_fast_in(
+      secs, ch_link_done_,
+      {static_cast<std::uint64_t>(node), up ? 1u : 0u});
 }
 
 void PacketNetwork::serve(NodeId node, bool up) {
@@ -199,18 +261,102 @@ void PacketNetwork::serve(NodeId node, bool up) {
     if (flow.seq != ticket.seq) continue;  // cancelled; stale ticket
     if (up) {
       flow.in_up_queue = false;
+      start_uplink(link, node, ticket.slot);
     } else {
       flow.in_down_queue = false;
-      assert(flow.pending_down > 0);
-      --flow.pending_down;
+      start_downlink(link, node, ticket.slot);
     }
-    link.serving = ticket.slot;
-    link.remaining = segment_size(flow, up ? flow.sent : flow.delivered);
-    link.rate = link.capacity;
-    link.last_update = sim_.now();
-    reschedule(link, node, up);
     return;
   }
+}
+
+void PacketNetwork::start_uplink(Link& link, NodeId node,
+                                 std::uint32_t slot) {
+  FlowSlot& flow = flows_[slot];
+  link.serving = slot;
+  link.rate = link.capacity;
+  link.last_update = sim_.now();
+  // Train: an uncontested queue means the flow's next K equal-size
+  // segments would serialize back-to-back; serve them as one event.
+  std::uint32_t k = 0;
+  if (max_train_ > 1 && link.rr.empty() && link.rate > 0.0) {
+    k = std::min(full_segments_from(flow, flow.sent), max_train_);
+  }
+  if (k >= 2) {
+    const double size = static_cast<double>(segment_bytes_);
+    const double d = seg_time(size, link.rate);
+    // Arrival chaining: if the previous train's chain is still
+    // delivering and this train continues it exactly (same spacing,
+    // starting at the chain's continuation time), append; otherwise a
+    // live mismatched chain forbids coalescing (its addition chain could
+    // not produce this train's arrival times).
+    const bool append = flow.train_left > 0 && d == flow.train_spacing &&
+                        sim_.now() == flow.train_tail;
+    if (flow.train_left > 0 && !append) {
+      link.batch = 0;
+      link.remaining = segment_size(flow, flow.sent);
+      reschedule(link, node, /*up=*/true);
+      return;
+    }
+    link.batch = k;
+    link.batch_t0 = sim_.now();
+    link.remaining = size;
+    // Completion at the exact iterated end time U_K (the same addition
+    // chain K single-segment reschedules would walk).
+    double end = sim_.now();
+    for (std::uint32_t i = 0; i < k; ++i) end += d;
+    link.event = sim_.schedule_fast_at(
+        end, ch_link_done_, {static_cast<std::uint64_t>(node), 1u});
+    if (append) {
+      flow.train_left += k;
+    } else {
+      assert(flow.arr_event == 0);
+      flow.train_u = sim_.now() + d;
+      flow.train_spacing = d;
+      flow.train_left = k;
+      flow.arr_event = sim_.schedule_fast_at(
+          flow.train_u + control_latency_, ch_arrive_,
+          {pack(flow.gen, slot), 1u});
+    }
+    flow.train_tail = end;
+    return;
+  }
+  link.batch = 0;
+  link.remaining = segment_size(flow, flow.sent);
+  reschedule(link, node, /*up=*/true);
+}
+
+void PacketNetwork::start_downlink(Link& link, NodeId node,
+                                   std::uint32_t slot) {
+  FlowSlot& flow = flows_[slot];
+  assert(flow.pending_down > 0);
+  link.serving = slot;
+  link.rate = link.capacity;
+  link.last_update = sim_.now();
+  // Batch: with an uncontested queue, already-arrived equal-size
+  // segments serialize back-to-back; serve them as one event.
+  std::uint32_t k = 0;
+  if (max_train_ > 1 && link.rr.empty() && link.rate > 0.0) {
+    k = std::min({full_segments_from(flow, flow.delivered),
+                  flow.pending_down, max_train_});
+  }
+  if (k >= 2) {
+    const double size = static_cast<double>(segment_bytes_);
+    const double d = seg_time(size, link.rate);
+    flow.pending_down -= k;  // claimed; a break returns the unstarted ones
+    link.batch = k;
+    link.batch_t0 = sim_.now();
+    link.remaining = size;
+    double end = sim_.now();
+    for (std::uint32_t i = 0; i < k; ++i) end += d;
+    link.event = sim_.schedule_fast_at(
+        end, ch_link_done_, {static_cast<std::uint64_t>(node), 0u});
+    return;
+  }
+  --flow.pending_down;
+  link.batch = 0;
+  link.remaining = segment_size(flow, flow.delivered);
+  reschedule(link, node, /*up=*/false);
 }
 
 void PacketNetwork::on_uplink_done(NodeId node) {
@@ -221,12 +367,18 @@ void PacketNetwork::on_uplink_done(NodeId node) {
   link.event = 0;
   link.serving = kNil;
   link.rate = 0.0;
-  ++flow.sent;
-  // The segment propagates; the arrival re-validates the id so a flow
-  // cancelled mid-propagation drops its segments silently.
-  sim_.schedule_in(control_latency_, [this, id = pack(flow.gen, slot)] {
-    on_segment_arrival(id);
-  });
+  if (link.batch != 0) {
+    // Train completed; its arrivals keep flowing through the chain.
+    flow.sent += link.batch;
+    train_segments_ += link.batch;
+    link.batch = 0;
+  } else {
+    ++flow.sent;
+    // The segment propagates; the arrival re-validates the id so a flow
+    // cancelled mid-propagation drops its segments silently.
+    sim_.schedule_fast_in(control_latency_, ch_arrive_,
+                          {pack(flow.gen, slot), 0u});
+  }
   if (flow.sent < flow.segments) {
     flow.in_up_queue = true;
     link.rr.push_back({slot, flow.seq});  // round-robin: back of the line
@@ -234,16 +386,43 @@ void PacketNetwork::on_uplink_done(NodeId node) {
   serve(node, /*up=*/true);
 }
 
-void PacketNetwork::on_segment_arrival(FlowId id) {
+void PacketNetwork::on_arrive(FlowId id, bool chained) {
   const std::uint32_t slot = slot_of(id);
   if (slot == kNil) return;  // aborted while propagating
   FlowSlot& flow = flows_[slot];
-  ++flow.pending_down;
-  if (!flow.in_down_queue) {
-    flow.in_down_queue = true;
-    nodes_[flow.to - 1].down.rr.push_back({slot, flow.seq});
+  if (chained) {
+    flow.arr_event = 0;
+    assert(flow.train_left > 0);
+    --flow.train_left;
+    if (flow.train_left > 0) {
+      flow.train_u += flow.train_spacing;
+      flow.arr_event = sim_.schedule_fast_at(
+          flow.train_u + control_latency_, ch_arrive_, {id, 1u});
+    }
   }
-  serve(flow.to, /*up=*/false);
+  ++flow.pending_down;
+  const NodeId to = flow.to;
+  if (!flow.in_down_queue) {
+    Link& down = nodes_[to - 1].down;
+    if (down.batch != 0 && down.serving != slot) {
+      // A competing ticket ends another flow's downlink batch. The break
+      // can complete that flow; its callback may reshape the tables, so
+      // re-resolve ourselves before enqueuing.
+      break_plan(down, to);
+      const std::uint32_t s2 = slot_of(id);
+      if (s2 == kNil) return;
+      FlowSlot& f2 = flows_[s2];
+      if (!f2.in_down_queue) {
+        f2.in_down_queue = true;
+        nodes_[to - 1].down.rr.push_back({s2, f2.seq});
+      }
+      serve(to, /*up=*/false);
+      return;
+    }
+    flow.in_down_queue = true;
+    down.rr.push_back({slot, flow.seq});
+  }
+  serve(to, /*up=*/false);
 }
 
 void PacketNetwork::on_downlink_done(NodeId node) {
@@ -254,7 +433,13 @@ void PacketNetwork::on_downlink_done(NodeId node) {
   link.event = 0;
   link.serving = kNil;
   link.rate = 0.0;
-  ++flow.delivered;
+  if (link.batch != 0) {
+    flow.delivered += link.batch;
+    train_segments_ += link.batch;
+    link.batch = 0;
+  } else {
+    ++flow.delivered;
+  }
   if (flow.delivered == flow.segments) {
     // The last byte arrived. Retire before the callback — the callback
     // typically starts the sender's next flow.
@@ -271,6 +456,108 @@ void PacketNetwork::on_downlink_done(NodeId node) {
   serve(node, /*up=*/false);
 }
 
+void PacketNetwork::break_train(Link& link, NodeId node) {
+  assert(link.batch != 0 && link.serving != kNil);
+  const std::uint32_t slot = link.serving;
+  FlowSlot& flow = flows_[slot];
+  const double t = sim_.now();
+  const double size = static_cast<double>(segment_bytes_);
+  const double d = seg_time(size, link.rate);
+  // Re-derive each boundary with the exact addition chain the
+  // single-segment execution would have walked.
+  const std::uint32_t k = link.batch;
+  std::uint32_t done = 0;
+  double prev = link.batch_t0;
+  double next = prev + d;
+  while (next <= t && done < k) {
+    prev = next;
+    next = prev + d;
+    ++done;
+  }
+  link.batch = 0;
+  sim_.cancel(link.event);
+  link.event = 0;
+  flow.sent += done;
+  train_segments_ += done;
+  // Drop announced arrivals for the segments that never serialized; a
+  // truncated chain can no longer be appended to.
+  assert(flow.train_left >= k - done);
+  flow.train_left -= k - done;
+  flow.train_tail = -1.0;
+  if (flow.train_left == 0 && flow.arr_event != 0) {
+    sim_.cancel(flow.arr_event);
+    flow.arr_event = 0;
+  }
+  if (done == k) {
+    // The whole train elapsed at exactly now(); complete it as
+    // on_uplink_done would have.
+    link.serving = kNil;
+    link.rate = 0.0;
+    if (flow.sent < flow.segments) {
+      flow.in_up_queue = true;
+      link.rr.push_back({slot, flow.seq});
+    }
+    serve(node, /*up=*/true);
+    return;
+  }
+  // Reconstruct the in-service segment exactly: full remaining, progress
+  // accounted from its exact start time, completion at its exact
+  // single-segment time.
+  link.remaining = size;
+  link.last_update = prev;
+  link.event = sim_.schedule_fast_at(
+      next, ch_link_done_, {static_cast<std::uint64_t>(node), 1u});
+}
+
+void PacketNetwork::break_plan(Link& link, NodeId node) {
+  assert(link.batch != 0 && link.serving != kNil);
+  const std::uint32_t slot = link.serving;
+  FlowSlot& flow = flows_[slot];
+  const double t = sim_.now();
+  const double size = static_cast<double>(segment_bytes_);
+  const double d = seg_time(size, link.rate);
+  const std::uint32_t k = link.batch;
+  std::uint32_t done = 0;
+  double prev = link.batch_t0;
+  double next = prev + d;
+  while (next <= t && done < k) {
+    prev = next;
+    next = prev + d;
+    ++done;
+  }
+  link.batch = 0;
+  sim_.cancel(link.event);
+  link.event = 0;
+  flow.delivered += done;
+  train_segments_ += done;
+  if (done == k) {
+    // The whole batch elapsed at exactly now(); complete it as
+    // on_downlink_done would have — including, possibly, the flow.
+    link.serving = kNil;
+    link.rate = 0.0;
+    if (flow.delivered == flow.segments) {
+      std::function<void()> on_complete = std::move(flow.on_complete);
+      retire(slot);
+      serve(node, /*up=*/false);
+      if (on_complete) on_complete();
+      return;
+    }
+    if (flow.pending_down > 0 && !flow.in_down_queue) {
+      flow.in_down_queue = true;
+      link.rr.push_back({slot, flow.seq});
+    }
+    serve(node, /*up=*/false);
+    return;
+  }
+  // Unstarted claimed segments return to the pending pool; the
+  // in-service one is reconstructed exactly.
+  flow.pending_down += k - done - 1;
+  link.remaining = size;
+  link.last_update = prev;
+  link.event = sim_.schedule_fast_at(
+      next, ch_link_done_, {static_cast<std::uint64_t>(node), 0u});
+}
+
 void PacketNetwork::evict_from_link(Link& link, std::uint32_t slot,
                                     NodeId node, bool up) {
   if (link.serving != slot) return;
@@ -278,6 +565,7 @@ void PacketNetwork::evict_from_link(Link& link, std::uint32_t slot,
     sim_.cancel(link.event);
     link.event = 0;
   }
+  link.batch = 0;  // the evicted flow is gone; no state to reconstruct
   link.serving = kNil;
   link.rate = 0.0;
   serve(node, up);
@@ -286,6 +574,25 @@ void PacketNetwork::evict_from_link(Link& link, std::uint32_t slot,
 void PacketNetwork::retire(std::uint32_t slot) {
   FlowSlot& flow = flows_[slot];
   assert(flow.seq != 0);
+  if (flow.arr_event != 0) {
+    sim_.cancel(flow.arr_event);
+    flow.arr_event = 0;
+  }
+  flow.train_left = 0;
+  flow.train_tail = -1.0;
+  // Unlink from the creation-order list.
+  if (flow.all_prev != kNil) {
+    flows_[flow.all_prev].all_next = flow.all_next;
+  } else {
+    all_head_ = flow.all_next;
+  }
+  if (flow.all_next != kNil) {
+    flows_[flow.all_next].all_prev = flow.all_prev;
+  } else {
+    all_tail_ = flow.all_prev;
+  }
+  flow.all_prev = kNil;
+  flow.all_next = kNil;
   ++flow.gen;
   flow.seq = 0;  // queued tickets and propagation arrivals go stale
   flow.in_up_queue = false;

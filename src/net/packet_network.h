@@ -24,7 +24,8 @@
 //  * FlowIds are generation-checked slab handles (same scheme as the
 //    fluid backend): a stale id held across fault-injected aborts can
 //    never touch the slot's next tenant;
-//  * active_flow_ids() enumerates in creation order;
+//  * active_flow_ids() enumerates in creation order (intrusive list —
+//    no scan-and-sort);
 //  * set_node_capacity settles the in-service segment at its old rate
 //    and re-rates it — segments parked at rate 0 resume the moment
 //    capacity returns;
@@ -32,11 +33,38 @@
 //    frees the link for the next queued segment;
 //  * send_control delivers after control_latency + extra_delay.
 //
-// Cost model: ~3 executed events per segment (uplink done, arrival,
-// downlink done) with O(1) work each — there is no reallocate storm, so
-// event *churn* is far below fluid's, but executed-event counts are
-// several times higher. See docs/performance.md for guidance on
-// choosing a backend.
+// Cost model — segment-train coalescing. The naive execution is ~3
+// events per segment (uplink done, arrival, downlink done), each built
+// as a std::function. Two optimizations collapse that without changing
+// a single timestamp:
+//
+//  * When a link's round-robin queue is empty after dequeuing a ticket,
+//    the in-service flow would re-queue behind nobody, so its next K
+//    equal-size segments serialize back-to-back at known times. The
+//    uplink serves them as one *train* — a single completion event at
+//    the exact iterated end time U_K (the same `end += d` addition chain
+//    the single-segment execution performs) — and the propagation leg
+//    becomes a *chained* arrival: one fast event in flight per flow,
+//    each firing at the exact per-segment arrival time u_i + L and
+//    rescheduling the next at u_{i+1} = u_i + d. A downlink whose queue
+//    is uncontested batches segments that have *already arrived* the
+//    same way (one completion event at the iterated end). Every
+//    intermediate time the single-segment execution would produce is
+//    reconstructed exactly (same floating-point operations in the same
+//    order) whenever a train/batch must be cut short: a competing ticket
+//    (round-robin contention), set_node_capacity (partial settle at the
+//    old rate) and cancel_flow all break the batch back to the
+//    single-segment state the naive execution would be in at that
+//    instant. The only permitted deviation is event *count* and
+//    scheduling sequence — so exactly-equal-time ties against unrelated
+//    events may order differently than an un-coalesced run; per-flow
+//    segment and completion times are bit-identical.
+//
+//  * All hot-path events (service completions, arrivals, wakes) go
+//    through sim::Simulation's typed fast-path channels: a 16-byte POD
+//    payload dispatched via a function pointer, never a std::function.
+//
+// See docs/performance.md for guidance on choosing a backend.
 #pragma once
 
 #include <cstdint>
@@ -59,14 +87,17 @@ class PacketNetwork final : public Network {
   /// so concurrent block transfers genuinely interleave on the wire.
   static constexpr std::uint32_t kDefaultSegmentBytes = 4096;
 
+  /// Default cap on segments coalesced into one train/plan. Bounds the
+  /// O(K) reconstruction walk a mid-train settle performs.
+  static constexpr std::uint32_t kDefaultMaxTrain = 64;
+
   /// `control_latency` is the one-way delay applied to control messages
-  /// and to every segment's propagation, in seconds.
+  /// and to every segment's propagation, in seconds. `max_train` <= 1
+  /// disables coalescing (pure single-segment execution; tests use this
+  /// to assert train/single timing identity).
   explicit PacketNetwork(sim::Simulation& sim, double control_latency = 0.05,
-                         std::uint32_t segment_bytes = kDefaultSegmentBytes)
-      : sim_(sim),
-        control_latency_(control_latency),
-        segment_bytes_(segment_bytes > 0 ? segment_bytes
-                                         : kDefaultSegmentBytes) {}
+                         std::uint32_t segment_bytes = kDefaultSegmentBytes,
+                         std::uint32_t max_train = kDefaultMaxTrain);
 
   PacketNetwork(const PacketNetwork&) = delete;
   PacketNetwork& operator=(const PacketNetwork&) = delete;
@@ -104,6 +135,11 @@ class PacketNetwork final : public Network {
 
   [[nodiscard]] double node_up(NodeId node) const override;
 
+  /// Segments served through coalesced trains/plans (perf counter).
+  [[nodiscard]] std::uint64_t train_segments() const override {
+    return train_segments_;
+  }
+
   /// Configured segment size in bytes (diagnostics).
   [[nodiscard]] std::uint32_t segment_bytes() const { return segment_bytes_; }
 
@@ -120,7 +156,8 @@ class PacketNetwork final : public Network {
   };
 
   /// One direction of a node's access link: a single-server queue that
-  /// serializes one segment at a time and round-robins across flows.
+  /// serializes one segment at a time (or a coalesced batch of them)
+  /// and round-robins across flows.
   struct Link {
     double capacity = kUnlimited;  // bytes/sec
     std::deque<RRticket> rr;       // flows with pending segments
@@ -128,7 +165,15 @@ class PacketNetwork final : public Network {
     double remaining = 0.0;        // bytes left of the in-service segment
     double rate = 0.0;             // current service rate (0 = parked)
     sim::SimTime last_update = 0.0;
-    sim::EventId event = 0;        // pending service-completion event
+    sim::EventId event = 0;  // pending service-completion event
+    // Coalesced service ("batch"): 0 = plain single-segment mode, else
+    // the number of equal-size segments the in-flight completion event
+    // covers. On an uplink the batch is a segment train; on a downlink
+    // it covers already-arrived segments. batch_t0 is the serve() time
+    // the batch started (reconstruction walks re-derive every
+    // intermediate boundary from it with the exact addition chain).
+    std::uint32_t batch = 0;
+    double batch_t0 = 0.0;
   };
 
   struct NodeSlot {
@@ -150,6 +195,26 @@ class PacketNetwork final : public Network {
     std::function<void()> on_complete;
     std::uint64_t seq = 0;  // creation order; 0 marks a vacant slot
     std::uint32_t gen = 0;  // bumped on retirement; stale ids mismatch
+    // Intrusive all-flows list in creation order (active_flow_ids /
+    // remove_node walk it; no scan-and-sort).
+    std::uint32_t all_prev = kNil;
+    std::uint32_t all_next = kNil;
+    // Chained train-arrival state: `train_left` arrivals are still owed
+    // by the sender's train(s), the next at exact uplink completion time
+    // `train_u` (+ control latency); `arr_event` is the single in-flight
+    // arrival event (0 = none). Each arrival advances
+    // train_u += train_spacing — the same addition chain the
+    // single-segment execution performs. `train_tail` is the chain's
+    // continuation value (the final announced completion time): a new
+    // back-to-back train starting exactly there with the same spacing
+    // appends to the chain instead of opening a second one; a broken
+    // train poisons it (-1) so no later train can append to a truncated
+    // chain.
+    double train_u = 0.0;
+    double train_spacing = 0.0;
+    double train_tail = -1.0;
+    std::uint32_t train_left = 0;
+    sim::EventId arr_event = 0;
   };
 
   static constexpr FlowId pack(std::uint32_t gen, std::uint32_t slot) {
@@ -173,9 +238,23 @@ class PacketNetwork final : public Network {
   [[nodiscard]] double segment_size(const FlowSlot& flow,
                                     std::uint32_t index) const;
 
-  /// Starts serving the next queued segment on an idle link. `up` selects
-  /// the direction (for event routing back to the right handler).
+  /// Full segments of `flow` remaining from `first` before its (possibly
+  /// short) final segment.
+  [[nodiscard]] std::uint32_t full_segments_from(const FlowSlot& flow,
+                                                 std::uint32_t first) const;
+
+  /// Exact single-segment serialization time at `rate` for a segment of
+  /// `size` bytes — the same expression reschedule() uses.
+  [[nodiscard]] static double seg_time(double size, double rate);
+
+  /// Starts serving the next queued segment (or batch) on an idle link.
+  /// `up` selects the direction.
   void serve(NodeId node, bool up);
+
+  /// Begins service on `slot` after its ticket was dequeued; chooses
+  /// between a coalesced batch and plain single-segment service.
+  void start_uplink(Link& link, NodeId node, std::uint32_t slot);
+  void start_downlink(Link& link, NodeId node, std::uint32_t slot);
 
   /// Applies progress accrued since last_update to the in-service segment.
   void settle(Link& link);
@@ -184,12 +263,31 @@ class PacketNetwork final : public Network {
   /// remaining/rate; rate <= 0 parks the segment with no event.
   void reschedule(Link& link, NodeId node, bool up);
 
+  /// Reverts a mid-flight batch to the exact single-segment state the
+  /// naive execution would be in at now(): fully-elapsed segments are
+  /// accounted (and their arrival chain truncated, for trains), the
+  /// in-service segment is reconstructed (remaining, last_update,
+  /// completion event at its exact single-segment time) and, for
+  /// downlink batches, unstarted claimed segments return to
+  /// pending_down. break_plan may complete the flow (every batched
+  /// segment already delivered at a time exactly equal to now()) — it
+  /// then fires the completion callback, so callers must re-resolve any
+  /// slot/node references after.
+  void break_train(Link& link, NodeId node);
+  void break_plan(Link& link, NodeId node);
+
   void on_uplink_done(NodeId node);
   void on_downlink_done(NodeId node);
-  void on_segment_arrival(FlowId id);
 
-  /// If `slot` is the in-service flow on `link`, aborts the service and
-  /// starts the next queued segment.
+  /// Fast-channel handlers. Payload: {node, up} for service completions,
+  /// {flow id, chained} for propagation arrivals (chained = 1 means the
+  /// arrival is part of a train's chain and must reschedule the next).
+  static void link_done_trampoline(void* ctx, const sim::FastPayload& p);
+  static void arrive_trampoline(void* ctx, const sim::FastPayload& p);
+  void on_arrive(FlowId id, bool chained);
+
+  /// If `slot` is the in-service flow on `link`, aborts the service
+  /// (batch included) and starts the next queued segment.
   void evict_from_link(Link& link, std::uint32_t slot, NodeId node, bool up);
 
   /// Unlinks a flow, bumps its generation, recycles the slot. Does not
@@ -199,11 +297,17 @@ class PacketNetwork final : public Network {
   sim::Simulation& sim_;
   double control_latency_;
   std::uint32_t segment_bytes_;
+  std::uint32_t max_train_;
+  std::uint16_t ch_link_done_ = 0;  // fast channel: service completions
+  std::uint16_t ch_arrive_ = 0;     // fast channel: propagation arrivals
   std::vector<NodeSlot> nodes_;  // index = NodeId - 1; ids never reused
   std::vector<FlowSlot> flows_;  // slab; index = low id half - 1
   std::vector<std::uint32_t> free_flows_;  // retired slots awaiting reuse
+  std::uint32_t all_head_ = kNil;  // creation-order list of live flows
+  std::uint32_t all_tail_ = kNil;
   std::size_t flow_count_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t train_segments_ = 0;
 };
 
 }  // namespace swarmlab::net

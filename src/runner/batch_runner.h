@@ -115,6 +115,9 @@ struct RunResult {
   std::uint64_t events_scheduled = 0;  ///< fired + cancelled + pending
   std::uint64_t events_cancelled = 0;  ///< cancelled before firing
   std::uint64_t peak_pending = 0;      ///< high-water mark of live events
+  std::uint64_t events_fastpath = 0;   ///< fired via the POD fast channel
+  std::uint64_t queue_compactions = 0; ///< event-queue dead-entry sweeps
+  std::uint64_t train_segments = 0;    ///< segments served in coalesced trains
   json::Value metrics;             ///< bench-specific summary (object)
   std::string text;                ///< preformatted row(s) for stdout
 
@@ -241,10 +244,15 @@ std::vector<BatchJob> table1_jobs(std::uint64_t master,
 /// v5: per-result `status` ("completed"|"failed"|"wedged"|"timeout"),
 /// `attempts`, optional `error` detail, and a report-level `failed`
 /// count — the failure-containment fields (see docs/batch_runner.md).
-inline constexpr const char* kReportSchema = "swarmlab.batch/5";
+/// v6: `perf` gains `fastpath` (events dispatched via the allocation-free
+/// fast channel), `compactions` (event-queue dead-entry sweeps) and
+/// `train_segments` (packet segments served in coalesced trains; 0 on
+/// the fluid backend). All three are deterministic.
+inline constexpr const char* kReportSchema = "swarmlab.batch/6";
 
 /// Checkpoint header schema (first line of a checkpoint JSONL file).
-inline constexpr const char* kCheckpointSchema = "swarmlab.checkpoint/1";
+/// v2: checkpoint entries carry the v6 perf counters (strict parse).
+inline constexpr const char* kCheckpointSchema = "swarmlab.checkpoint/2";
 
 /// One result as a report entry (everything deterministic plus the
 /// per-phase `wall` object; `text` is included only when requested —

@@ -1,15 +1,18 @@
 #include "sim/event_queue.h"
 
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace swarmlab::sim {
 
 namespace {
+// Orders both tiers: the heap as a min-heap, wheel buckets descending so
+// the bucket minimum pops off the back.
 constexpr auto kMinHeap = std::greater<>{};
 }  // namespace
 
-EventId EventQueue::schedule(SimTime at, EventFn fn) {
+EventId EventQueue::place(SimTime at) {
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -19,28 +22,99 @@ EventId EventQueue::schedule(SimTime at, EventFn fn) {
     slots_.emplace_back();
   }
   const EventId id = pack(slots_[slot].gen, slot);
-  slots_[slot].fn = std::move(fn);
-  heap_.push_back(Entry{at, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), kMinHeap);
+  const Entry e{at, next_seq_++, id};
+
+  // Tier routing. A drained wheel re-anchors at the first finite time it
+  // sees; entries before the window, past its horizon, or in a bucket
+  // range the cursor has already drained go to the heap, so the wheel
+  // never has to look behind its cursor.
+  if (wheel_entries_ == 0 && std::isfinite(at)) {
+    wheel_base_ = at;
+    wheel_cursor_ = 0;
+  }
+  const double rel = at - wheel_base_;
+  if (!(rel >= 0.0) || rel >= kWheelSpan) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), kMinHeap);
+  } else {
+    const auto idx = static_cast<std::size_t>(rel * (1.0 / kBucketWidth));
+    if (idx < wheel_cursor_ || idx >= kWheelBuckets) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), kMinHeap);
+    } else {
+      Bucket& b = buckets_[idx];
+      if (b.sorted) {
+        // Keep the cursor bucket's descending (time, seq) order.
+        b.v.insert(std::lower_bound(b.v.begin(), b.v.end(), e, kMinHeap), e);
+      } else {
+        b.v.push_back(e);
+      }
+      ++wheel_entries_;
+    }
+  }
+
   ++live_;
   ++scheduled_;
   peak_ = std::max(peak_, live_);
   return id;
 }
 
+EventId EventQueue::schedule(SimTime at, EventFn fn) {
+  const EventId id = place(at);
+  Slot& s = slots_[static_cast<std::uint32_t>((id & 0xffffffffu) - 1)];
+  s.channel = 0;
+  s.fn = std::move(fn);
+  return id;
+}
+
+EventId EventQueue::schedule_fast(SimTime at, std::uint16_t channel,
+                                  FastPayload payload) {
+  assert(channel != 0);
+  const EventId id = place(at);
+  Slot& s = slots_[static_cast<std::uint32_t>((id & 0xffffffffu) - 1)];
+  s.channel = channel;
+  s.payload = payload;
+  return id;
+}
+
 bool EventQueue::cancel(EventId id) {
   if (!is_pending(id)) return false;
-  // Bumping the generation is the act of cancellation; the heap entry is
-  // discarded lazily (drop_cancelled) or in bulk (compact).
+  // Bumping the generation is the act of cancellation; the tier entry is
+  // discarded lazily (wheel_peek/drop_cancelled) or in bulk (compact).
   release(static_cast<std::uint32_t>((id & 0xffffffffu) - 1));
   ++cancelled_;
-  if (heap_.size() >= 64 && heap_.size() > 2 * live_) compact();
+  if (total_entries() >= 64 && total_entries() > 2 * live_) compact();
   return true;
 }
 
 void EventQueue::compact() {
-  std::erase_if(heap_, [this](const Entry& e) { return !is_pending(e.id); });
+  const auto stale = [this](const Entry& e) { return !is_pending(e.id); };
+  std::erase_if(heap_, stale);
   std::make_heap(heap_.begin(), heap_.end(), kMinHeap);
+  for (std::size_t i = wheel_cursor_; i < kWheelBuckets; ++i) {
+    if (buckets_[i].v.empty()) continue;
+    wheel_entries_ -= std::erase_if(buckets_[i].v, stale);
+  }
+  ++compactions_;
+}
+
+EventQueue::Entry* EventQueue::wheel_peek() {
+  while (wheel_entries_ > 0) {
+    assert(wheel_cursor_ < kWheelBuckets);
+    Bucket& b = buckets_[wheel_cursor_];
+    if (!b.sorted) {
+      std::sort(b.v.begin(), b.v.end(), kMinHeap);
+      b.sorted = true;
+    }
+    while (!b.v.empty() && !is_pending(b.v.back().id)) {
+      b.v.pop_back();
+      --wheel_entries_;
+    }
+    if (!b.v.empty()) return &b.v.back();
+    b.sorted = false;
+    ++wheel_cursor_;
+  }
+  return nullptr;
 }
 
 void EventQueue::drop_cancelled() {
@@ -51,20 +125,62 @@ void EventQueue::drop_cancelled() {
 }
 
 SimTime EventQueue::next_time() {
+  Entry* w = wheel_peek();
   drop_cancelled();
-  assert(!heap_.empty());
+  if (w == nullptr) {
+    assert(!heap_.empty());
+    return heap_.front().time;
+  }
+  if (heap_.empty() || kMinHeap(heap_.front(), *w)) return w->time;
   return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
+  Entry* w = wheel_peek();
   drop_cancelled();
-  assert(!heap_.empty());
-  const std::uint32_t slot =
-      static_cast<std::uint32_t>((heap_.front().id & 0xffffffffu) - 1);
-  Fired fired{heap_.front().time, heap_.front().id,
-              std::move(slots_[slot].fn)};
-  std::pop_heap(heap_.begin(), heap_.end(), kMinHeap);
-  heap_.pop_back();
+  // (time, seq) is a strict total order, so exactly one tier holds the
+  // global minimum; ids are unique, so equality across tiers is
+  // impossible.
+  Entry top;
+  if (w != nullptr && (heap_.empty() || kMinHeap(heap_.front(), *w))) {
+    top = *w;
+    buckets_[wheel_cursor_].v.pop_back();
+    --wheel_entries_;
+  } else {
+    assert(!heap_.empty());
+    top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), kMinHeap);
+    heap_.pop_back();
+  }
+  return take(top);
+}
+
+bool EventQueue::pop_until(SimTime deadline, Fired* out) {
+  if (live_ == 0) return false;
+  Entry* w = wheel_peek();
+  drop_cancelled();
+  // Same tier choice as pop(); the deadline check happens on the global
+  // minimum before extraction, so a refusal disturbs nothing.
+  const bool from_wheel =
+      w != nullptr && (heap_.empty() || kMinHeap(heap_.front(), *w));
+  const Entry top = from_wheel ? *w : heap_.front();
+  if (top.time > deadline) return false;
+  if (from_wheel) {
+    buckets_[wheel_cursor_].v.pop_back();
+    --wheel_entries_;
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), kMinHeap);
+    heap_.pop_back();
+  }
+  *out = take(top);
+  return true;
+}
+
+EventQueue::Fired EventQueue::take(const Entry& top) {
+  const auto slot = static_cast<std::uint32_t>((top.id & 0xffffffffu) - 1);
+  Slot& s = slots_[slot];
+  Fired fired{top.time, top.id, s.payload, s.channel,
+              s.channel == 0 ? std::move(s.fn) : EventFn{}};
   release(slot);
   return fired;
 }

@@ -11,7 +11,15 @@
 // lifetime can never cancel the slot's next tenant. Fire-order ties are
 // broken by a separate monotonic sequence carried in the heap entry —
 // slot reuse makes ids non-monotonic, so ids cannot order the heap.
-// See docs/performance.md.
+//
+// Storage is two-tiered: a calendar wheel of fixed-width time buckets
+// absorbs the dense near-future band (where discrete-event simulations
+// concentrate their churn), and a binary min-heap holds everything
+// beyond the wheel's horizon, behind its cursor, or scheduled while the
+// wheel window was exhausted. Both tiers order by the same (time, seq)
+// key and pop() always takes the global minimum across them, so the
+// fire order is identical to a single binary heap — see the proof
+// sketch at wheel_peek(). See docs/performance.md.
 #pragma once
 
 #include <algorithm>
@@ -27,16 +35,35 @@ namespace swarmlab::sim {
 /// Callback invoked when an event fires.
 using EventFn = std::function<void()>;
 
-/// Min-heap of timed events with O(1) cancellation and slot reuse.
+/// Payload of a fast-path event: 16 opaque bytes interpreted by the
+/// channel handler (e.g. {node, direction} or {flow id, count}).
+struct FastPayload {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Two-tier priority queue of timed events with O(1) cancellation and
+/// slot reuse.
 ///
-/// Cancellation is lazy: a cancelled event's heap entry stays until it
-/// reaches the top, where its stale generation identifies it for
+/// Cancellation is lazy: a cancelled event's entry stays in its tier
+/// until it surfaces, where its stale generation identifies it for
 /// discard. The slot itself is reusable immediately.
+///
+/// Events come in two flavours sharing one id space and one fire order:
+/// closure events carry an EventFn, fast-path events carry a channel tag
+/// plus a 16-byte POD payload and never touch std::function — hot
+/// callers (the packet backend) schedule and fire without allocating.
 class EventQueue {
  public:
   /// Schedules `fn` to fire at absolute time `at`. Returns an id usable
   /// with `cancel()`; never 0.
   EventId schedule(SimTime at, EventFn fn);
+
+  /// Schedules a fast-path event at absolute time `at`. `channel` is an
+  /// opaque nonzero tag returned to the caller by pop(); dispatching it
+  /// is the caller's business (Simulation keeps the handler table).
+  EventId schedule_fast(SimTime at, std::uint16_t channel,
+                        FastPayload payload);
 
   /// Cancels a pending event. Returns true if the event was still pending
   /// (not yet fired and not already cancelled).
@@ -49,19 +76,30 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Precondition: !empty().
-  /// Non-const: compacts cancelled entries off the heap top.
+  /// Non-const: compacts cancelled entries off the tier tops.
   [[nodiscard]] SimTime next_time();
 
   /// What pop() returns: the fired event's time, id and callback.
+  /// `channel` == 0 means a closure event (`fn` holds the callback);
+  /// nonzero means a fast-path event (`payload` holds the data, `fn` is
+  /// empty).
   struct Fired {
     SimTime time;
     EventId id;
+    FastPayload payload;
+    std::uint16_t channel;
     EventFn fn;
   };
 
   /// Pops and returns the earliest live event, advancing past any
   /// cancelled entries. Precondition: !empty().
   Fired pop();
+
+  /// Fused peek-and-pop for the run loop: pops the earliest live event
+  /// into `*out` iff the queue is non-empty and that event's time is
+  /// <= `deadline`. One tier scan instead of the two a next_time()/pop()
+  /// pair costs. Returns false (leaving `*out` untouched) otherwise.
+  bool pop_until(SimTime deadline, Fired* out);
 
   /// Events ever scheduled.
   [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
@@ -72,10 +110,15 @@ class EventQueue {
   /// High-water mark of live events.
   [[nodiscard]] std::size_t peak_pending() const { return peak_; }
 
+  /// Bulk compactions performed (dead entries swept from both tiers).
+  [[nodiscard]] std::uint64_t compactions_count() const {
+    return compactions_;
+  }
+
  private:
-  /// Heap entries are 24-byte PODs: sift moves are plain copies instead
-  /// of std::function move-constructor calls. The callback lives in the
-  /// slot and is destroyed eagerly on cancel.
+  /// Tier entries are 24-byte PODs: sift/sort moves are plain copies
+  /// instead of std::function move-constructor calls. The callback (or
+  /// payload) lives in the slot.
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // schedule order; breaks equal-time ties
@@ -89,8 +132,28 @@ class EventQueue {
 
   struct Slot {
     std::uint32_t gen = 0;
+    std::uint16_t channel = 0;  // 0 = closure event, else fast-path tag
+    FastPayload payload;
     EventFn fn;
   };
+
+  /// One wheel bucket: entries with times in [base + i*w, base + (i+1)*w).
+  /// `sorted` holds only for the cursor bucket once it has been peeked:
+  /// descending (time, seq) so the minimum pops off the back in O(1).
+  struct Bucket {
+    std::vector<Entry> v;
+    bool sorted = false;
+  };
+
+  // Wheel geometry. The width is a power of two so relative times scale
+  // exactly; the horizon (buckets * width = 4 s) covers the dense band of
+  // transfer completions and control latencies while long timers
+  // (rechoke, announce, keepalive) overflow to the heap, keeping it
+  // small. The wheel window is absolute and non-wrapping: when it drains
+  // it re-anchors at the next scheduled time.
+  static constexpr std::size_t kWheelBuckets = 4096;
+  static constexpr double kBucketWidth = 1.0 / 1024.0;
+  static constexpr double kWheelSpan = kWheelBuckets * kBucketWidth;
 
   static constexpr EventId pack(std::uint32_t gen, std::uint32_t slot) {
     return (static_cast<EventId>(gen) << 32) |
@@ -113,23 +176,54 @@ class EventQueue {
     --live_;
   }
 
+  /// Allocates a slot and pushes an entry for it into the right tier.
+  EventId place(SimTime at);
+
+  /// Earliest live wheel entry (nullptr when the wheel holds none),
+  /// purging stale entries and advancing the cursor past drained
+  /// buckets.
+  ///
+  /// Why this is the wheel's minimum: buckets partition disjoint,
+  /// ascending time ranges, so the first non-empty bucket at or after
+  /// the cursor contains every candidate for the wheel's earliest time;
+  /// within it, entries are kept descending by (time, seq), so the back
+  /// is the exact minimum. Entries that would land in a range the
+  /// cursor already passed are routed to the heap at schedule time, so
+  /// no entry is ever skipped.
+  Entry* wheel_peek();
+
   /// Discards cancelled entries sitting at the top of the heap.
   void drop_cancelled();
 
-  /// Rebuilds the heap without its dead entries. Triggered when dead
+  /// Moves the popped entry's slot contents into a Fired and retires the
+  /// slot.
+  Fired take(const Entry& top);
+
+  /// Rebuilds both tiers without their dead entries. Triggered when dead
   /// entries outnumber live ones, so the amortized cost per cancel is
   /// O(1) — far cheaper than sifting each dead entry through the root.
   /// Pop order is unaffected: (time, seq) is a total order (seq is
-  /// unique), so any valid heap layout pops identically.
+  /// unique), so any valid layout pops identically; in-bucket erasure
+  /// preserves relative order, so sorted buckets stay sorted.
   void compact();
 
+  /// Entries across both tiers, dead ones included.
+  [[nodiscard]] std::size_t total_entries() const {
+    return heap_.size() + wheel_entries_;
+  }
+
   std::vector<Entry> heap_;  // min-heap via std::*_heap with greater<>
+  std::vector<Bucket> buckets_{kWheelBuckets};
+  double wheel_base_ = 0.0;       // time of bucket 0's left edge
+  std::size_t wheel_cursor_ = 0;  // first bucket not yet drained
+  std::size_t wheel_entries_ = 0; // entries in buckets, dead included
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // retired slots awaiting reuse
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t peak_ = 0;
 };
 

@@ -20,12 +20,19 @@ SimTime Simulation::run_until(SimTime deadline) {
   // A tripped monitor is sticky: the run was terminated for liveness
   // reasons and re-entering the loop would just spin it again.
   if (halted()) return now_;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    auto fired = queue_.pop();
+  EventQueue::Fired fired;
+  while (!stopped_ && queue_.pop_until(deadline, &fired)) {
     assert(fired.time >= now_);
     now_ = fired.time;
     ++executed_;
-    fired.fn();
+    if (fired.channel == 0) {
+      fired.fn();
+    } else {
+      assert(fired.channel <= channels_.size());
+      ++fastpath_;
+      const FastChannel& ch = channels_[fired.channel - 1];
+      ch.fn(ch.ctx, fired.payload);
+    }
     if (monitor_ != nullptr && monitor_->on_event(now_)) return now_;
   }
   // When the deadline cuts the run short, report the deadline as "now" so

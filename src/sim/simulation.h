@@ -1,9 +1,11 @@
 // The simulation driver: a clock plus an event queue plus an Rng.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/progress_monitor.h"
@@ -34,6 +36,33 @@ class Simulation {
 
   /// Schedules `fn` at absolute time `at` (at >= now()).
   EventId schedule_at(SimTime at, EventFn fn);
+
+  /// Handler for a fast-path event channel. `ctx` is the pointer given
+  /// at registration; the payload is the one passed to schedule_fast_*.
+  using FastFn = void (*)(void* ctx, const FastPayload& payload);
+
+  /// Registers a fast-path dispatch channel and returns its nonzero tag.
+  /// Events scheduled on the channel fire through the raw function
+  /// pointer — no std::function is ever constructed. `ctx` must outlive
+  /// every event scheduled on the channel. Channels cannot be
+  /// unregistered; hot subsystems register once at construction.
+  std::uint16_t add_fast_channel(FastFn fn, void* ctx) {
+    channels_.push_back(FastChannel{fn, ctx});
+    return static_cast<std::uint16_t>(channels_.size());
+  }
+
+  /// Fast-path twins of schedule_in/schedule_at. Fire order relative to
+  /// closure events is exactly schedule order (shared (time, seq) keys).
+  EventId schedule_fast_in(SimTime delay, std::uint16_t channel,
+                           FastPayload payload) {
+    assert(delay >= 0.0);
+    return queue_.schedule_fast(now_ + delay, channel, payload);
+  }
+  EventId schedule_fast_at(SimTime at, std::uint16_t channel,
+                           FastPayload payload) {
+    assert(at >= now_);
+    return queue_.schedule_fast(at, channel, payload);
+  }
 
   /// Cancels a pending event; returns true if it had not yet fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -84,12 +113,28 @@ class Simulation {
     return queue_.peak_pending();
   }
 
+  /// Events executed through a fast-path channel (subset of
+  /// events_executed()).
+  [[nodiscard]] std::uint64_t events_fastpath() const { return fastpath_; }
+
+  /// Bulk dead-entry sweeps the event queue has performed.
+  [[nodiscard]] std::uint64_t queue_compactions() const {
+    return queue_.compactions_count();
+  }
+
  private:
+  struct FastChannel {
+    FastFn fn;
+    void* ctx;
+  };
+
   EventQueue queue_;
+  std::vector<FastChannel> channels_;
   Rng rng_;
   SimTime now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  std::uint64_t fastpath_ = 0;
   ProgressMonitor* monitor_ = nullptr;
 };
 

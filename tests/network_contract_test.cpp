@@ -10,6 +10,8 @@
 // by net_test.cpp (fluid) and the PacketNetwork tests below.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -19,6 +21,7 @@
 #include "net/network.h"
 #include "net/packet_network.h"
 #include "net/types.h"
+#include "sim/rng.h"
 #include "sim/simulation.h"
 
 namespace swarmlab::net {
@@ -278,6 +281,162 @@ TEST(PacketNetwork, CapacityChangeRescalesInServiceSegment) {
   });
   h.sim.run();
   EXPECT_NEAR(done, 2.55, 0.01);
+}
+
+// --- Train coalescing: timing identity vs single-segment execution ----------
+//
+// max_train <= 1 turns coalescing off, leaving the original one-event-
+// per-segment execution. The coalesced path must be *float-exact*
+// identical — trains compute the same `t += spacing` chains the single-
+// segment path walks — so these compare completion times with EXPECT_EQ,
+// not a tolerance.
+
+/// Two PacketNetworks, one with coalescing off and one with it on,
+/// driven through identical scripts.
+struct TrainPair {
+  TrainPair()
+      : sim1(1),
+        simk(1),
+        net1(sim1, 0.05, PacketNetwork::kDefaultSegmentBytes, /*max_train=*/1),
+        netk(simk, 0.05, PacketNetwork::kDefaultSegmentBytes,
+             PacketNetwork::kDefaultMaxTrain) {}
+  sim::Simulation sim1;
+  sim::Simulation simk;
+  PacketNetwork net1;
+  PacketNetwork netk;
+};
+
+TEST(PacketNetworkTrains, UncontestedFlowMatchesSingleSegmentExactly) {
+  TrainPair p;
+  double done1 = -1.0, donek = -1.0;
+  for (auto* side : {&p.net1, &p.netk}) {
+    const NodeId a = side->add_node(4096.0, kUnlimited);
+    const NodeId b = side->add_node(kUnlimited, kUnlimited);
+    auto& done = side == &p.net1 ? done1 : donek;
+    auto& sim = side == &p.net1 ? p.sim1 : p.simk;
+    // 48 segments on an uncontested uplink: prime train territory.
+    side->start_flow(a, b, 48 * 4096, [&done, &sim] { done = sim.now(); });
+  }
+  p.sim1.run();
+  p.simk.run();
+  EXPECT_EQ(done1, donek);
+  EXPECT_GT(donek, 0.0);
+  // The coalesced side actually coalesced; the reference side cannot.
+  EXPECT_EQ(p.net1.train_segments(), 0u);
+  EXPECT_GT(p.netk.train_segments(), 0u);
+  // And it did so with strictly fewer events.
+  EXPECT_LT(p.simk.events_executed(), p.sim1.events_executed());
+}
+
+TEST(PacketNetworkTrains, CancelMidTrainLeavesBothLinksClean) {
+  TrainPair p;
+  for (auto side : {0, 1}) {
+    auto& sim = side == 0 ? p.sim1 : p.simk;
+    auto& net = side == 0 ? p.net1 : p.netk;
+    const NodeId a = net.add_node(4096.0, kUnlimited);
+    const NodeId b = net.add_node(kUnlimited, 4096.0);
+    bool fired = false;
+    const FlowId f = net.start_flow(a, b, 32 * 4096, [&fired] { fired = true; });
+    // Cancel while a train is in flight (several segments queued/wired).
+    sim.schedule_in(5.5, [&net, f] { EXPECT_TRUE(net.cancel_flow(f)); });
+    double late = -1.0;
+    sim.schedule_in(8.0, [&net, &sim, &late, a, b] {
+      net.start_flow(a, b, 4096, [&late, &sim] { late = sim.now(); });
+    });
+    sim.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(net.active_flows(), 0u);
+    // Both links drained: 1 s uplink from t=8, 0.05 propagation, 1 s
+    // downlink service.
+    EXPECT_NEAR(late, 10.05, 0.01);
+  }
+}
+
+TEST(PacketNetworkTrains, CapacityChangeMidTrainMatchesSingleSegment) {
+  TrainPair p;
+  double done1 = -1.0, donek = -1.0;
+  for (auto side : {0, 1}) {
+    auto& sim = side == 0 ? p.sim1 : p.simk;
+    auto& net = side == 0 ? p.net1 : p.netk;
+    auto& done = side == 0 ? done1 : donek;
+    const NodeId a = net.add_node(4096.0, kUnlimited);
+    const NodeId b = net.add_node(kUnlimited, kUnlimited);
+    net.start_flow(a, b, 40 * 4096, [&done, &sim] { done = sim.now(); });
+    // Halve the uplink mid-train, park it entirely, then restore: the
+    // coalesced side must settle its train partially and rebuild the
+    // exact single-segment schedule at each step.
+    sim.schedule_in(3.25, [&net, a] { net.set_node_capacity(a, 2048.0, kUnlimited); });
+    sim.schedule_in(7.0, [&net, a] { net.set_node_capacity(a, 0.0, kUnlimited); });
+    sim.schedule_in(12.0, [&net, a] { net.set_node_capacity(a, 4096.0, kUnlimited); });
+    sim.run();
+  }
+  ASSERT_GE(done1, 0.0);
+  EXPECT_EQ(done1, donek);
+}
+
+TEST(PacketNetworkTrains, RandomizedScriptIsTimingIdentical) {
+  // A mixed battery: contended uplinks (trains break and reform), cancels
+  // and capacity changes at arbitrary times. Every flow's completion time
+  // must be float-identical across the two execution strategies.
+  struct Op {
+    double at;
+    int kind;  // 0 = start_flow, 1 = cancel (an earlier op's flow), 2 = capacity
+    std::size_t src, dst;    // node indices (kind 0/2)
+    std::size_t target;      // earlier op index whose flow to cancel (kind 1)
+    std::uint64_t bytes;     // kind 0
+    double up;               // kind 2; 0 parks the uplink
+  };
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    sim::Rng rng(seed);
+    // Generate one script, then apply it verbatim to both sides.
+    std::vector<Op> script;
+    for (std::size_t i = 0; i < 60; ++i) {
+      Op op;
+      op.at = rng.uniform(0.0, 20.0);
+      const double d = rng.uniform(0.0, 1.0);
+      op.kind = d < 0.6 ? 0 : (d < 0.8 && i > 0 ? 1 : 2);
+      op.src = static_cast<std::size_t>(rng.uniform(0.0, 4.0)) % 4;
+      op.dst =
+          (op.src + 1 + static_cast<std::size_t>(rng.uniform(0.0, 3.0)) % 3) % 4;
+      op.target = i > 0 ? static_cast<std::size_t>(
+                              rng.uniform(0.0, static_cast<double>(i))) %
+                              i
+                        : 0;
+      op.bytes = (1 + static_cast<std::uint64_t>(rng.uniform(0.0, 40.0))) * 4096;
+      op.up = rng.uniform(0.0, 1.0) < 0.25
+                  ? 0.0
+                  : 4096.0 * (1.0 + rng.uniform(0.0, 3.0));
+      script.push_back(op);
+    }
+    std::vector<double> done1, donek;
+    for (int side = 0; side < 2; ++side) {
+      sim::Simulation sim(1);
+      PacketNetwork net(sim, 0.05, PacketNetwork::kDefaultSegmentBytes,
+                        side == 0 ? 1 : PacketNetwork::kDefaultMaxTrain);
+      std::vector<NodeId> nodes;
+      for (int n = 0; n < 4; ++n) nodes.push_back(net.add_node(4096.0, 8192.0));
+      auto& done = side == 0 ? done1 : donek;
+      done.assign(script.size(), -1.0);
+      std::vector<FlowId> flows(script.size(), 0);
+      for (std::size_t i = 0; i < script.size(); ++i) {
+        const Op op = script[i];
+        sim.schedule_at(op.at, [&net, &sim, &done, &flows, &nodes, op, i] {
+          if (op.kind == 0) {
+            flows[i] = net.start_flow(nodes[op.src], nodes[op.dst], op.bytes,
+                                      [&done, &sim, i] { done[i] = sim.now(); });
+          } else if (op.kind == 1) {
+            // Cancelling a finished/cancelled flow is a no-op on both
+            // sides (identical history => identical outcome).
+            if (flows[op.target] != 0) net.cancel_flow(flows[op.target]);
+          } else {
+            net.set_node_capacity(nodes[op.src], op.up, 8192.0);
+          }
+        });
+      }
+      sim.run();
+    }
+    EXPECT_EQ(done1, donek) << "seed " << seed;
+  }
 }
 
 }  // namespace
