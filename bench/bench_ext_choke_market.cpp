@@ -29,10 +29,16 @@ swarmlab::instrument::MarketStats run_market(bool rate_based,
       p->leecher_choker = core::LeecherChokerKind::kRandomRotation;
     }
   }
-  instrument::ChokeMarketLog market;
-  swarm::ScenarioRunner runner(std::move(cfg), seed, &market);
+  // The market log lives inside a SwarmProbe (local-only plan); the
+  // probe's finalize() closes open tenures exactly as the direct
+  // ChokeMarketLog attachment did.
+  const std::uint32_t num_pieces = cfg.num_pieces;
+  instrument::MetricsRegistry registry;
+  instrument::SwarmProbe probe(registry, num_pieces);
+  swarm::ScenarioRunner runner(std::move(cfg), seed, nullptr, &probe);
   const double end = runner.run_until_local_complete(0.0);
-  return market.finalize(end);
+  probe.finalize(end);
+  return probe.market_stats(runner.local_peer_id());
 }
 
 void print_stats(const char* name,

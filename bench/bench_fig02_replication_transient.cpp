@@ -10,10 +10,12 @@
 
 namespace {
 
-swarmlab::stats::TimeSeries truncate(const swarmlab::stats::TimeSeries& in,
-                                     double t_max) {
+/// Clips a probe series to [0, t_max] as a stats::TimeSeries (for
+/// downsample()/value_at()).
+swarmlab::stats::TimeSeries truncate(
+    const std::vector<swarmlab::stats::Sample>& in, double t_max) {
   swarmlab::stats::TimeSeries out;
-  for (const auto& s : in.samples()) {
+  for (const auto& s : in) {
     if (t_max < 0.0 || s.time <= t_max) out.add(s.time, s.value);
   }
   return out;
@@ -33,17 +35,31 @@ int main(int argc, char** argv) {
               "replication, paper §IV-A.2.a)\n\n",
               cfg.initial_seed_upload / 1024.0);
 
-  instrument::LocalPeerLog log(cfg.num_pieces);
-  swarm::ScenarioRunner runner(std::move(cfg), seed, &log);
-  instrument::AvailabilitySampler sampler(runner.simulation(),
-                                          runner.local_peer(), 20.0);
+  // The copies series now come from the swarm-scope probe (focus = the
+  // local peer) instead of a scheduled AvailabilitySampler: samples land
+  // at observer-callback times on a 20 s grid, so nothing is injected
+  // into the event queue.
+  const std::uint32_t num_pieces = cfg.num_pieces;
+  instrument::MetricsRegistry registry;
+  instrument::SwarmProbe probe(registry, num_pieces);
+  swarm::ScenarioRunner runner(std::move(cfg), seed, nullptr, &probe);
+  probe.bind([&runner](peer::PeerId id) -> const peer::Peer* {
+    return runner.swarm().find_peer(id);
+  });
+  probe.set_focus(runner.local_peer_id());
+  probe.force_sample(0.0);
   const double end = runner.run_until_local_complete(0.0);
-  log.finalize(end);
-  const double ls_end = log.seed_time() >= 0 ? log.seed_time() : end;
+  probe.finalize(end);
+  const instrument::LocalPeerLog* log =
+      probe.peer_log(runner.local_peer_id());
+  const double ls_end = log->seed_time() >= 0 ? log->seed_time() : end;
 
-  const auto min_ls = truncate(sampler.min_copies(), ls_end);
-  const auto mean_ls = truncate(sampler.mean_copies(), ls_end);
-  const auto max_ls = truncate(sampler.max_copies(), ls_end);
+  const auto min_ls =
+      truncate(registry.samples(registry.find("copies_min")), ls_end);
+  const auto mean_ls =
+      truncate(registry.samples(registry.find("copies_mean")), ls_end);
+  const auto max_ls =
+      truncate(registry.samples(registry.find("copies_max")), ls_end);
 
   std::printf("%10s %8s %8s %8s\n", "t (s)", "min", "mean", "max");
   const auto rows = mean_ls.downsample(28);

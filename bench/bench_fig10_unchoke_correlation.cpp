@@ -56,10 +56,18 @@ int main(int argc, char** argv) {
   bench::print_scale(cfg, seed);
   std::printf("\n");
 
-  // Long seed-state tail so the rotation statistics accumulate.
-  auto run = bench::run_scenario(std::move(cfg), seed, 8000.0);
-  const auto ls = instrument::analyze_unchoke_correlation_leecher(*run.log);
-  const auto ss = instrument::analyze_unchoke_correlation_seed(*run.log);
+  // Long seed-state tail so the rotation statistics accumulate. The
+  // local peer's log lives inside a SwarmProbe now (attached through the
+  // ObserverHub under the default local-only plan) — the correlation
+  // analyzers see the identical callback stream.
+  const std::uint32_t num_pieces = cfg.num_pieces;
+  instrument::MetricsRegistry registry;
+  instrument::SwarmProbe probe(registry, num_pieces);
+  swarm::ScenarioRunner runner(std::move(cfg), seed, nullptr, &probe);
+  const double end = runner.run_until_local_complete(8000.0);
+  probe.finalize(end);
+  const auto ls = probe.unchoke_correlation(runner.local_peer_id(), false);
+  const auto ss = probe.unchoke_correlation(runner.local_peer_id(), true);
 
   print_scatter("leecher state (top graph)", ls);
   std::printf("\n");

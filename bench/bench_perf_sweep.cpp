@@ -142,6 +142,10 @@ int main(int argc, char** argv) {
       job.config.network_backend = opts.backend;
     }
     job.seed = sim::fork_seed(opts.seed, static_cast<std::uint64_t>(job.id));
+    // Observation is off by default (the gate compares raw throughput);
+    // --observe/--trace opt in without changing any trajectory.
+    job.config.observation =
+        bench::observation_plan("bench_perf_sweep", opts, job.id);
     jobs.push_back(std::move(job));
   }
 

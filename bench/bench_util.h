@@ -43,6 +43,7 @@ inline bool parse_u64(const char* s, std::uint64_t* out) {
                "[--backend NAME]\n"
                "          [--timeout SECS] [--retries N] [--resume PATH] "
                "[--hostile SPEC]\n"
+               "          [--observe SCOPE] [--trace[=FORMAT]]\n"
                "  SEED / --seed N  master RNG seed (decimal; default "
                "20061025)\n"
                "  --jobs N         worker threads (26-torrent sweep benches "
@@ -64,7 +65,17 @@ inline bool parse_u64(const char* s, std::uint64_t* out) {
                "  --hostile SPEC   test-only fault hook: ID:MODE[:ATTEMPTS]"
                "[,...] with MODE in\n"
                "                   throw|wedge|spin, e.g. "
-               "'7:wedge,13:throw:1'\n",
+               "'7:wedge,13:throw:1'\n"
+               "  --observe SCOPE  observation scope: local (default), "
+               "sampled-K (local peer\n"
+               "                   + first K spawned, e.g. sampled-8) or "
+               "all; swarm scopes\n"
+               "                   attach a passive probe and add telemetry "
+               "to --json reports\n"
+               "  --trace[=FORMAT] write the local peer's event trace per "
+               "job to\n"
+               "                   <tool>.jobN.trace.<ext>; FORMAT is jsonl "
+               "(default) or csv\n",
                argv0, backends.c_str(), net::kDefaultNetworkBackend);
   std::exit(2);
 }
@@ -115,7 +126,36 @@ struct BenchOptions {
   int retries = 0;           ///< extra attempts for failed jobs
   std::string resume_path;   ///< JSONL checkpoint path ("" disables)
   std::string hostile;       ///< raw --hostile spec (test-only)
+  /// --observe: how widely each job is instrumented (strictly passive;
+  /// identical trajectories for every scope).
+  swarm::ObservationPlan::Scope observe_scope =
+      swarm::ObservationPlan::Scope::kLocal;
+  std::uint32_t observe_k = 8;  ///< K for --observe sampled-K
+  /// --trace[=FORMAT]: per-job local-peer event trace export.
+  swarm::ObservationPlan::TraceFormat trace_format =
+      swarm::ObservationPlan::TraceFormat::kNone;
 };
+
+/// Builds the per-job ObservationPlan for a sweep bench: the --observe
+/// scope plus, when --trace was given, a deterministic per-job trace
+/// path `<tool>.job<id>.trace.<csv|jsonl>` in the working directory.
+inline swarm::ObservationPlan observation_plan(const char* tool,
+                                               const BenchOptions& opts,
+                                               int job_id) {
+  swarm::ObservationPlan plan;
+  plan.scope = opts.observe_scope;
+  plan.sample_k = opts.observe_k;
+  plan.trace_format = opts.trace_format;
+  if (plan.trace_format != swarm::ObservationPlan::TraceFormat::kNone) {
+    const char* ext =
+        plan.trace_format == swarm::ObservationPlan::TraceFormat::kCsv
+            ? "csv"
+            : "jsonl";
+    plan.trace_path = std::string(tool) + ".job" + std::to_string(job_id) +
+                      ".trace." + ext;
+  }
+  return plan;
+}
 
 /// Parses a --hostile spec ("ID:MODE[:ATTEMPTS]" comma-separated, MODE in
 /// throw|wedge|spin) onto the matching jobs. Returns false (with a
@@ -188,6 +228,8 @@ inline BenchOptions parse_bench_options(int argc, char** argv,
                                         std::uint64_t fallback = 20061025) {
   BenchOptions opts;
   opts.seed = fallback;
+  bool observe_seen = false;
+  bool trace_seen = false;
   const auto next = [&](int* i) -> const char* {
     if (*i + 1 >= argc) usage(argv[0]);
     return argv[++*i];
@@ -221,6 +263,48 @@ inline BenchOptions parse_bench_options(int argc, char** argv,
       opts.resume_path = next(&i);
     } else if (arg == "--hostile") {
       opts.hostile = next(&i);
+    } else if (arg == "--observe") {
+      if (observe_seen) usage(argv[0]);
+      observe_seen = true;
+      const std::string scope = next(&i);
+      if (scope == "local") {
+        opts.observe_scope = swarm::ObservationPlan::Scope::kLocal;
+      } else if (scope == "all") {
+        opts.observe_scope = swarm::ObservationPlan::Scope::kAll;
+      } else if (scope.rfind("sampled-", 0) == 0) {
+        if (!parse_u64(scope.c_str() + 8, &v) || v == 0 || v > 100000) {
+          std::fprintf(stderr, "%s: bad --observe scope '%s'\n", argv[0],
+                       scope.c_str());
+          usage(argv[0]);
+        }
+        opts.observe_scope = swarm::ObservationPlan::Scope::kSampled;
+        opts.observe_k = static_cast<std::uint32_t>(v);
+      } else {
+        std::fprintf(stderr,
+                     "%s: --observe scope must be local, sampled-K or all "
+                     "(got '%s')\n",
+                     argv[0], scope.c_str());
+        usage(argv[0]);
+      }
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      if (trace_seen) usage(argv[0]);
+      trace_seen = true;
+      if (arg == "--trace") {
+        opts.trace_format = swarm::ObservationPlan::TraceFormat::kJsonl;
+      } else {
+        const std::string fmt = arg.substr(8);
+        if (fmt == "csv") {
+          opts.trace_format = swarm::ObservationPlan::TraceFormat::kCsv;
+        } else if (fmt == "jsonl") {
+          opts.trace_format = swarm::ObservationPlan::TraceFormat::kJsonl;
+        } else {
+          std::fprintf(stderr,
+                       "%s: --trace format must be csv or jsonl (got "
+                       "'%s')\n",
+                       argv[0], fmt.c_str());
+          usage(argv[0]);
+        }
+      }
     } else if (i == 1 && parse_u64(argv[1], &v)) {
       opts.seed = v;  // historical positional seed
     } else {
@@ -335,14 +419,19 @@ struct SweepOutcome {
 /// submission order (so output is identical for any --jobs value) and
 /// the aggregate JSON report is written when --json was given. The
 /// selected --backend is applied to every job's config, so any sweep
-/// bench runs on any registered network backend unchanged. The
+/// bench runs on any registered network backend unchanged; the
+/// --observe/--trace observation plan is applied the same way (passive
+/// — rows and digests are identical for every scope). The
 /// resilience knobs (--timeout/--retries/--resume/--hostile) are
 /// threaded into BatchOptions; failures are contained per job, summarized
 /// on stderr, and reflected in `exit_code` rather than thrown.
 inline SweepOutcome run_sweep(const char* tool, const BenchOptions& opts,
                               std::vector<runner::BatchJob> jobs,
                               const runner::JobFnCtx& fn) {
-  for (auto& job : jobs) job.config.network_backend = opts.backend;
+  for (auto& job : jobs) {
+    job.config.network_backend = opts.backend;
+    job.config.observation = observation_plan(tool, opts, job.id);
+  }
   if (!opts.hostile.empty() && !apply_hostile_spec(opts.hostile, jobs)) {
     usage(tool);
   }

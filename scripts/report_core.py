@@ -10,7 +10,12 @@ its uninterrupted twin; CI's resilience job diffs exactly this view.
 The schema-v6 perf counters (``fastpath``, ``compactions``,
 ``train_segments``) are deterministic and therefore part of the core —
 a coalescing or event-dispatch behaviour change shows up as a diff
-here, not just as a throughput delta.
+here, not just as a throughput delta. The schema-v7 per-result
+``telemetry`` object (observation scope, SwarmProbe metrics snapshot,
+trace accounting) is likewise deterministic — every value is derived
+from observer callbacks on the simulated trajectory, never from wall
+clocks — and stays in the core: a passivity bug that perturbs
+observation shows up as a diff here.
 
 This is the Python twin of runner::deterministic_view() (see
 src/runner/batch_runner.h), usable on archived artifacts without a

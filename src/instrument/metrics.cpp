@@ -1,0 +1,148 @@
+#include "instrument/metrics.h"
+
+#include <algorithm>
+
+namespace swarmlab::instrument {
+
+MetricId MetricsRegistry::intern(std::string name, Kind kind) {
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) {
+      return metrics_[i].kind == kind ? static_cast<MetricId>(i) : kNoMetric;
+    }
+  }
+  Metric m;
+  m.name = std::move(name);
+  m.kind = kind;
+  metrics_.push_back(std::move(m));
+  return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+MetricId MetricsRegistry::counter(std::string name) {
+  return intern(std::move(name), Kind::kCounter);
+}
+
+MetricId MetricsRegistry::gauge(std::string name) {
+  return intern(std::move(name), Kind::kGauge);
+}
+
+MetricId MetricsRegistry::histogram(std::string name,
+                                    std::vector<double> upper_bounds) {
+  if (!std::is_sorted(upper_bounds.begin(), upper_bounds.end()) ||
+      std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) !=
+          upper_bounds.end()) {
+    return kNoMetric;
+  }
+  const MetricId id = intern(std::move(name), Kind::kHistogram);
+  if (id == kNoMetric) return id;
+  Metric& m = metrics_[id];
+  if (m.counts.empty()) {
+    // First registration fixes the bucket layout.
+    m.bounds = std::move(upper_bounds);
+    m.counts.assign(m.bounds.size() + 1, 0);
+  }
+  return id;
+}
+
+MetricId MetricsRegistry::series(std::string name, std::size_t capacity) {
+  const MetricId id = intern(std::move(name), Kind::kSeries);
+  if (id == kNoMetric) return id;
+  Metric& m = metrics_[id];
+  if (m.capacity == 0) {
+    m.capacity = capacity == 0 ? 1 : capacity;
+    m.ring.reserve(std::min<std::size_t>(m.capacity, 1024));
+  }
+  return id;
+}
+
+MetricId MetricsRegistry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) return static_cast<MetricId>(i);
+  }
+  return kNoMetric;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::slot(MetricId id, Kind kind) {
+  if (id >= metrics_.size() || metrics_[id].kind != kind) return nullptr;
+  return &metrics_[id];
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::slot(MetricId id,
+                                                     Kind kind) const {
+  if (id >= metrics_.size() || metrics_[id].kind != kind) return nullptr;
+  return &metrics_[id];
+}
+
+void MetricsRegistry::add(MetricId id, double delta) {
+  if (Metric* m = slot(id, Kind::kCounter)) {
+    m->value += delta;
+    ++m->total;
+  }
+}
+
+void MetricsRegistry::set(MetricId id, double value) {
+  if (Metric* m = slot(id, Kind::kGauge)) {
+    m->value = value;
+    ++m->total;
+  }
+}
+
+void MetricsRegistry::observe(MetricId id, double value) {
+  if (Metric* m = slot(id, Kind::kHistogram)) {
+    const auto it =
+        std::lower_bound(m->bounds.begin(), m->bounds.end(), value);
+    const auto bucket =
+        static_cast<std::size_t>(std::distance(m->bounds.begin(), it));
+    ++m->counts[bucket];
+    m->value += value;
+    ++m->total;
+  }
+}
+
+void MetricsRegistry::record(MetricId id, double time, double value) {
+  if (Metric* m = slot(id, Kind::kSeries)) {
+    if (m->ring.size() < m->capacity) {
+      m->ring.push_back(stats::Sample{time, value});
+    } else {
+      m->ring[m->head] = stats::Sample{time, value};
+      m->head = (m->head + 1) % m->capacity;
+    }
+    ++m->total;
+  }
+}
+
+double MetricsRegistry::value(MetricId id) const {
+  if (id >= metrics_.size()) return 0.0;
+  return metrics_[id].value;
+}
+
+const std::vector<double>& MetricsRegistry::bounds(MetricId id) const {
+  static const std::vector<double> kEmpty;
+  const Metric* m = slot(id, Kind::kHistogram);
+  return m != nullptr ? m->bounds : kEmpty;
+}
+
+const std::vector<std::uint64_t>& MetricsRegistry::counts(MetricId id) const {
+  static const std::vector<std::uint64_t> kEmpty;
+  const Metric* m = slot(id, Kind::kHistogram);
+  return m != nullptr ? m->counts : kEmpty;
+}
+
+std::vector<stats::Sample> MetricsRegistry::samples(MetricId id) const {
+  const Metric* m = slot(id, Kind::kSeries);
+  if (m == nullptr) return {};
+  std::vector<stats::Sample> out;
+  out.reserve(m->ring.size());
+  // head is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < m->ring.size(); ++i) {
+    out.push_back(m->ring[(m->head + i) % m->ring.size()]);
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::dropped(MetricId id) const {
+  const Metric* m = slot(id, Kind::kSeries);
+  if (m == nullptr) return 0;
+  return m->total - m->ring.size();
+}
+
+}  // namespace swarmlab::instrument

@@ -1,0 +1,83 @@
+// Central metrics registry for swarm-scope observability: counters,
+// gauges, fixed-bucket histograms and bounded ring-buffer time series,
+// addressed by stable integer ids assigned in registration order. The
+// registry is a passive store — it never schedules events or draws
+// randomness — so any instrument recording into it cannot perturb a
+// simulated trajectory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/timeseries.h"
+
+namespace swarmlab::instrument {
+
+/// Stable metric handle: the index of the metric in registration order.
+using MetricId = std::uint32_t;
+
+/// Sentinel returned by find() for unknown names.
+inline constexpr MetricId kNoMetric = ~MetricId{0};
+
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kSeries };
+
+  struct Metric {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    double value = 0.0;                  ///< counter total / gauge level
+    std::vector<double> bounds;          ///< histogram upper bounds
+    std::vector<std::uint64_t> counts;   ///< bounds.size()+1 (+inf bucket)
+    std::vector<stats::Sample> ring;     ///< series storage (capacity fixed)
+    std::size_t capacity = 0;            ///< series ring capacity
+    std::size_t head = 0;                ///< next ring write slot
+    std::uint64_t total = 0;             ///< observations / recorded samples
+  };
+
+  /// Registration. Ids are dense and never recycled; re-registering an
+  /// existing name with the same kind returns the existing id (so
+  /// lazily-created metrics are cheap), a kind mismatch returns
+  /// kNoMetric.
+  MetricId counter(std::string name);
+  MetricId gauge(std::string name);
+  /// `upper_bounds` must be strictly increasing; an implicit +inf
+  /// bucket is appended, so counts() has upper_bounds.size()+1 entries.
+  MetricId histogram(std::string name, std::vector<double> upper_bounds);
+  /// Bounded (time, value) series; once `capacity` samples are held the
+  /// oldest are overwritten and counted in dropped().
+  MetricId series(std::string name, std::size_t capacity = 512);
+
+  [[nodiscard]] MetricId find(std::string_view name) const;
+
+  // Recording. Ids must come from this registry; kind mismatches are
+  // ignored (observability must never crash the simulation).
+  void add(MetricId id, double delta = 1.0);
+  void set(MetricId id, double value);
+  void observe(MetricId id, double value);
+  void record(MetricId id, double time, double value);
+
+  // Queries.
+  [[nodiscard]] double value(MetricId id) const;
+  [[nodiscard]] const std::vector<double>& bounds(MetricId id) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& counts(MetricId id) const;
+  /// Ring contents in chronological order (oldest surviving first).
+  [[nodiscard]] std::vector<stats::Sample> samples(MetricId id) const;
+  /// Samples lost to ring wrap-around (series) — 0 for other kinds.
+  [[nodiscard]] std::uint64_t dropped(MetricId id) const;
+
+  [[nodiscard]] const std::vector<Metric>& metrics() const { return metrics_; }
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+
+ private:
+  MetricId intern(std::string name, Kind kind);
+  [[nodiscard]] Metric* slot(MetricId id, Kind kind);
+  [[nodiscard]] const Metric* slot(MetricId id, Kind kind) const;
+
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace swarmlab::instrument

@@ -1,16 +1,73 @@
 #include "instrument/trace.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
+#include <string_view>
 
 namespace swarmlab::instrument {
 
+namespace {
+
+// RFC 4180: quote a field only when it contains a separator, a quote or
+// a line break; embedded quotes are doubled. Plain fields pass through
+// untouched so existing traces stay byte-identical.
+void write_csv_field(std::ostream& out, std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+// Minimal JSON string escape (quote, backslash, control characters).
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
 void TraceWriter::push(double t, const char* kind, peer::PeerId remote,
                        std::string detail) {
+  last_time_ = t;
   if (max_events_ != 0 && events_.size() >= max_events_) {
     ++dropped_;
     return;
   }
   events_.push_back(TraceEvent{t, kind, remote, std::move(detail)});
+}
+
+void TraceWriter::annotate(double t, std::string kind, peer::PeerId remote,
+                           std::string detail) {
+  last_time_ = t;
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(
+      TraceEvent{t, std::move(kind), remote, std::move(detail)});
 }
 
 void TraceWriter::on_start(sim::SimTime t) { push(t, "start", 0, ""); }
@@ -99,79 +156,146 @@ void TraceWriter::on_became_seed(sim::SimTime t) {
 void TraceWriter::write_csv(std::ostream& out) const {
   out << "time,kind,remote,detail\n";
   for (const TraceEvent& e : events_) {
-    out << e.time << ',' << e.kind << ',' << e.remote << ',' << e.detail
-        << '\n';
+    out << e.time << ',';
+    write_csv_field(out, e.kind);
+    out << ',' << e.remote << ',';
+    write_csv_field(out, e.detail);
+    out << '\n';
   }
+  if (dropped_ > 0) {
+    out << last_time_ << ",trace_truncated,0,dropped=" << dropped_ << '\n';
+  }
+}
+
+void TraceWriter::write_jsonl(std::ostream& out) const {
+  out << "{\"schema\":\"swarmlab.trace/1\"}\n";
+  for (const TraceEvent& e : events_) {
+    out << "{\"t\":" << e.time << ",\"kind\":";
+    write_json_string(out, e.kind);
+    out << ",\"remote\":" << e.remote << ",\"detail\":";
+    write_json_string(out, e.detail);
+    out << "}\n";
+  }
+  out << "{\"events\":" << events_.size() << ",\"dropped\":" << dropped_
+      << "}\n";
 }
 
 // --- ObserverList ---------------------------------------------------------
 
+// Index-based with the size captured at entry: observers added during
+// dispatch (push_back may reallocate) are not visited for the in-flight
+// event, and slots nulled by remove() are skipped. Compaction waits for
+// the outermost dispatch to unwind so indices stay stable.
+template <typename Fn>
+void ObserverList::dispatch(Fn&& fn) {
+  ++depth_;
+  const std::size_t n = observers_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (peer::PeerObserver* o = observers_[i]; o != nullptr) fn(o);
+  }
+  if (--depth_ == 0 && dirty_) {
+    std::erase(observers_, static_cast<peer::PeerObserver*>(nullptr));
+    dirty_ = false;
+  }
+}
+
+bool ObserverList::remove(peer::PeerObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it == observers_.end()) return false;
+  if (depth_ > 0) {
+    *it = nullptr;
+    dirty_ = true;
+  } else {
+    observers_.erase(it);
+  }
+  return true;
+}
+
+std::size_t ObserverList::size() const {
+  return static_cast<std::size_t>(
+      std::count_if(observers_.begin(), observers_.end(),
+                    [](const peer::PeerObserver* o) { return o != nullptr; }));
+}
+
 void ObserverList::on_start(sim::SimTime t) {
-  for (auto* o : observers_) o->on_start(t);
+  dispatch([&](peer::PeerObserver* o) { o->on_start(t); });
 }
 void ObserverList::on_stop(sim::SimTime t) {
-  for (auto* o : observers_) o->on_stop(t);
+  dispatch([&](peer::PeerObserver* o) { o->on_stop(t); });
 }
 void ObserverList::on_peer_joined(sim::SimTime t, peer::PeerId remote) {
-  for (auto* o : observers_) o->on_peer_joined(t, remote);
+  dispatch([&](peer::PeerObserver* o) { o->on_peer_joined(t, remote); });
 }
 void ObserverList::on_peer_left(sim::SimTime t, peer::PeerId remote) {
-  for (auto* o : observers_) o->on_peer_left(t, remote);
+  dispatch([&](peer::PeerObserver* o) { o->on_peer_left(t, remote); });
 }
 void ObserverList::on_message_sent(sim::SimTime t, peer::PeerId to,
                                    const wire::Message& msg) {
-  for (auto* o : observers_) o->on_message_sent(t, to, msg);
+  dispatch([&](peer::PeerObserver* o) { o->on_message_sent(t, to, msg); });
 }
 void ObserverList::on_message_received(sim::SimTime t, peer::PeerId from,
                                        const wire::Message& msg) {
-  for (auto* o : observers_) o->on_message_received(t, from, msg);
+  dispatch(
+      [&](peer::PeerObserver* o) { o->on_message_received(t, from, msg); });
 }
 void ObserverList::on_interest_change(sim::SimTime t, peer::PeerId remote,
                                       bool interested) {
-  for (auto* o : observers_) o->on_interest_change(t, remote, interested);
+  dispatch([&](peer::PeerObserver* o) {
+    o->on_interest_change(t, remote, interested);
+  });
 }
 void ObserverList::on_remote_interest_change(sim::SimTime t,
                                              peer::PeerId remote,
                                              bool interested) {
-  for (auto* o : observers_) {
+  dispatch([&](peer::PeerObserver* o) {
     o->on_remote_interest_change(t, remote, interested);
-  }
+  });
 }
 void ObserverList::on_local_choke_change(sim::SimTime t, peer::PeerId remote,
                                          bool unchoked) {
-  for (auto* o : observers_) o->on_local_choke_change(t, remote, unchoked);
+  dispatch([&](peer::PeerObserver* o) {
+    o->on_local_choke_change(t, remote, unchoked);
+  });
 }
 void ObserverList::on_remote_choke_change(sim::SimTime t,
                                           peer::PeerId remote,
                                           bool unchoked) {
-  for (auto* o : observers_) o->on_remote_choke_change(t, remote, unchoked);
+  dispatch([&](peer::PeerObserver* o) {
+    o->on_remote_choke_change(t, remote, unchoked);
+  });
 }
 void ObserverList::on_choke_round(sim::SimTime t, bool seed_state,
                                   const std::vector<peer::PeerId>& unchoked) {
-  for (auto* o : observers_) o->on_choke_round(t, seed_state, unchoked);
+  dispatch([&](peer::PeerObserver* o) {
+    o->on_choke_round(t, seed_state, unchoked);
+  });
 }
 void ObserverList::on_block_received(sim::SimTime t, peer::PeerId from,
                                      wire::BlockRef block,
                                      std::uint32_t bytes) {
-  for (auto* o : observers_) o->on_block_received(t, from, block, bytes);
+  dispatch([&](peer::PeerObserver* o) {
+    o->on_block_received(t, from, block, bytes);
+  });
 }
 void ObserverList::on_block_uploaded(sim::SimTime t, peer::PeerId to,
                                      wire::BlockRef block,
                                      std::uint32_t bytes) {
-  for (auto* o : observers_) o->on_block_uploaded(t, to, block, bytes);
+  dispatch([&](peer::PeerObserver* o) {
+    o->on_block_uploaded(t, to, block, bytes);
+  });
 }
 void ObserverList::on_piece_complete(sim::SimTime t,
                                      wire::PieceIndex piece) {
-  for (auto* o : observers_) o->on_piece_complete(t, piece);
+  dispatch([&](peer::PeerObserver* o) { o->on_piece_complete(t, piece); });
 }
 void ObserverList::on_piece_failed(sim::SimTime t, wire::PieceIndex piece) {
-  for (auto* o : observers_) o->on_piece_failed(t, piece);
+  dispatch([&](peer::PeerObserver* o) { o->on_piece_failed(t, piece); });
 }
 void ObserverList::on_end_game(sim::SimTime t) {
-  for (auto* o : observers_) o->on_end_game(t);
+  dispatch([&](peer::PeerObserver* o) { o->on_end_game(t); });
 }
 void ObserverList::on_became_seed(sim::SimTime t) {
-  for (auto* o : observers_) o->on_became_seed(t);
+  dispatch([&](peer::PeerObserver* o) { o->on_became_seed(t); });
 }
 
 }  // namespace swarmlab::instrument

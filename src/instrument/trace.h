@@ -58,13 +58,29 @@ class TraceWriter final : public peer::PeerObserver {
   void on_end_game(sim::SimTime t) override;
   void on_became_seed(sim::SimTime t) override;
 
+  /// Appends a custom annotation row (same cap/drop accounting as the
+  /// observer callbacks). `kind` and `detail` may contain any bytes —
+  /// both exports escape them (RFC 4180 quoting / JSON strings).
+  void annotate(double t, std::string kind, peer::PeerId remote,
+                std::string detail);
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
   [[nodiscard]] std::size_t dropped() const { return dropped_; }
 
-  /// Writes "time,kind,remote,detail" rows (with a header line).
+  /// Writes "time,kind,remote,detail" rows (with a header line). Fields
+  /// containing a comma, double quote or line break are quoted per
+  /// RFC 4180 (quotes doubled); plain fields stay unquoted. When
+  /// `max_events` truncated the log, a final sentinel row
+  /// `<t>,trace_truncated,0,dropped=<n>` surfaces the loss.
   void write_csv(std::ostream& out) const;
+
+  /// Structured export: one JSON object per line ("swarmlab.trace/1").
+  /// Line 1 is a header `{"schema":"swarmlab.trace/1"}`, then one
+  /// `{"t":...,"kind":...,"remote":...,"detail":...}` per event, then a
+  /// trailer `{"events":N,"dropped":M}` accounting for truncation.
+  void write_jsonl(std::ostream& out) const;
 
  private:
   void push(double t, const char* kind, peer::PeerId remote,
@@ -73,13 +89,30 @@ class TraceWriter final : public peer::PeerObserver {
   std::size_t max_events_;
   std::vector<TraceEvent> events_;
   std::size_t dropped_ = 0;
+  double last_time_ = 0.0;  ///< time of the newest event, dropped or kept
 };
 
 /// Fans observer callbacks out to several instruments (e.g., a
 /// LocalPeerLog and a TraceWriter on the same peer). Does not own them.
+///
+/// Mutation is safe during dispatch: an observer added from inside a
+/// callback does not receive the in-flight event (only subsequent ones),
+/// and a removed observer — including one removing itself — receives no
+/// further callbacks of the in-flight event. Dispatch order is attach
+/// order.
 class ObserverList final : public peer::PeerObserver {
  public:
+  /// Appends `observer`; it starts receiving events after the current
+  /// dispatch (if any) completes.
   void add(peer::PeerObserver* observer) { observers_.push_back(observer); }
+
+  /// Removes the first occurrence. Safe mid-dispatch (the slot is
+  /// nulled and compacted once dispatch unwinds). Returns false when
+  /// the observer was not attached.
+  bool remove(peer::PeerObserver* observer);
+
+  /// Currently attached observers (excludes slots removed mid-dispatch).
+  [[nodiscard]] std::size_t size() const;
 
   void on_start(sim::SimTime t) override;
   void on_stop(sim::SimTime t) override;
@@ -109,7 +142,12 @@ class ObserverList final : public peer::PeerObserver {
   void on_became_seed(sim::SimTime t) override;
 
  private:
+  template <typename Fn>
+  void dispatch(Fn&& fn);
+
   std::vector<peer::PeerObserver*> observers_;
+  int depth_ = 0;       ///< re-entrant dispatch nesting
+  bool dirty_ = false;  ///< null slots awaiting compaction
 };
 
 }  // namespace swarmlab::instrument

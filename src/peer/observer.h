@@ -74,4 +74,120 @@ class PeerObserver {
   virtual void on_became_seed(sim::SimTime /*t*/) {}
 };
 
+/// Swarm-scope observer: the same callback stream as PeerObserver, but
+/// every callback carries the id of the observed peer (`self`) so one
+/// instance can subscribe to many peers at once through the swarm's
+/// ObserverHub. No-op base like PeerObserver; implementations must stay
+/// strictly passive (no event scheduling, no RNG draws).
+class SwarmObserver {
+ public:
+  virtual ~SwarmObserver() = default;
+
+  virtual void on_start(PeerId /*self*/, sim::SimTime /*t*/) {}
+  virtual void on_stop(PeerId /*self*/, sim::SimTime /*t*/) {}
+  virtual void on_peer_joined(PeerId /*self*/, sim::SimTime /*t*/,
+                              PeerId /*remote*/) {}
+  virtual void on_peer_left(PeerId /*self*/, sim::SimTime /*t*/,
+                            PeerId /*remote*/) {}
+  virtual void on_message_sent(PeerId /*self*/, sim::SimTime /*t*/,
+                               PeerId /*to*/, const wire::Message& /*msg*/) {}
+  virtual void on_message_received(PeerId /*self*/, sim::SimTime /*t*/,
+                                   PeerId /*from*/,
+                                   const wire::Message& /*msg*/) {}
+  virtual void on_interest_change(PeerId /*self*/, sim::SimTime /*t*/,
+                                  PeerId /*remote*/, bool /*interested*/) {}
+  virtual void on_remote_interest_change(PeerId /*self*/, sim::SimTime /*t*/,
+                                         PeerId /*remote*/,
+                                         bool /*interested*/) {}
+  virtual void on_local_choke_change(PeerId /*self*/, sim::SimTime /*t*/,
+                                     PeerId /*remote*/, bool /*unchoked*/) {}
+  virtual void on_remote_choke_change(PeerId /*self*/, sim::SimTime /*t*/,
+                                      PeerId /*remote*/, bool /*unchoked*/) {}
+  virtual void on_choke_round(PeerId /*self*/, sim::SimTime /*t*/,
+                              bool /*seed_state*/,
+                              const std::vector<PeerId>& /*unchoked*/) {}
+  virtual void on_block_received(PeerId /*self*/, sim::SimTime /*t*/,
+                                 PeerId /*from*/, wire::BlockRef /*block*/,
+                                 std::uint32_t /*bytes*/) {}
+  virtual void on_block_uploaded(PeerId /*self*/, sim::SimTime /*t*/,
+                                 PeerId /*to*/, wire::BlockRef /*block*/,
+                                 std::uint32_t /*bytes*/) {}
+  virtual void on_piece_complete(PeerId /*self*/, sim::SimTime /*t*/,
+                                 wire::PieceIndex /*piece*/) {}
+  virtual void on_piece_failed(PeerId /*self*/, sim::SimTime /*t*/,
+                               wire::PieceIndex /*piece*/) {}
+  virtual void on_end_game(PeerId /*self*/, sim::SimTime /*t*/) {}
+  virtual void on_became_seed(PeerId /*self*/, sim::SimTime /*t*/) {}
+};
+
+/// Adapts one peer's PeerObserver callback stream onto a SwarmObserver,
+/// stamping the observed peer's id onto every callback. The ObserverHub
+/// materializes one per (peer, swarm observer) subscription.
+class PeerScopedObserver final : public PeerObserver {
+ public:
+  PeerScopedObserver(PeerId self, SwarmObserver* target)
+      : self_(self), target_(target) {}
+
+  [[nodiscard]] SwarmObserver* target() const { return target_; }
+
+  void on_start(sim::SimTime t) override { target_->on_start(self_, t); }
+  void on_stop(sim::SimTime t) override { target_->on_stop(self_, t); }
+  void on_peer_joined(sim::SimTime t, PeerId remote) override {
+    target_->on_peer_joined(self_, t, remote);
+  }
+  void on_peer_left(sim::SimTime t, PeerId remote) override {
+    target_->on_peer_left(self_, t, remote);
+  }
+  void on_message_sent(sim::SimTime t, PeerId to,
+                       const wire::Message& msg) override {
+    target_->on_message_sent(self_, t, to, msg);
+  }
+  void on_message_received(sim::SimTime t, PeerId from,
+                           const wire::Message& msg) override {
+    target_->on_message_received(self_, t, from, msg);
+  }
+  void on_interest_change(sim::SimTime t, PeerId remote,
+                          bool interested) override {
+    target_->on_interest_change(self_, t, remote, interested);
+  }
+  void on_remote_interest_change(sim::SimTime t, PeerId remote,
+                                 bool interested) override {
+    target_->on_remote_interest_change(self_, t, remote, interested);
+  }
+  void on_local_choke_change(sim::SimTime t, PeerId remote,
+                             bool unchoked) override {
+    target_->on_local_choke_change(self_, t, remote, unchoked);
+  }
+  void on_remote_choke_change(sim::SimTime t, PeerId remote,
+                              bool unchoked) override {
+    target_->on_remote_choke_change(self_, t, remote, unchoked);
+  }
+  void on_choke_round(sim::SimTime t, bool seed_state,
+                      const std::vector<PeerId>& unchoked) override {
+    target_->on_choke_round(self_, t, seed_state, unchoked);
+  }
+  void on_block_received(sim::SimTime t, PeerId from, wire::BlockRef block,
+                         std::uint32_t bytes) override {
+    target_->on_block_received(self_, t, from, block, bytes);
+  }
+  void on_block_uploaded(sim::SimTime t, PeerId to, wire::BlockRef block,
+                         std::uint32_t bytes) override {
+    target_->on_block_uploaded(self_, t, to, block, bytes);
+  }
+  void on_piece_complete(sim::SimTime t, wire::PieceIndex piece) override {
+    target_->on_piece_complete(self_, t, piece);
+  }
+  void on_piece_failed(sim::SimTime t, wire::PieceIndex piece) override {
+    target_->on_piece_failed(self_, t, piece);
+  }
+  void on_end_game(sim::SimTime t) override { target_->on_end_game(self_, t); }
+  void on_became_seed(sim::SimTime t) override {
+    target_->on_became_seed(self_, t);
+  }
+
+ private:
+  PeerId self_;
+  SwarmObserver* target_;
+};
+
 }  // namespace swarmlab::peer

@@ -30,6 +30,12 @@ class Peer {
   Peer(const Peer&) = delete;
   Peer& operator=(const Peer&) = delete;
 
+  /// Rebinds the observation hook (nullptr detaches). Called by the
+  /// swarm's ObserverHub when subscriptions change; purely a sink swap —
+  /// never alters peer behaviour.
+  void set_observer(PeerObserver* observer) { ctx_.observer = observer; }
+  [[nodiscard]] PeerObserver* observer() const { return ctx_.observer; }
+
   // --- lifecycle -------------------------------------------------------
 
   /// Joins the torrent: announces to the tracker, opens initial

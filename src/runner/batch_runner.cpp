@@ -17,6 +17,8 @@
 #endif
 
 #include "fault/fault_injector.h"
+#include "instrument/swarm_probe.h"
+#include "instrument/trace.h"
 #include "peer/peer.h"
 #include "sim/rng.h"
 
@@ -32,6 +34,15 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+const char* observation_scope_name(swarm::ObservationPlan::Scope scope) {
+  switch (scope) {
+    case swarm::ObservationPlan::Scope::kLocal: return "local";
+    case swarm::ObservationPlan::Scope::kSampled: return "sampled";
+    case swarm::ObservationPlan::Scope::kAll: return "all";
+  }
+  return "local";
 }
 
 RunResult failure_result(const BatchJob& job, int attempt,
@@ -331,8 +342,41 @@ RunResult run_scenario_job(const BatchJob& job, const JobContext& ctx,
   res.attempts = ctx.attempt;
 
   const auto t0 = Clock::now();
+  const swarm::ObservationPlan& plan = job.config.observation;
   instrument::LocalPeerLog log(job.config.num_pieces);
-  swarm::ScenarioRunner runner(job.config, job.seed, &log);
+  // Swarm-scope telemetry per the job's ObservationPlan. The probe is
+  // strictly passive (no events, no RNG), so any scope leaves the
+  // trajectory byte-identical — see the digest-under-observation test.
+  instrument::MetricsRegistry registry;
+  std::unique_ptr<instrument::SwarmProbe> probe;
+  if (plan.swarm_scope()) {
+    instrument::SwarmProbe::Options popts;
+    popts.sampling_period = plan.sampling_period;
+    // Reports embed every series; keep them bounded (drop accounting
+    // surfaces anything the ring sheds).
+    popts.series_capacity = 256;
+    probe = std::make_unique<instrument::SwarmProbe>(
+        registry, job.config.num_pieces, popts);
+  }
+  // The local trace rides the same hook as the LocalPeerLog; with no
+  // trace requested the single-observer fast path is untouched.
+  std::unique_ptr<instrument::TraceWriter> trace;
+  instrument::ObserverList local_observers;
+  peer::PeerObserver* local_hook = &log;
+  if (plan.trace_format != swarm::ObservationPlan::TraceFormat::kNone) {
+    trace = std::make_unique<instrument::TraceWriter>(plan.trace_max_events);
+    local_observers.add(&log);
+    local_observers.add(trace.get());
+    local_hook = &local_observers;
+  }
+  swarm::ScenarioRunner runner(job.config, job.seed, local_hook, probe.get());
+  if (probe != nullptr) {
+    swarm::Swarm* sw = &runner.swarm();
+    probe->bind(
+        [sw](peer::PeerId id) -> const peer::Peer* { return sw->find_peer(id); });
+    probe->bind_availability(&sw->global_availability());
+    probe->set_focus(runner.local_peer_id());
+  }
   // Liveness guard: observational until it trips, so attaching it keeps
   // healthy trajectories (and the golden digests) byte-identical.
   sim::ProgressMonitor monitor(ctx.monitor);
@@ -386,6 +430,39 @@ RunResult run_scenario_job(const BatchJob& job, const JobContext& ctx,
         runner.local_peer().timed_out_requests();
     res.metrics["faults"] = std::move(faults);
   }
+  // v7 telemetry: scope, registry snapshot, trace accounting. Derived
+  // from observer callbacks only, so it is deterministic and part of the
+  // report core.
+  res.telemetry = json::Value::object();
+  res.telemetry["scope"] = observation_scope_name(plan.scope);
+  if (plan.scope == swarm::ObservationPlan::Scope::kSampled) {
+    res.telemetry["sample_k"] = plan.sample_k;
+  }
+  if (probe != nullptr) {
+    probe->finalize(res.end_time);
+    res.telemetry["sampling_period"] = plan.sampling_period;
+    res.telemetry["tracked_peers"] =
+        static_cast<std::uint64_t>(probe->tracked_peers());
+    res.telemetry["metrics"] = metrics_json(registry);
+  }
+  if (trace != nullptr) {
+    const bool csv =
+        plan.trace_format == swarm::ObservationPlan::TraceFormat::kCsv;
+    json::Value tr = json::Value::object();
+    tr["format"] = csv ? "csv" : "jsonl";
+    tr["events"] = static_cast<std::uint64_t>(trace->events().size());
+    tr["dropped"] = static_cast<std::uint64_t>(trace->dropped());
+    if (!plan.trace_path.empty()) {
+      tr["path"] = plan.trace_path;
+      std::ofstream out(plan.trace_path);
+      if (out) {
+        csv ? trace->write_csv(out) : trace->write_jsonl(out);
+      } else {
+        tr["write_error"] = true;
+      }
+    }
+    res.telemetry["trace"] = std::move(tr);
+  }
   if (analyze) analyze(runner, log, res);
   runner.simulation().attach_monitor(nullptr);
 
@@ -413,6 +490,60 @@ std::vector<BatchJob> table1_jobs(std::uint64_t master,
     jobs.push_back(std::move(job));
   }
   return jobs;
+}
+
+json::Value metrics_json(const instrument::MetricsRegistry& registry) {
+  using Kind = instrument::MetricsRegistry::Kind;
+  json::Value counters = json::Value::object();
+  json::Value gauges = json::Value::object();
+  json::Value histograms = json::Value::object();
+  json::Value series = json::Value::object();
+  const auto& all = registry.metrics();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto id = static_cast<instrument::MetricId>(i);
+    const auto& m = all[i];
+    switch (m.kind) {
+      case Kind::kCounter:
+        counters[m.name] = m.value;
+        break;
+      case Kind::kGauge:
+        gauges[m.name] = m.value;
+        break;
+      case Kind::kHistogram: {
+        json::Value h = json::Value::object();
+        json::Value bounds = json::Value::array();
+        for (const double b : m.bounds) bounds.push_back(b);
+        json::Value counts = json::Value::array();
+        for (const std::uint64_t c : m.counts) counts.push_back(c);
+        h["bounds"] = std::move(bounds);
+        h["counts"] = std::move(counts);
+        h["count"] = m.total;
+        h["sum"] = m.value;
+        histograms[m.name] = std::move(h);
+        break;
+      }
+      case Kind::kSeries: {
+        json::Value s = json::Value::object();
+        s["dropped"] = registry.dropped(id);
+        json::Value samples = json::Value::array();
+        for (const stats::Sample& smp : registry.samples(id)) {
+          json::Value pair = json::Value::array();
+          pair.push_back(smp.time);
+          pair.push_back(smp.value);
+          samples.push_back(std::move(pair));
+        }
+        s["samples"] = std::move(samples);
+        series[m.name] = std::move(s);
+        break;
+      }
+    }
+  }
+  json::Value out = json::Value::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  out["series"] = std::move(series);
+  return out;
 }
 
 json::Value result_entry(const RunResult& r, bool include_text) {
@@ -446,6 +577,15 @@ json::Value result_entry(const RunResult& r, bool include_text) {
   perf["train_segments"] = r.train_segments;
   entry["perf"] = std::move(perf);
   entry["metrics"] = r.metrics;
+  // v7: the observability snapshot; always an object with at least the
+  // observation scope (deterministic, kept by deterministic_view()).
+  if (r.telemetry.is_object()) {
+    entry["telemetry"] = r.telemetry;
+  } else {
+    json::Value telemetry = json::Value::object();
+    telemetry["scope"] = "local";
+    entry["telemetry"] = std::move(telemetry);
+  }
   json::Value wall = json::Value::object();
   wall["setup"] = r.setup_seconds;
   wall["sim"] = r.sim_seconds;
@@ -534,6 +674,11 @@ bool result_from_entry(const json::Value& entry, RunResult* out) {
   if (const json::Value* metrics = entry.find("metrics")) {
     r.metrics = *metrics;
   }
+  // Checkpoint v3: `telemetry` is mandatory, so resumed sweeps replay
+  // the v7 report byte-identically.
+  const json::Value* telemetry = entry.find("telemetry");
+  if (telemetry == nullptr || !telemetry->is_object()) return false;
+  r.telemetry = *telemetry;
   const json::Value* setup = wall->find("setup");
   const json::Value* sim = wall->find("sim");
   const json::Value* analyze = wall->find("analyze");

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "instrument/local_log.h"
+#include "instrument/metrics.h"
 #include "runner/json.h"
 #include "sim/progress_monitor.h"
 #include "swarm/scenario.h"
@@ -119,6 +120,11 @@ struct RunResult {
   std::uint64_t queue_compactions = 0; ///< event-queue dead-entry sweeps
   std::uint64_t train_segments = 0;    ///< segments served in coalesced trains
   json::Value metrics;             ///< bench-specific summary (object)
+  /// Observability snapshot (object, schema v7): always carries "scope";
+  /// swarm-scope plans add "metrics" (MetricsRegistry snapshot) and
+  /// traced plans add "trace" accounting. Deterministic — it derives
+  /// purely from the simulated trajectory, never from wall clock.
+  json::Value telemetry;
   std::string text;                ///< preformatted row(s) for stdout
 
   // --- non-deterministic per-phase wall clock (seconds) --------------------
@@ -248,11 +254,22 @@ std::vector<BatchJob> table1_jobs(std::uint64_t master,
 /// fast channel), `compactions` (event-queue dead-entry sweeps) and
 /// `train_segments` (packet segments served in coalesced trains; 0 on
 /// the fluid backend). All three are deterministic.
-inline constexpr const char* kReportSchema = "swarmlab.batch/6";
+/// v7: per-result `telemetry` object — observation scope, MetricsRegistry
+/// snapshot (counters/gauges/histograms/series) for swarm-scope plans,
+/// and trace accounting for traced plans (see docs/observability.md).
+/// Deterministic: derived from observer callbacks only.
+inline constexpr const char* kReportSchema = "swarmlab.batch/7";
 
 /// Checkpoint header schema (first line of a checkpoint JSONL file).
 /// v2: checkpoint entries carry the v6 perf counters (strict parse).
-inline constexpr const char* kCheckpointSchema = "swarmlab.checkpoint/2";
+/// v3: checkpoint entries carry the v7 `telemetry` object (strict parse).
+inline constexpr const char* kCheckpointSchema = "swarmlab.checkpoint/3";
+
+/// Serializes a MetricsRegistry snapshot as the v7 `telemetry.metrics`
+/// object: `counters`/`gauges` (name -> value), `histograms` (name ->
+/// bounds/counts) and `series` (name -> dropped + [t,v] sample pairs),
+/// all in registration order.
+json::Value metrics_json(const instrument::MetricsRegistry& registry);
 
 /// One result as a report entry (everything deterministic plus the
 /// per-phase `wall` object; `text` is included only when requested —

@@ -1,0 +1,113 @@
+#include "swarm/observer_hub.h"
+
+#include <algorithm>
+
+#include "peer/peer.h"
+
+namespace swarmlab::swarm {
+
+peer::PeerObserver* ObserverHub::effective(const Entry& e) {
+  // Once the fan exists it stays the dispatch target even if it empties:
+  // a live Peer may be mid-callback through it, and an empty fan is a
+  // correct no-op.
+  if (e.fan != nullptr) return e.fan.get();
+  return e.members.empty() ? nullptr : e.members.front();
+}
+
+void ObserverHub::apply(Entry& e) {
+  if (e.peer != nullptr) e.peer->set_observer(effective(e));
+}
+
+void ObserverHub::add_member(Entry& e, peer::PeerObserver* observer) {
+  if (e.fan == nullptr && e.members.size() == 1) {
+    // Second observer: materialize the fan-out, preserving order.
+    e.fan = std::make_unique<instrument::ObserverList>();
+    e.fan->add(e.members.front());
+  }
+  if (e.fan != nullptr) e.fan->add(observer);
+  e.members.push_back(observer);
+  apply(e);
+}
+
+bool ObserverHub::remove_member(Entry& e, peer::PeerObserver* observer) {
+  const auto it = std::find(e.members.begin(), e.members.end(), observer);
+  if (it == e.members.end()) return false;
+  e.members.erase(it);
+  if (e.fan != nullptr) e.fan->remove(observer);
+  apply(e);
+  return true;
+}
+
+void ObserverHub::attach_scoped(Entry& e, peer::PeerId id,
+                                peer::SwarmObserver* s) {
+  auto proxy = std::make_unique<peer::PeerScopedObserver>(id, s);
+  add_member(e, proxy.get());
+  e.proxies.emplace_back(s, std::move(proxy));
+}
+
+bool ObserverHub::detach_scoped(Entry& e, peer::SwarmObserver* s) {
+  const auto it = std::find_if(e.proxies.begin(), e.proxies.end(),
+                               [s](const auto& p) { return p.first == s; });
+  if (it == e.proxies.end()) return false;
+  remove_member(e, it->second.get());
+  // The fan skips removed slots mid-dispatch, but the proxy object must
+  // outlive any dispatch currently executing through it.
+  e.retired.push_back(std::move(it->second));
+  e.proxies.erase(it);
+  return true;
+}
+
+void ObserverHub::attach(peer::PeerId id, peer::PeerObserver* observer) {
+  if (observer == nullptr) return;
+  add_member(entries_[id], observer);
+}
+
+bool ObserverHub::detach(peer::PeerId id, peer::PeerObserver* observer) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  return remove_member(it->second, observer);
+}
+
+void ObserverHub::attach(peer::PeerId id, peer::SwarmObserver* observer) {
+  if (observer == nullptr) return;
+  attach_scoped(entries_[id], id, observer);
+}
+
+bool ObserverHub::detach(peer::PeerId id, peer::SwarmObserver* observer) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  return detach_scoped(it->second, observer);
+}
+
+void ObserverHub::attach_all(peer::SwarmObserver* observer) {
+  if (observer == nullptr) return;
+  all_.push_back(observer);
+  for (auto& [id, entry] : entries_) attach_scoped(entry, id, observer);
+}
+
+bool ObserverHub::detach_all(peer::SwarmObserver* observer) {
+  const auto it = std::find(all_.begin(), all_.end(), observer);
+  if (it == all_.end()) return false;
+  all_.erase(it);
+  for (auto& [id, entry] : entries_) detach_scoped(entry, observer);
+  return true;
+}
+
+std::size_t ObserverHub::observers_on(peer::PeerId id) const {
+  const auto it = entries_.find(id);
+  return it != entries_.end() ? it->second.members.size() : 0;
+}
+
+peer::PeerObserver* ObserverHub::on_peer_added(peer::PeerId id,
+                                               peer::PeerObserver* direct) {
+  Entry& e = entries_[id];
+  if (direct != nullptr) add_member(e, direct);
+  for (peer::SwarmObserver* s : all_) attach_scoped(e, id, s);
+  return effective(e);
+}
+
+void ObserverHub::bind_peer(peer::PeerId id, peer::Peer* peer) {
+  entries_[id].peer = peer;
+}
+
+}  // namespace swarmlab::swarm

@@ -1,0 +1,90 @@
+// Swarm-wide observer attachment: every Peer dispatches through a cheap
+// nullable hook (PeerContext::observer); the hub decides what that hook
+// points at. Zero observers -> nullptr (the remote-peer fast path), one
+// observer -> the observer itself (the paper's single instrumented
+// client, byte-identical to the pre-hub wiring), several -> a persistent
+// ObserverList fan-out. SwarmObserver subscriptions (per peer or
+// all-peers) are wrapped in per-peer PeerScopedObserver proxies so the
+// subscriber sees which peer each callback came from.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "instrument/trace.h"
+#include "peer/observer.h"
+#include "peer/types.h"
+
+namespace swarmlab::peer {
+class Peer;
+}
+
+namespace swarmlab::swarm {
+
+class ObserverHub {
+ public:
+  // --- subscription API -------------------------------------------------
+
+  /// Attaches a plain per-peer observer. Observers attached mid-dispatch
+  /// start with the next event (ObserverList semantics). Attachment
+  /// order is dispatch order.
+  void attach(peer::PeerId id, peer::PeerObserver* observer);
+  /// Detaches; returns false when not attached. Safe mid-dispatch.
+  bool detach(peer::PeerId id, peer::PeerObserver* observer);
+
+  /// Attaches a swarm observer to one peer (callbacks carry the peer's
+  /// id).
+  void attach(peer::PeerId id, peer::SwarmObserver* observer);
+  bool detach(peer::PeerId id, peer::SwarmObserver* observer);
+
+  /// Attaches a swarm observer to every current AND future peer.
+  void attach_all(peer::SwarmObserver* observer);
+  /// Stops both the broadcast subscription and the per-peer proxies it
+  /// already created. Returns false when not attached.
+  bool detach_all(peer::SwarmObserver* observer);
+
+  [[nodiscard]] std::size_t observers_on(peer::PeerId id) const;
+
+  // --- Swarm wiring -----------------------------------------------------
+
+  /// Called by Swarm::add_peer before the Peer is constructed; `direct`
+  /// is add_peer's observer argument (may be null). Returns the pointer
+  /// the new Peer should dispatch through.
+  peer::PeerObserver* on_peer_added(peer::PeerId id,
+                                    peer::PeerObserver* direct);
+  /// Binds the constructed Peer so later attach/detach calls can swap
+  /// its hook in place.
+  void bind_peer(peer::PeerId id, peer::Peer* peer);
+
+ private:
+  struct Entry {
+    peer::Peer* peer = nullptr;
+    /// Attached observers in attach order (proxies included). Size 0/1
+    /// only while `fan` has never been needed.
+    std::vector<peer::PeerObserver*> members;
+    /// (subscriber, proxy) pairs for swarm observers on this peer.
+    std::vector<std::pair<peer::SwarmObserver*,
+                          std::unique_ptr<peer::PeerScopedObserver>>>
+        proxies;
+    /// Proxies detached mid-run; kept alive so an in-flight dispatch
+    /// never touches freed memory.
+    std::vector<std::unique_ptr<peer::PeerScopedObserver>> retired;
+    /// Created once two observers coexist; never destroyed afterwards
+    /// (its address is what a live Peer dispatches through).
+    std::unique_ptr<instrument::ObserverList> fan;
+  };
+
+  [[nodiscard]] static peer::PeerObserver* effective(const Entry& e);
+  void add_member(Entry& e, peer::PeerObserver* observer);
+  bool remove_member(Entry& e, peer::PeerObserver* observer);
+  void attach_scoped(Entry& e, peer::PeerId id, peer::SwarmObserver* s);
+  bool detach_scoped(Entry& e, peer::SwarmObserver* s);
+  void apply(Entry& e);
+
+  std::map<peer::PeerId, Entry> entries_;
+  std::vector<peer::SwarmObserver*> all_;
+};
+
+}  // namespace swarmlab::swarm

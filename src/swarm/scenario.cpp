@@ -128,14 +128,22 @@ ScenarioConfig scenario_from_table1(int torrent_id,
 // --- ScenarioRunner ---------------------------------------------------------
 
 ScenarioRunner::ScenarioRunner(ScenarioConfig cfg, std::uint64_t seed,
-                               peer::PeerObserver* local_observer)
+                               peer::PeerObserver* local_observer,
+                               peer::SwarmObserver* swarm_observer)
     : cfg_(std::move(cfg)),
       sim_(std::make_unique<sim::Simulation>(seed)),
       swarm_(std::make_unique<Swarm>(
           *sim_, cfg_.geometry(), cfg_.control_latency,
           net::make_network(cfg_.network_backend, *sim_,
                             cfg_.control_latency))),
-      local_observer_(local_observer) {
+      local_observer_(local_observer),
+      swarm_observer_(swarm_observer) {
+  // Subscribe before any peer spawns: initial peers start (and fire
+  // observer callbacks) synchronously below.
+  if (swarm_observer_ != nullptr &&
+      cfg_.observation.scope == ObservationPlan::Scope::kAll) {
+    swarm_->observers().attach_all(swarm_observer_);
+  }
   if (cfg_.faults.any()) {
     // Fault scenarios need the liveness machinery: crashed peers are
     // detected by silence, lost requests by timeout. Enabled swarm-wide
@@ -182,6 +190,7 @@ void ScenarioRunner::spawn_initial_population() {
     pc.download_capacity = cfg_.initial_seed_download;
     const peer::PeerId id = swarm_->add_peer(pc);
     initial_seed_ids_.push_back(id);
+    maybe_observe(id, /*is_local=*/false);
     swarm_->start_peer(id);
   }
   // Initial leechers.
@@ -196,6 +205,7 @@ void ScenarioRunner::spawn_initial_population() {
     pc.download_capacity = cfg_.local_download;
     pc.free_rider = cfg_.local_free_rider;
     local_id_ = swarm_->add_peer(pc, local_observer_);
+    maybe_observe(local_id_, /*is_local=*/true);
     if (cfg_.local_join_time <= 0.0) {
       swarm_->start_peer(local_id_);
     } else {
@@ -203,6 +213,25 @@ void ScenarioRunner::spawn_initial_population() {
         swarm_->start_peer(local_id_);
       });
     }
+  }
+}
+
+void ScenarioRunner::maybe_observe(peer::PeerId id, bool is_local) {
+  if (swarm_observer_ == nullptr) return;
+  switch (cfg_.observation.scope) {
+    case ObservationPlan::Scope::kAll:
+      return;  // attach_all in the constructor already covers this peer
+    case ObservationPlan::Scope::kLocal:
+      if (is_local) swarm_->observers().attach(id, swarm_observer_);
+      return;
+    case ObservationPlan::Scope::kSampled:
+      if (is_local) {
+        swarm_->observers().attach(id, swarm_observer_);
+      } else if (observed_samples_ < cfg_.observation.sample_k) {
+        ++observed_samples_;
+        swarm_->observers().attach(id, swarm_observer_);
+      }
+      return;
   }
 }
 
@@ -242,6 +271,7 @@ peer::PeerId ScenarioRunner::spawn_leecher(bool warm) {
   }
 
   const peer::PeerId id = swarm_->add_peer(pc);
+  maybe_observe(id, /*is_local=*/false);
   swarm_->start_peer(id);
 
   if (cfg_.leecher_abort_rate > 0.0) {

@@ -37,6 +37,38 @@ struct CapacityClass {
 /// paper's era; download ~8x upload).
 std::vector<CapacityClass> default_capacity_classes();
 
+/// How a scenario run is observed (see docs/observability.md). The
+/// default plan reproduces the paper's methodology — one instrumented
+/// local peer — and is guaranteed not to change any trajectory;
+/// widening the scope attaches a strictly passive SwarmProbe, which is
+/// equally trajectory-neutral (enforced by the digest-under-observation
+/// test).
+struct ObservationPlan {
+  enum class Scope : std::uint8_t {
+    kLocal,    ///< the local peer only (the paper's §III-C setup)
+    kSampled,  ///< local peer + the first `sample_k` peers spawned
+    kAll,      ///< every peer, current and future
+  };
+  Scope scope = Scope::kLocal;
+  /// Peer cap for Scope::kSampled. Selection is "first K spawned" —
+  /// deterministic, no RNG draws.
+  std::uint32_t sample_k = 8;
+  /// SwarmProbe time-series sampling period (seconds).
+  double sampling_period = 20.0;
+
+  enum class TraceFormat : std::uint8_t { kNone, kCsv, kJsonl };
+  TraceFormat trace_format = TraceFormat::kNone;
+  /// Where run_scenario_job writes the local peer's trace (empty =
+  /// keep in memory only).
+  std::string trace_path;
+  /// TraceWriter event cap (0 = unlimited); overflow is accounted, not
+  /// silent (sentinel CSV row / JSONL trailer).
+  std::size_t trace_max_events = 200000;
+
+  /// True when a swarm-scope probe should be built for this plan.
+  [[nodiscard]] bool swarm_scope() const { return scope != Scope::kLocal; }
+};
+
 /// Full description of one experiment's torrent.
 struct ScenarioConfig {
   std::string name = "scenario";
@@ -110,6 +142,8 @@ struct ScenarioConfig {
   /// Network backend name (net/backend.h registry): "fluid" (max-min
   /// rate model, the default) or "packet" (store-and-forward segments).
   std::string network_backend = net::kDefaultNetworkBackend;
+  /// Observation scope / trace format for this run (purely passive).
+  ObservationPlan observation;
 };
 
 /// One Table-I row as published.
@@ -145,8 +179,14 @@ ScenarioConfig scenario_from_table1(int torrent_id,
 class ScenarioRunner {
  public:
   /// `local_observer` is attached to the instrumented local peer.
+  /// `swarm_observer` (optional) is attached per cfg.observation.scope:
+  /// the local peer (kLocal), the local peer plus the first sample_k
+  /// spawned (kSampled), or every peer incl. future arrivals (kAll).
+  /// Attachment happens before the initial population starts, so
+  /// construction-time callbacks (on_start at t=0) are captured.
   ScenarioRunner(ScenarioConfig cfg, std::uint64_t seed,
-                 peer::PeerObserver* local_observer = nullptr);
+                 peer::PeerObserver* local_observer = nullptr,
+                 peer::SwarmObserver* swarm_observer = nullptr);
   ~ScenarioRunner();
 
   ScenarioRunner(const ScenarioRunner&) = delete;
@@ -177,11 +217,16 @@ class ScenarioRunner {
   peer::PeerId spawn_leecher(bool warm);
   void schedule_arrivals();
   void schedule_churn_tick();
+  /// Applies cfg.observation.scope to a freshly added peer (kAll is
+  /// handled wholesale by ObserverHub::attach_all instead).
+  void maybe_observe(peer::PeerId id, bool is_local);
 
   ScenarioConfig cfg_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<Swarm> swarm_;
   peer::PeerObserver* local_observer_;
+  peer::SwarmObserver* swarm_observer_ = nullptr;
+  std::uint32_t observed_samples_ = 0;
   peer::PeerId local_id_ = peer::kNoPeer;
   std::vector<peer::PeerId> initial_seed_ids_;
   /// Departure deadlines assigned to finished remote peers.

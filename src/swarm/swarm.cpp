@@ -74,8 +74,11 @@ peer::PeerId Swarm::add_peer(peer::PeerConfig cfg,
   cfg.id = id;
   Slot slot;
   slot.node = net_->add_node(cfg.upload_capacity, cfg.download_capacity);
-  slot.peer = std::make_unique<peer::Peer>(*this, geo_, std::move(cfg),
-                                           observer);
+  // The hub owns observer fan-out; with a single observer (or none) the
+  // effective hook is the observer pointer itself, exactly as before.
+  peer::PeerObserver* hook = hub_.on_peer_added(id, observer);
+  slot.peer = std::make_unique<peer::Peer>(*this, geo_, std::move(cfg), hook);
+  hub_.bind_peer(id, slot.peer.get());
   slots_.push_back(std::move(slot));
   return id;
 }

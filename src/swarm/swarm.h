@@ -15,6 +15,7 @@
 #include "peer/observer.h"
 #include "peer/peer.h"
 #include "sim/simulation.h"
+#include "swarm/observer_hub.h"
 #include "swarm/tracker.h"
 #include "wire/geometry.h"
 
@@ -42,9 +43,16 @@ class Swarm final : public peer::Fabric {
 
   /// Creates a peer (and its network node). `cfg.id` is assigned by the
   /// swarm and returned. The peer does not join the torrent until
-  /// start_peer().
+  /// start_peer(). `observer` becomes the peer's first hub attachment;
+  /// further subscriptions go through observers().
   peer::PeerId add_peer(peer::PeerConfig cfg,
                         peer::PeerObserver* observer = nullptr);
+
+  /// Observer attachment for any peer (local or remote), per peer or
+  /// swarm-wide. Attachment is purely observational — it never changes
+  /// a trajectory.
+  [[nodiscard]] ObserverHub& observers() { return hub_; }
+  [[nodiscard]] const ObserverHub& observers() const { return hub_; }
 
   /// Joins the torrent now.
   void start_peer(peer::PeerId id);
@@ -136,6 +144,7 @@ class Swarm final : public peer::Fabric {
   std::optional<wire::Metainfo> meta_;  // engaged in data-plane mode
   std::unique_ptr<net::Network> net_;
   Tracker tracker_;
+  ObserverHub hub_;
   std::vector<Slot> slots_;  // index = PeerId - 1
   core::AvailabilityMap global_availability_;
   peer::PeerId next_id_ = 1;

@@ -15,7 +15,9 @@
 #include "instrument/analyzers.h"    // figure analyzers
 #include "instrument/choke_market.h" // equilibrium analysis (§IV-B.2)
 #include "instrument/local_log.h" // instrumented-client log
+#include "instrument/metrics.h"   // counters/gauges/histograms/series
 #include "instrument/samplers.h"  // time-series samplers
+#include "instrument/swarm_probe.h" // swarm-scope passive telemetry
 #include "instrument/trace.h"     // full event trace + observer fan-out
 #include "net/backend.h"          // network-backend registry
 #include "net/fluid_network.h"    // flow-level bandwidth model
@@ -31,6 +33,7 @@
 #include "runner/batch_runner.h"  // parallel batch scenario runner
 #include "runner/json.h"          // machine-readable report writer
 #include "swarm/entropy.h"        // swarm-wide entropy index
+#include "swarm/observer_hub.h"   // per-peer observer attachment
 #include "swarm/scenario.h"       // Table-I catalog & scenario runner
 #include "swarm/swarm.h"          // the torrent fabric
 #include "swarm/tracker.h"        // the tracker

@@ -1,0 +1,101 @@
+// Regression tests for the shared bench flag parser (bench_util.h):
+// the --observe/--trace observation flags, their error paths (bad
+// scope, bad format, duplicates -> shared usage message, exit 2), and
+// the ObservationPlan each combination produces.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace swarmlab::bench {
+namespace {
+
+using Scope = swarm::ObservationPlan::Scope;
+using TraceFormat = swarm::ObservationPlan::TraceFormat;
+
+/// argv builder (argv[0] = tool name; strings stay alive in `store`).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : store(std::move(args)) {
+    store.insert(store.begin(), "bench_test");
+    for (auto& s : store) ptrs.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+};
+
+BenchOptions parse(std::vector<std::string> args) {
+  Argv a(std::move(args));
+  return parse_bench_options(a.argc(), a.argv());
+}
+
+TEST(BenchFlags, DefaultsAreLocalAndUntraced) {
+  const BenchOptions opts = parse({});
+  EXPECT_EQ(opts.observe_scope, Scope::kLocal);
+  EXPECT_EQ(opts.trace_format, TraceFormat::kNone);
+  const auto plan = observation_plan("tool", opts, 3);
+  EXPECT_FALSE(plan.swarm_scope());
+  EXPECT_TRUE(plan.trace_path.empty());
+}
+
+TEST(BenchFlags, ObserveScopes) {
+  EXPECT_EQ(parse({"--observe", "local"}).observe_scope, Scope::kLocal);
+  EXPECT_EQ(parse({"--observe", "all"}).observe_scope, Scope::kAll);
+  const BenchOptions sampled = parse({"--observe", "sampled-12"});
+  EXPECT_EQ(sampled.observe_scope, Scope::kSampled);
+  EXPECT_EQ(sampled.observe_k, 12u);
+}
+
+TEST(BenchFlags, TraceFormats) {
+  EXPECT_EQ(parse({"--trace"}).trace_format, TraceFormat::kJsonl);
+  EXPECT_EQ(parse({"--trace=jsonl"}).trace_format, TraceFormat::kJsonl);
+  EXPECT_EQ(parse({"--trace=csv"}).trace_format, TraceFormat::kCsv);
+}
+
+TEST(BenchFlags, PlanCarriesPerJobTracePath) {
+  const auto jsonl =
+      observation_plan("bench_x", parse({"--trace", "--observe", "all"}), 7);
+  EXPECT_EQ(jsonl.trace_path, "bench_x.job7.trace.jsonl");
+  EXPECT_EQ(jsonl.scope, Scope::kAll);
+  const auto csv = observation_plan("bench_x", parse({"--trace=csv"}), 2);
+  EXPECT_EQ(csv.trace_path, "bench_x.job2.trace.csv");
+}
+
+using BenchFlagsDeath = ::testing::Test;
+
+TEST(BenchFlagsDeath, BadObserveScopeExitsWithUsage) {
+  EXPECT_EXIT(parse({"--observe", "everything"}),
+              ::testing::ExitedWithCode(2), "usage:");
+  EXPECT_EXIT(parse({"--observe", "sampled-"}),
+              ::testing::ExitedWithCode(2), "usage:");
+  EXPECT_EXIT(parse({"--observe", "sampled-0"}),
+              ::testing::ExitedWithCode(2), "usage:");
+  EXPECT_EXIT(parse({"--observe", "sampled-x"}),
+              ::testing::ExitedWithCode(2), "usage:");
+  EXPECT_EXIT(parse({"--observe"}), ::testing::ExitedWithCode(2),
+              "usage:");
+}
+
+TEST(BenchFlagsDeath, BadTraceFormatExitsWithUsage) {
+  EXPECT_EXIT(parse({"--trace=xml"}), ::testing::ExitedWithCode(2),
+              "usage:");
+  EXPECT_EXIT(parse({"--trace="}), ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchFlagsDeath, DuplicateFlagsExitWithUsage) {
+  EXPECT_EXIT(parse({"--observe", "all", "--observe", "local"}),
+              ::testing::ExitedWithCode(2), "usage:");
+  EXPECT_EXIT(parse({"--trace", "--trace=csv"}),
+              ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchFlagsDeath, UnknownArgumentStillExitsWithUsage) {
+  EXPECT_EXIT(parse({"--frobnicate"}), ::testing::ExitedWithCode(2),
+              "usage:");
+}
+
+}  // namespace
+}  // namespace swarmlab::bench

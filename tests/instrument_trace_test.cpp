@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "instrument/local_log.h"
 #include "instrument/trace.h"
@@ -52,6 +54,111 @@ TEST(TraceWriter, CsvOutput) {
   std::ostringstream out;
   trace.write_csv(out);
   EXPECT_EQ(out.str(), "time,kind,remote,detail\n1.5,piece_done,0,9\n");
+}
+
+/// Minimal RFC 4180 reader for the round-trip test: splits one CSV
+/// stream into rows of fields, honoring quoted fields and doubled
+/// quotes.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  return rows;
+}
+
+TEST(TraceWriter, CsvEscapingRoundTrips) {
+  TraceWriter trace;
+  trace.annotate(1.0, "plain", 3, "no escaping needed");
+  trace.annotate(2.0, "kind,with,commas", 4, "detail,with,commas");
+  trace.annotate(3.0, "quote\"kind", 5, "say \"hi\" twice \"\"");
+  trace.annotate(4.0, "newline", 6, "line1\nline2");
+  trace.annotate(5.0, "cr", 7, "a\rb");
+  std::ostringstream out;
+  trace.write_csv(out);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 6u);  // header + 5 events
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"time", "kind", "remote", "detail"}));
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    const auto& ev = trace.events()[i];
+    const auto& row = rows[i + 1];
+    ASSERT_EQ(row.size(), 4u) << "row " << i;
+    EXPECT_EQ(row[1], ev.kind);
+    EXPECT_EQ(row[2], std::to_string(ev.remote));
+    EXPECT_EQ(row[3], ev.detail);
+  }
+}
+
+TEST(TraceWriter, PlainFieldsStayUnquoted) {
+  // The historical format: no quoting unless a field needs it, so
+  // existing downstream parsers keep working on clean traces.
+  TraceWriter trace;
+  trace.on_piece_complete(1.5, 9);
+  trace.on_choke_round(2.0, true, {3, 1});
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "time,kind,remote,detail\n"
+            "1.5,piece_done,0,9\n"
+            "2,choke_round,0,seed:3 1\n");
+}
+
+TEST(TraceWriter, TruncationEmitsSentinelRow) {
+  TraceWriter trace(/*max_events=*/1);
+  trace.on_start(0.0);
+  trace.on_end_game(10.0);
+  trace.on_became_seed(20.0);
+  std::ostringstream out;
+  trace.write_csv(out);
+  // The sentinel carries the newest (dropped) event time and the count.
+  EXPECT_EQ(out.str(),
+            "time,kind,remote,detail\n"
+            "0,start,0,\n"
+            "20,trace_truncated,0,dropped=2\n");
+}
+
+TEST(TraceWriter, JsonlExportCarriesSchemaAndTrailer) {
+  TraceWriter trace(/*max_events=*/2);
+  trace.on_peer_joined(1.5, 7);
+  trace.annotate(2.0, "weird\"kind", 8, "tab\there \"quoted\"");
+  trace.on_became_seed(3.0);  // dropped by the cap
+  std::ostringstream out;
+  trace.write_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"swarmlab.trace/1\"}\n"
+            "{\"t\":1.5,\"kind\":\"peer_joined\",\"remote\":7,"
+            "\"detail\":\"\"}\n"
+            "{\"t\":2,\"kind\":\"weird\\\"kind\",\"remote\":8,"
+            "\"detail\":\"tab\\there \\\"quoted\\\"\"}\n"
+            "{\"events\":2,\"dropped\":1}\n");
 }
 
 TEST(ObserverList, FansOutToAll) {
