@@ -25,28 +25,11 @@ struct Outcome {
 Outcome run_variant(swarmlab::core::SeedChokerKind kind,
                     std::uint64_t seed) {
   using namespace swarmlab;
-  swarm::ScenarioConfig cfg;
-  cfg.name = "seed-choke-ablation";
-  cfg.num_pieces = 64;
-  cfg.initial_seeds = 0;         // the peer under test is the only seed
-  cfg.initial_leechers = 40;
-  cfg.leechers_warm = true;      // leechers always have something to want
-  cfg.warm_min = 0.1;
-  cfg.warm_max = 0.6;
-  cfg.seed_linger_mean = 0.0;    // nobody leaves
-  cfg.arrival_rate = 0.0;
-  cfg.duration = 12000.0;
+  // The catalog's ablation base (slow leechers so the fast free rider
+  // stands out); only the algorithm under test varies per run.
+  swarm::ScenarioConfig cfg =
+      swarm::catalog_scenario("seed-choke-ablation");
   cfg.local_params.seed_choker = kind;
-  cfg.local_upload = 40.0 * 1024;
-  cfg.local_download = net::kUnlimited;
-  // Rate differentiation: in the fluid model the seed's pipe is split
-  // equally across its active uploads, so a peer is "fast" only if the
-  // others are download-capped below their share. Ordinary leechers get
-  // slow receive links; the free rider's is unlimited — mirroring the
-  // fast free rider of §IV-B.3 that the old algorithm rewards.
-  cfg.leecher_classes = {
-      {1.0, 12.0 * 1024, 8.0 * 1024},
-  };
 
   instrument::LocalPeerLog log(cfg.num_pieces);
   swarm::ScenarioRunner runner(cfg, seed, &log);

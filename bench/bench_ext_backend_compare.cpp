@@ -96,16 +96,8 @@ int main(int argc, char** argv) {
   {
     runner::BatchJob job;
     job.id = ++id;
-    swarm::ScenarioConfig cfg;
-    cfg.name = "flash-crowd-cold";
-    cfg.num_pieces = 32;
-    cfg.initial_seeds = 1;
-    cfg.initial_leechers = 40;
-    cfg.leechers_warm = false;
-    cfg.arrival_rate = 0.0;
-    cfg.duration = limits.duration;
-    job.config = cfg;
-    job.name = cfg.name;
+    job.config = swarm::catalog_scenario("flash-crowd-cold");
+    job.name = job.config.name;
     job.seed = opts.seed + 100;
     scenarios.push_back(std::move(job));
   }

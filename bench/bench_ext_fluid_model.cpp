@@ -16,23 +16,13 @@ int main(int argc, char** argv) {
   using namespace swarmlab;
   const std::uint64_t seed = bench::bench_seed(argc, argv);
 
-  // Simulation scenario.
-  swarm::ScenarioConfig cfg;
-  cfg.name = "fluid-comparison";
-  cfg.num_pieces = 48;                    // 12 MiB content
-  cfg.initial_seeds = 1;
-  cfg.initial_leechers = 30;
-  cfg.leechers_warm = true;               // start near steady state
-  cfg.arrival_rate = 0.03;                // lambda
-  cfg.seed_linger_mean = 400.0;           // 1/gamma
-  cfg.max_population = 400;
-  cfg.spawn_local_peer = false;           // population study: no probe
-  cfg.duration = 25000.0;
-  // Homogeneous capacities make the model mapping exact.
-  const double up = 16.0 * 1024;          // bytes/s
-  const double down = 128.0 * 1024;
-  cfg.leecher_classes = {{1.0, up, down}};
-  cfg.initial_seed_upload = up;
+  // Simulation scenario: the catalog's fluid-comparison entry (Poisson
+  // steady state, homogeneous capacities so the model mapping is exact,
+  // no local peer — it is a population study).
+  const swarm::ScenarioConfig cfg =
+      swarm::catalog_scenario("fluid-comparison");
+  const double up = cfg.leecher_classes.front().up;      // bytes/s
+  const double down = cfg.leecher_classes.front().down;  // bytes/s
 
   // Fluid-model parameters in file copies per second.
   const double file_bytes =

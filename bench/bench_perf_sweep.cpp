@@ -1,6 +1,6 @@
-// Performance baseline sweep: a small/medium/large scenario ladder timed
-// through the BatchRunner, reporting wall seconds, events per second and
-// event-queue pressure per tier (see docs/performance.md).
+// Performance baseline sweep: a scenario ladder timed through the
+// BatchRunner, reporting wall seconds, events per second and event-queue
+// pressure per tier (see docs/performance.md).
 //
 // Unlike the figure/table benches this binary measures the simulator, not
 // the paper: its stdout carries wall-clock numbers and is therefore NOT
@@ -14,76 +14,20 @@
 //
 // --tier NAME|all restricts the ladder to one tier (CI's perf gate runs
 // only the small tiers to keep the job fast). Tier names: perf_small,
-// perf_medium, perf_large (fluid; "small" etc. accepted as shorthand)
-// and pkt_small, pkt_medium, pkt_large (frozen to the packet backend).
+// perf_medium, perf_large, perf_huge (fluid; "small" etc. accepted as
+// shorthand) and pkt_small, pkt_medium, pkt_large, pkt_huge (frozen to
+// the packet backend). The huge tiers are the mega-swarm scale tier:
+// ~2k-peer populations exercising the O(active) hot paths.
+//
+// Tier parameters live in the scenario catalog
+// (swarm/scenario_catalog.h) and are frozen — BENCH_perf.json numbers
+// are only comparable across commits if the workload never moves.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-
-namespace {
-
-swarmlab::swarm::ScenarioConfig perf_scenario(const char* name,
-                                              std::uint32_t leechers,
-                                              std::uint32_t seeds,
-                                              std::uint32_t pieces,
-                                              double arrival,
-                                              std::uint32_t max_pop) {
-  swarmlab::swarm::ScenarioConfig cfg;
-  cfg.name = name;
-  cfg.num_pieces = pieces;
-  cfg.piece_size = 64 * 1024;
-  cfg.block_size = 16 * 1024;
-  cfg.initial_seeds = seeds;
-  cfg.initial_leechers = leechers;
-  cfg.leechers_warm = true;
-  cfg.arrival_rate = arrival;
-  cfg.max_population = max_pop;
-  cfg.duration = 20000.0;
-  return cfg;
-}
-
-// Packet tiers: bulk-transfer heavy so the segment hot path (not the
-// peer layer) dominates — larger pieces/blocks (256 KiB blocks = 64
-// four-KiB segments per flow, the full train cap) and smaller
-// populations than the fluid tiers because the packet model executes
-// ~an order of magnitude more events per delivered byte.
-swarmlab::swarm::ScenarioConfig pkt_scenario(const char* name,
-                                             std::uint32_t leechers,
-                                             std::uint32_t seeds,
-                                             std::uint32_t pieces,
-                                             double arrival,
-                                             std::uint32_t max_pop) {
-  swarmlab::swarm::ScenarioConfig cfg;
-  cfg.name = name;
-  cfg.num_pieces = pieces;
-  cfg.piece_size = 256 * 1024;
-  cfg.block_size = 256 * 1024;
-  cfg.initial_seeds = seeds;
-  cfg.initial_leechers = leechers;
-  cfg.leechers_warm = true;
-  cfg.arrival_rate = arrival;
-  cfg.max_population = max_pop;
-  cfg.duration = 20000.0;
-  cfg.network_backend = "packet";
-  // The bulk-transfer regime the packet hot path is built for: narrow
-  // active sets (1 regular + 1 optimistic slot) keep access links mostly
-  // single-flow, uplinks faster than downlinks keep receiver downlinks
-  // saturated, and a fast local peer keeps the measured run short. This
-  // deliberately measures the segment machinery, not the choke dynamics
-  // the fluid tiers cover.
-  cfg.remote_params.regular_unchoke_slots = 1;
-  cfg.remote_params.active_set_size = 2;
-  cfg.local_params = cfg.remote_params;
-  cfg.leecher_classes = {{1.0, 256.0 * 1024, 192.0 * 1024}};
-  cfg.initial_seed_upload = 1024.0 * 1024;
-  cfg.local_upload = 256.0 * 1024;
-  return cfg;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace swarmlab;
@@ -99,9 +43,10 @@ int main(int argc, char** argv) {
     }
   }
   if (tier != "all" && tier != "perf_small" && tier != "perf_medium" &&
-      tier != "perf_large" && tier != "small" && tier != "medium" &&
-      tier != "large" && tier != "pkt_small" && tier != "pkt_medium" &&
-      tier != "pkt_large") {
+      tier != "perf_large" && tier != "perf_huge" && tier != "small" &&
+      tier != "medium" && tier != "large" && tier != "huge" &&
+      tier != "pkt_small" && tier != "pkt_medium" && tier != "pkt_large" &&
+      tier != "pkt_huge") {
     std::fprintf(stderr, "%s: unknown tier '%s'\n", argv[0], tier.c_str());
     return 2;
   }
@@ -109,31 +54,26 @@ int main(int argc, char** argv) {
                                          rest.data());
   if (opts.json_path.empty()) opts.json_path = "BENCH_perf.json";
 
-  // The ladder: flash-crowd swarms of increasing population and content
-  // size. Tier parameters are frozen — BENCH_perf.json numbers are only
-  // comparable across commits if the workload never moves.
-  const swarm::ScenarioConfig ladder[] = {
-      perf_scenario("perf_small", 48, 1, 128, 0.02, 96),
-      perf_scenario("perf_medium", 150, 1, 384, 0.05, 220),
-      perf_scenario("perf_large", 320, 2, 1024, 0.08, 420),
-      pkt_scenario("pkt_small", 16, 1, 256, 0.005, 32),
-      pkt_scenario("pkt_medium", 32, 1, 512, 0.01, 64),
-      pkt_scenario("pkt_large", 256, 2, 512, 0.05, 320),
+  // The ladder, in frozen order (job ids — and thus per-job seeds — are
+  // tied to the position here).
+  const char* const ladder[] = {
+      "perf_small", "perf_medium", "perf_large", "perf_huge",
+      "pkt_small",  "pkt_medium",  "pkt_large",  "pkt_huge",
   };
 
   std::vector<runner::BatchJob> jobs;
   int id = 0;
-  for (const auto& cfg : ladder) {
+  for (const char* name : ladder) {
     // Job ids (and thus per-job seeds) stay tied to the ladder position,
     // so a tier run's trajectory matches the same tier in a full sweep.
     ++id;
-    if (tier != "all" && cfg.name != "perf_" + tier && cfg.name != tier) {
+    if (tier != "all" && name != "perf_" + tier && name != tier) {
       continue;
     }
     runner::BatchJob job;
     job.id = id;
-    job.name = cfg.name;
-    job.config = cfg;
+    job.name = name;
+    job.config = swarm::catalog_scenario(name);
     // Fluid tiers follow --backend (the historical behaviour, used by
     // the CI backend smoke); the pkt_* tiers are frozen to the packet
     // backend unless --backend is given explicitly.

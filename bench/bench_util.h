@@ -337,25 +337,17 @@ inline void appendf(std::string& out, const char* fmt, ...) {
   va_end(args);
 }
 
-/// Scale used by the 26-torrent sweep benches (Figs. 1, 9, 11; Table I):
-/// small enough that a full sweep stays in the tens of seconds.
+/// Scale used by the 26-torrent sweep benches (Figs. 1, 9, 11; Table I).
+/// Delegates to the catalog's preset so benches and catalog entries can
+/// never drift apart.
 inline swarm::ScaleLimits sweep_limits() {
-  swarm::ScaleLimits limits;
-  limits.max_peers = 120;
-  limits.max_pieces = 96;
-  limits.min_pieces = 16;
-  limits.duration = 30000.0;
-  return limits;
+  return swarm::sweep_scale_limits();
 }
 
-/// Scale used by the single-torrent deep-dive benches (Figs. 2-8, 10):
-/// larger swarm and content for better-resolved time series.
+/// Scale used by the single-torrent deep-dive benches (Figs. 2-8, 10);
+/// the catalog's deep-dive preset.
 inline swarm::ScaleLimits deep_dive_limits() {
-  swarm::ScaleLimits limits;
-  limits.max_peers = 200;
-  limits.max_pieces = 200;
-  limits.duration = 30000.0;
-  return limits;
+  return swarm::deep_dive_scale_limits();
 }
 
 inline void print_scale(const swarm::ScenarioConfig& cfg,

@@ -77,7 +77,13 @@ SwarmProbe::PeerState& SwarmProbe::ensure(peer::PeerId self) {
   auto it = states_.find(self);
   if (it == states_.end()) {
     it = states_.emplace(self, PeerState{}).first;
-    if (opts_.per_peer_detail) {
+    // Detail logs go to the first detail_peer_cap tracked peers
+    // (deterministic — first-callback order — and no RNG); later peers
+    // get counting-only state.
+    if (opts_.per_peer_detail &&
+        (opts_.detail_peer_cap == 0 ||
+         detailed_peers_ < opts_.detail_peer_cap)) {
+      ++detailed_peers_;
       it->second.log = std::make_unique<LocalPeerLog>(num_pieces_);
       it->second.market = std::make_unique<ChokeMarketLog>();
     }

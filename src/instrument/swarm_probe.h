@@ -44,6 +44,14 @@ class SwarmProbe final : public peer::SwarmObserver {
     /// tracked peer) — required by peer_log() / market_stats() /
     /// unchoke_correlation(); disable for cheap counting-only probes.
     bool per_peer_detail = true;
+    /// With per_peer_detail, cap detail to the first N tracked peers
+    /// (0 = unlimited, the historical behavior). Peers beyond the cap
+    /// still feed every counter, matrix aggregate and time series — only
+    /// their per-peer logs are skipped. This is what makes kAll scope
+    /// affordable on mega swarms: tracking 10k peers with detail logs is
+    /// an allocation storm; capped detail keeps memory O(cap) while the
+    /// swarm-level picture stays exact.
+    std::uint32_t detail_peer_cap = 0;
   };
 
   /// Registers its metrics (counters, gauges, series, the tenure
@@ -155,6 +163,7 @@ class SwarmProbe final : public peer::SwarmObserver {
   peer::PeerId focus_ = peer::kNoPeer;
 
   std::map<peer::PeerId, PeerState> states_;
+  std::size_t detailed_peers_ = 0;  // states_ entries carrying logs
 
   // Matrix occupancy aggregates, maintained incrementally.
   std::uint64_t total_cells_ = 0;

@@ -352,6 +352,7 @@ RunResult run_scenario_job(const BatchJob& job, const JobContext& ctx,
   if (plan.swarm_scope()) {
     instrument::SwarmProbe::Options popts;
     popts.sampling_period = plan.sampling_period;
+    popts.detail_peer_cap = plan.detail_peer_cap;
     // Reports embed every series; keep them bounded (drop accounting
     // surfaces anything the ring sheds).
     popts.series_capacity = 256;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <limits>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 namespace swarmlab::sim {
@@ -96,17 +97,47 @@ class Rng {
   }
 
   /// Samples k distinct indices from [0, n) uniformly (k <= n).
+  ///
+  /// Engine consumption depends only on (n, k) — exactly k draws of
+  /// index(n - i) — and the returned sequence is the partial
+  /// Fisher-Yates result for those draws, regardless of which internal
+  /// strategy runs. Dense (materialize [0, n)) for small n; sparse
+  /// (hash-map Fisher-Yates, O(k) memory and time) when n is large and
+  /// k small, so mega-swarm samplers (e.g. a tracker answering one
+  /// announce out of 10k members) stay O(k). The strategy switch is a
+  /// pure function of (n, k), so replay identity holds everywhere.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
     assert(k <= n);
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
-    // Partial Fisher-Yates: only the first k positions are needed.
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    if (n <= 4 * k + 64) {
+      std::vector<std::size_t> all(n);
+      for (std::size_t i = 0; i < n; ++i) all[i] = i;
+      // Partial Fisher-Yates: only the first k positions are needed.
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + index(n - i);
+        std::swap(all[i], all[j]);
+      }
+      all.resize(k);
+      return all;
+    }
+    // Sparse partial Fisher-Yates over the virtual array v[p] = p:
+    // `moved` records only the positions whose value a swap displaced.
+    // Identical draws and identical output to the dense loop above.
+    std::unordered_map<std::size_t, std::size_t> moved;
+    moved.reserve(2 * k);
+    const auto value_at = [&moved](std::size_t pos) {
+      const auto it = moved.find(pos);
+      return it == moved.end() ? pos : it->second;
+    };
     for (std::size_t i = 0; i < k; ++i) {
       const std::size_t j = i + index(n - i);
-      std::swap(all[i], all[j]);
+      const std::size_t vi = value_at(i);
+      const std::size_t vj = value_at(j);
+      out.push_back(vj);      // after swap, v[i] = old v[j]
+      moved[j] = vi;          // and v[j] = old v[i] (j >= i, still live)
     }
-    all.resize(k);
-    return all;
+    return out;
   }
 
   /// Access to the underlying engine for std distributions not wrapped here.

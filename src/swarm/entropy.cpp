@@ -2,16 +2,26 @@
 
 #include <vector>
 
+#include "sim/rng.h"
+
 namespace swarmlab::swarm {
 
-double swarm_entropy(const Swarm& swarm) {
-  // Collect the active leechers' bitfields.
+namespace {
+
+/// Active leechers' bitfields, in ascending peer-id order. O(active).
+std::vector<const core::Bitfield*> active_leecher_bitfields(
+    const Swarm& swarm) {
   std::vector<const core::Bitfield*> leechers;
-  for (const peer::PeerId id : swarm.peer_ids()) {
+  for (const peer::PeerId id : swarm.active_peer_ids()) {
     const peer::Peer* p = swarm.find_peer(id);
     if (p == nullptr || !p->active() || p->is_seed()) continue;
     leechers.push_back(&p->have());
   }
+  return leechers;
+}
+
+/// Ordered-pair interest fraction over a set of bitfields.
+double pair_entropy(const std::vector<const core::Bitfield*>& leechers) {
   if (leechers.size() < 2) return 1.0;
   std::uint64_t interested = 0;
   std::uint64_t pairs = 0;
@@ -25,10 +35,44 @@ double swarm_entropy(const Swarm& swarm) {
   return static_cast<double>(interested) / static_cast<double>(pairs);
 }
 
+}  // namespace
+
+double swarm_entropy(const Swarm& swarm) {
+  // The ledger maintains the same integer pair count incrementally; the
+  // single division below is the only arithmetic either path performs,
+  // so the two are numerically identical (verified by the
+  // ledger-vs-brute-force equivalence test).
+  if (const InterestLedger* ledger = swarm.interest_ledger();
+      ledger != nullptr) {
+    return ledger->entropy();
+  }
+  return pair_entropy(active_leecher_bitfields(swarm));
+}
+
+double swarm_entropy_sampled(const Swarm& swarm, std::size_t sample_k,
+                             sim::Rng& rng) {
+  std::vector<const core::Bitfield*> leechers =
+      active_leecher_bitfields(swarm);
+  if (sample_k == 0 || leechers.size() <= sample_k) {
+    // The sample covers everyone: the estimator degenerates to the exact
+    // value (no draws needed, matching sample_indices' n == k case
+    // consuming draws we would simply discard).
+    return pair_entropy(leechers);
+  }
+  std::vector<const core::Bitfield*> sample;
+  sample.reserve(sample_k);
+  for (const std::size_t i : rng.sample_indices(leechers.size(), sample_k)) {
+    sample.push_back(leechers[i]);
+  }
+  return pair_entropy(sample);
+}
+
 SwarmEntropySampler::SwarmEntropySampler(sim::Simulation& sim,
-                                         const Swarm& swarm,
-                                         double interval)
-    : sim_(sim), swarm_(swarm), interval_(interval) {
+                                         const Swarm& swarm, Options opts)
+    : sim_(sim),
+      swarm_(swarm),
+      opts_(opts),
+      estimator_rng_(sim::fork_seed(opts.seed, 0x5A3Bu)) {
   tick();
 }
 
@@ -44,8 +88,12 @@ void SwarmEntropySampler::stop() {
 
 void SwarmEntropySampler::tick() {
   if (stopped_) return;
-  series_.add(sim_.now(), swarm_entropy(swarm_));
-  event_ = sim_.schedule_in(interval_, [this] { tick(); });
+  const double value =
+      opts_.sample_k == 0
+          ? swarm_entropy(swarm_)
+          : swarm_entropy_sampled(swarm_, opts_.sample_k, estimator_rng_);
+  series_.add(sim_.now(), value);
+  event_ = sim_.schedule_in(opts_.interval, [this] { tick(); });
 }
 
 }  // namespace swarmlab::swarm

@@ -1,0 +1,91 @@
+#include "swarm/interest_ledger.h"
+
+#include <cassert>
+
+namespace swarmlab::swarm {
+
+void InterestLedger::grow(std::size_t min_capacity) {
+  std::size_t cap = capacity_ == 0 ? 16 : capacity_;
+  while (cap < min_capacity) cap *= 2;
+  if (cap == capacity_) return;
+  std::vector<std::uint16_t> next(cap * cap, 0);
+  for (std::size_t a = 0; a < ids_.size(); ++a) {
+    for (std::size_t b = 0; b < ids_.size(); ++b) {
+      next[a * cap + b] = counts_[a * capacity_ + b];
+    }
+  }
+  counts_ = std::move(next);
+  capacity_ = cap;
+}
+
+void InterestLedger::join(peer::PeerId id, const core::Bitfield& have) {
+  if (is_member(id)) return;
+  assert(num_pieces_ <= 0xFFFF && "pair counts are 16-bit");
+  const std::size_t g = ids_.size();
+  grow(g + 1);
+  ids_.push_back(id);
+  haves_.push_back(&have);
+  index_.emplace(id, g);
+  // Both directions against every existing member: word-parallel
+  // bitfield joins, O(members x pieces / 64).
+  for (std::size_t x = 0; x < g; ++x) {
+    const auto x_wants =
+        static_cast<std::uint16_t>(haves_[x]->count_missing_from(have));
+    const auto g_wants =
+        static_cast<std::uint16_t>(have.count_missing_from(*haves_[x]));
+    cnt(x, g) = x_wants;
+    cnt(g, x) = g_wants;
+    if (x_wants > 0) ++interested_;
+    if (g_wants > 0) ++interested_;
+  }
+  cnt(g, g) = 0;
+}
+
+void InterestLedger::leave(peer::PeerId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const std::size_t g = it->second;
+  const std::size_t last = ids_.size() - 1;
+  for (std::size_t x = 0; x < ids_.size(); ++x) {
+    if (x == g) continue;
+    if (cnt(x, g) > 0) --interested_;
+    if (cnt(g, x) > 0) --interested_;
+  }
+  // Swap-remove: the last slot's row and column move into g's. Pair
+  // order is irrelevant to the aggregate, so compaction is O(members).
+  if (g != last) {
+    for (std::size_t x = 0; x < ids_.size(); ++x) {
+      cnt(x, g) = cnt(x, last);
+      cnt(g, x) = cnt(last, x);
+    }
+    cnt(g, g) = 0;
+    ids_[g] = ids_[last];
+    haves_[g] = haves_[last];
+    index_[ids_[g]] = g;
+  }
+  ids_.pop_back();
+  haves_.pop_back();
+  index_.erase(it);
+}
+
+void InterestLedger::on_piece_gain(peer::PeerId id, std::uint32_t piece) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const std::size_t g = it->second;
+  assert(haves_[g]->has(piece));  // the bitfield already has the piece
+  for (std::size_t x = 0; x < ids_.size(); ++x) {
+    if (x == g) continue;
+    if (haves_[x]->has(piece)) {
+      // x also has it: the piece no longer makes g interested in x.
+      std::uint16_t& c = cnt(g, x);
+      assert(c > 0);
+      if (--c == 0) --interested_;
+    } else {
+      // x lacks it: g just became (more) interesting to x.
+      std::uint16_t& c = cnt(x, g);
+      if (c++ == 0) ++interested_;
+    }
+  }
+}
+
+}  // namespace swarmlab::swarm

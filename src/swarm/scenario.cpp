@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace swarmlab::swarm {
 
@@ -125,12 +126,67 @@ ScenarioConfig scenario_from_table1(int torrent_id,
   return cfg;
 }
 
+std::string validate_scenario(const ScenarioConfig& cfg) {
+  const auto fail = [&cfg](std::string what) {
+    return "scenario '" + cfg.name + "': " + std::move(what);
+  };
+  if (cfg.num_pieces == 0) return fail("num_pieces must be >= 1");
+  if (cfg.piece_size == 0) return fail("piece_size must be >= 1");
+  if (cfg.block_size == 0) return fail("block_size must be >= 1");
+  if (cfg.block_size > cfg.piece_size) {
+    return fail("block_size (" + std::to_string(cfg.block_size) +
+                ") exceeds piece_size (" + std::to_string(cfg.piece_size) +
+                "); blocks subdivide pieces");
+  }
+  if (cfg.warm_min > cfg.warm_max) {
+    return fail("warm_min (" + std::to_string(cfg.warm_min) +
+                ") exceeds warm_max (" + std::to_string(cfg.warm_max) +
+                "); the warm-start completion range is empty");
+  }
+  if (cfg.warm_min < 0.0 || cfg.warm_max > 1.0) {
+    return fail("warm range [" + std::to_string(cfg.warm_min) + ", " +
+                std::to_string(cfg.warm_max) +
+                "] must lie within [0, 1] (completion fractions)");
+  }
+  if (cfg.dead_piece_fraction < 0.0 || cfg.dead_piece_fraction > 1.0) {
+    return fail("dead_piece_fraction (" +
+                std::to_string(cfg.dead_piece_fraction) +
+                ") must lie within [0, 1]");
+  }
+  if (cfg.arrival_rate < 0.0) {
+    return fail("arrival_rate (" + std::to_string(cfg.arrival_rate) +
+                ") must be >= 0");
+  }
+  if (cfg.duration <= 0.0) {
+    return fail("duration (" + std::to_string(cfg.duration) +
+                ") must be positive");
+  }
+  if (cfg.leecher_classes.empty()) {
+    return fail("leecher_classes must name at least one capacity class");
+  }
+  return "";
+}
+
 // --- ScenarioRunner ---------------------------------------------------------
+
+namespace {
+
+/// Pass-through that rejects unrunnable configs before any simulator
+/// state exists (the config is the first member, so this runs before the
+/// Simulation/Swarm constructors see the bad geometry).
+ScenarioConfig validated(ScenarioConfig cfg) {
+  if (std::string err = validate_scenario(cfg); !err.empty()) {
+    throw std::invalid_argument(std::move(err));
+  }
+  return cfg;
+}
+
+}  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioConfig cfg, std::uint64_t seed,
                                peer::PeerObserver* local_observer,
                                peer::SwarmObserver* swarm_observer)
-    : cfg_(std::move(cfg)),
+    : cfg_(validated(std::move(cfg))),
       sim_(std::make_unique<sim::Simulation>(seed)),
       swarm_(std::make_unique<Swarm>(
           *sim_, cfg_.geometry(), cfg_.control_latency,
@@ -161,6 +217,15 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig cfg, std::uint64_t seed,
       dead_pieces_[p] = true;
     }
   }
+  alive_pieces_.reserve(n);
+  for (wire::PieceIndex p = 0; p < n; ++p) {
+    if (!dead_pieces_[p]) alive_pieces_.push_back(p);
+  }
+  // Pre-size the slot table for the initial population plus the arrival
+  // head-room the population cap allows — mega-swarm arrival storms then
+  // grow it rarely instead of log(n) times.
+  swarm_->reserve_peers(cfg_.initial_seeds + cfg_.initial_leechers +
+                        cfg_.max_population + 1);
   spawn_initial_population();
   if (cfg_.arrival_rate > 0.0) schedule_arrivals();
   schedule_churn_tick();
@@ -256,17 +321,12 @@ peer::PeerId ScenarioRunner::spawn_leecher(bool warm) {
 
   if (warm) {
     const std::uint32_t n = cfg_.geometry().num_pieces();
-    std::vector<wire::PieceIndex> alive;
-    alive.reserve(n);
-    for (wire::PieceIndex p = 0; p < n; ++p) {
-      if (!dead_pieces_[p]) alive.push_back(p);
-    }
     const double frac = rng.uniform(cfg_.warm_min, cfg_.warm_max);
     const auto k = static_cast<std::size_t>(
-        std::lround(frac * static_cast<double>(alive.size())));
+        std::lround(frac * static_cast<double>(alive_pieces_.size())));
     pc.initial_pieces.assign(n, false);
-    for (const std::size_t i : rng.sample_indices(alive.size(), k)) {
-      pc.initial_pieces[alive[i]] = true;
+    for (const std::size_t i : rng.sample_indices(alive_pieces_.size(), k)) {
+      pc.initial_pieces[alive_pieces_[i]] = true;
     }
   }
 
@@ -300,11 +360,15 @@ void ScenarioRunner::schedule_churn_tick() {
   sim_->schedule_in(10.0, [this] {
     if (cfg_.seed_linger_mean > 0.0) {
       const double t = sim_->now();
-      for (const peer::PeerId id : swarm_->peer_ids()) {
+      // Active ids are visited ascending — the same order (and thus the
+      // same RNG draw sequence) as the historical full-id scan, which
+      // only ever drew for active seeds. Departures mid-loop tombstone
+      // entries without moving the vector, so iteration stays valid.
+      for (const peer::PeerId id : swarm_->active_peer_ids()) {
         if (id == local_id_) continue;
         if (cfg_.initial_seeds_stay &&
-            std::find(initial_seed_ids_.begin(), initial_seed_ids_.end(),
-                      id) != initial_seed_ids_.end()) {
+            std::binary_search(initial_seed_ids_.begin(),
+                               initial_seed_ids_.end(), id)) {
           continue;
         }
         peer::Peer* p = swarm_->find_peer(id);

@@ -55,6 +55,12 @@ struct ObservationPlan {
   std::uint32_t sample_k = 8;
   /// SwarmProbe time-series sampling period (seconds).
   double sampling_period = 20.0;
+  /// Cap on per-peer detail logs inside the SwarmProbe (0 = unlimited).
+  /// Counters, matrix occupancy and every time series still cover ALL
+  /// probed peers; only LocalPeerLog/ChokeMarketLog allocation is
+  /// limited to the first N tracked. Mega-swarm kAll/kSampled runs set
+  /// this so probe memory is O(cap) rather than O(population).
+  std::uint32_t detail_peer_cap = 0;
 
   enum class TraceFormat : std::uint8_t { kNone, kCsv, kJsonl };
   TraceFormat trace_format = TraceFormat::kNone;
@@ -146,6 +152,15 @@ struct ScenarioConfig {
   ObservationPlan observation;
 };
 
+/// Validates a ScenarioConfig before any peer spawns. Returns an empty
+/// string when the config is runnable, otherwise a human-actionable
+/// message naming the offending field and its value. ScenarioRunner
+/// rejects invalid configs by throwing std::invalid_argument, which the
+/// batch runner maps to a report-schema `status: failed` entry — an
+/// impossible geometry or warm range fails loudly instead of producing
+/// silent nonsense.
+std::string validate_scenario(const ScenarioConfig& cfg);
+
 /// One Table-I row as published.
 struct TorrentSpec {
   int id;
@@ -232,6 +247,9 @@ class ScenarioRunner {
   /// Departure deadlines assigned to finished remote peers.
   std::map<peer::PeerId, double> departures_;
   std::vector<bool> dead_pieces_;
+  /// Pieces present in the initial distribution (dead pieces excluded);
+  /// fixed for the run, so warm-start sampling never rebuilds it.
+  std::vector<wire::PieceIndex> alive_pieces_;
 };
 
 }  // namespace swarmlab::swarm

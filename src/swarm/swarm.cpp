@@ -1,5 +1,6 @@
 #include "swarm/swarm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -51,12 +52,61 @@ std::vector<peer::PeerId> Swarm::peer_ids() const {
   return out;
 }
 
-std::size_t Swarm::active_peers() const {
-  std::size_t n = 0;
-  for (const auto& slot : slots_) {
-    if (slot.in_torrent) ++n;
+const std::vector<peer::PeerId>& Swarm::active_peer_ids() const {
+  // Compact once departures outnumber the live population; ascending
+  // order is preserved (tombstones are removed in place).
+  if (active_tombstones_ > 0 &&
+      active_tombstones_ >= active_ids_.size() / 2) {
+    std::size_t w = 0;
+    for (const peer::PeerId id : active_ids_) {
+      const Slot* slot = slot_of(id);
+      if (slot != nullptr && slot->in_torrent) active_ids_[w++] = id;
+    }
+    active_ids_.resize(w);
+    active_tombstones_ = 0;
   }
-  return n;
+  return active_ids_;
+}
+
+void Swarm::reserve_peers(std::size_t expected_total) {
+  slots_.reserve(expected_total);
+  active_ids_.reserve(expected_total);
+}
+
+void Swarm::mark_active(peer::PeerId id) {
+  ++active_count_;
+  // Ids are assigned in increasing order and usually started in the
+  // same order, so this is an append; a peer started late (delayed
+  // local join) inserts into place to keep the list ascending.
+  if (active_ids_.empty() || active_ids_.back() < id) {
+    active_ids_.push_back(id);
+    return;
+  }
+  const auto it =
+      std::lower_bound(active_ids_.begin(), active_ids_.end(), id);
+  if (it != active_ids_.end() && *it == id) {
+    // Still present as a tombstone from an earlier stint; it counts as
+    // live again now that the slot's in_torrent flag is back on.
+    --active_tombstones_;
+    return;
+  }
+  active_ids_.insert(it, id);
+}
+
+void Swarm::mark_inactive(peer::PeerId id) {
+  (void)id;  // the id stays in active_ids_ as a tombstone
+  --active_count_;
+  ++active_tombstones_;
+}
+
+void Swarm::enable_interest_ledger() {
+  if (ledger_ != nullptr) return;
+  ledger_ = std::make_unique<InterestLedger>(geo_.num_pieces());
+  for (const peer::PeerId id : active_peer_ids()) {
+    const Slot* slot = slot_of(id);
+    if (slot == nullptr || !slot->in_torrent) continue;
+    if (!slot->peer->is_seed()) ledger_->join(id, slot->peer->have());
+  }
 }
 
 bool Swarm::torrent_alive() const {
@@ -88,10 +138,14 @@ void Swarm::start_peer(peer::PeerId id) {
   assert(found != nullptr && !found->in_torrent);
   Slot& slot = *found;
   slot.in_torrent = true;
+  mark_active(id);
   // Register this peer's initial pieces with the global oracle.
   slot.counted_in_global = true;
   const core::Bitfield& have = slot.peer->have();
   global_availability_.add_peer(have);
+  if (ledger_ != nullptr && !slot.peer->is_seed()) {
+    ledger_->join(id, have);
+  }
   slot.peer->start();
 }
 
@@ -101,6 +155,8 @@ void Swarm::stop_peer(peer::PeerId id) {
   Slot& slot = *found;
   slot.peer->stop();  // disconnects everyone, announces stopped
   slot.in_torrent = false;
+  mark_inactive(id);
+  if (ledger_ != nullptr) ledger_->leave(id);
   if (slot.counted_in_global) {
     global_availability_.remove_peer(slot.peer->have());
     slot.counted_in_global = false;
@@ -114,6 +170,8 @@ bool Swarm::crash_peer(peer::PeerId id) {
   Slot& slot = *found;
   slot.peer->crash();  // no Stopped announce, no disconnect callbacks
   slot.in_torrent = false;
+  mark_inactive(id);
+  if (ledger_ != nullptr) ledger_->leave(id);
   if (slot.counted_in_global) {
     global_availability_.remove_peer(slot.peer->have());
     slot.counted_in_global = false;
@@ -144,6 +202,17 @@ void Swarm::broadcast_have(peer::PeerId from, wire::PieceIndex piece) {
   global_availability_.add_have(piece);
   peer::Peer* sender = active_peer(from);
   if (sender == nullptr) return;
+  if (ledger_ != nullptr) {
+    // The sender's bitfield already holds the piece. A completing
+    // leecher is a seed now — it leaves the leecher pair set wholesale
+    // (matching the brute-force definition) instead of propagating a
+    // gain it will not keep.
+    if (sender->is_seed()) {
+      ledger_->leave(from);
+    } else {
+      ledger_->on_piece_gain(from, piece);
+    }
+  }
   std::vector<peer::PeerId> targets = sender->connected_peers();
   if (control_fault_) {
     // Faults apply per receiver, so the broadcast decomposes into

@@ -15,6 +15,7 @@
 #include "peer/observer.h"
 #include "peer/peer.h"
 #include "sim/simulation.h"
+#include "swarm/interest_ledger.h"
 #include "swarm/observer_hub.h"
 #include "swarm/tracker.h"
 #include "wire/geometry.h"
@@ -74,8 +75,32 @@ class Swarm final : public peer::Fabric {
   /// Ids of all peers ever added (including departed ones).
   [[nodiscard]] std::vector<peer::PeerId> peer_ids() const;
 
-  /// Number of peers currently in the torrent.
-  [[nodiscard]] std::size_t active_peers() const;
+  /// Ids of the peers currently in the torrent, ascending. O(active):
+  /// the list carries tombstones from departures and compacts them
+  /// lazily, so callers that tick over the live population (churn,
+  /// samplers, fault plans) never pay for the swarm's full history.
+  [[nodiscard]] const std::vector<peer::PeerId>& active_peer_ids() const;
+
+  /// Number of peers currently in the torrent. O(1).
+  [[nodiscard]] std::size_t active_peers() const { return active_count_; }
+
+  /// Pre-sizes the slot table for an expected total population (peers
+  /// ever added, not just concurrent) so mega-swarm arrival storms do
+  /// not re-allocate the table log(n) times mid-run.
+  void reserve_peers(std::size_t expected_total);
+
+  /// Opt-in incremental pair-interest ledger (see interest_ledger.h):
+  /// once enabled, swarm_entropy() reads it in O(1) instead of walking
+  /// every leecher pair. Current active leechers are enrolled
+  /// immediately; membership then tracks start/stop/crash/completion.
+  /// Purely observational (no events, no RNG) — trajectories are
+  /// byte-identical with or without it. O(leechers²) memory: meant for
+  /// per-pair-affordable populations, not 10k-leecher swarms (those use
+  /// swarm_entropy_sampled()).
+  void enable_interest_ledger();
+  [[nodiscard]] const InterestLedger* interest_ledger() const {
+    return ledger_.get();
+  }
 
   [[nodiscard]] Tracker& tracker() { return tracker_; }
   [[nodiscard]] const Tracker& tracker() const { return tracker_; }
@@ -128,6 +153,10 @@ class Swarm final : public peer::Fabric {
   /// Peer lookup for active slots only.
   peer::Peer* active_peer(peer::PeerId id);
 
+  /// Membership bookkeeping shared by start/stop/crash.
+  void mark_active(peer::PeerId id);
+  void mark_inactive(peer::PeerId id);
+
   /// O(1) slot lookup. PeerIds are dense (assigned 1, 2, ... by
   /// add_peer and never recycled), so the slot table is a plain vector
   /// indexed by id - 1; departed peers keep their slot with
@@ -146,8 +175,14 @@ class Swarm final : public peer::Fabric {
   Tracker tracker_;
   ObserverHub hub_;
   std::vector<Slot> slots_;  // index = PeerId - 1
+  /// Active ids in ascending order plus tombstones (departed ids not
+  /// yet compacted away); mutable so const iteration can compact.
+  mutable std::vector<peer::PeerId> active_ids_;
+  mutable std::size_t active_tombstones_ = 0;
+  std::size_t active_count_ = 0;
   core::AvailabilityMap global_availability_;
   peer::PeerId next_id_ = 1;
+  std::unique_ptr<InterestLedger> ledger_;  // null unless enabled
   ControlFault control_fault_;  // null in fault-free runs
 };
 

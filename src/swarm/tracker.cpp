@@ -1,5 +1,8 @@
 #include "swarm/tracker.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace swarmlab::swarm {
 
 peer::AnnounceResult Tracker::announce(peer::PeerId who,
@@ -14,59 +17,153 @@ peer::AnnounceResult Tracker::announce(peer::PeerId who,
     return failed;
   }
   // Lazy member expiry: shed peers that stopped announcing (crashed
-  // without a Stopped event). Scanning at announce time keeps the tracker
-  // free of timers of its own.
-  if (member_expiry_ > 0.0) {
-    for (auto it = members_.begin(); it != members_.end();) {
-      if (it->first != who && now - it->second.last_announce > member_expiry_) {
-        ++stats_.expired;
-        it = members_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
+  // without a Stopped event). Processing at announce time keeps the
+  // tracker free of timers of its own.
+  if (member_expiry_ > 0.0) expire_stale(now, who);
   switch (event) {
     case peer::AnnounceEvent::kStarted:
       ++stats_.started;
-      members_[who].seed = is_seed;
+      upsert(who, is_seed);
       break;
     case peer::AnnounceEvent::kCompleted:
       ++stats_.completed;
-      members_[who].seed = true;
+      upsert(who, true);
       break;
     case peer::AnnounceEvent::kStopped:
       ++stats_.stopped;
-      members_.erase(who);
+      if (is_present(who)) remove_member(who);
       return {};
     case peer::AnnounceEvent::kRegular:
-      members_[who].seed = is_seed;
+      upsert(who, is_seed);
       break;
   }
-  members_[who].last_announce = now;
+  Entry& me = entry(who);
+  me.last_announce = now;
+  if (member_expiry_ > 0.0) expiry_heap_.push({now, who});
 
-  std::vector<peer::PeerId> pool;
-  pool.reserve(members_.size());
-  for (const auto& [id, entry] : members_) {
-    if (id != who) pool.push_back(id);
-  }
+  // Sample from the members excluding the announcer, exactly as the
+  // historical scan did: the virtual pool is the present ids in
+  // ascending order with `who` removed, and sample_indices consumes the
+  // same draws for the same (pool size, k) — so trajectories are
+  // byte-identical while the cost drops to O(k log members).
   peer::AnnounceResult result;
+  const std::size_t pool_size = num_members_ - 1;  // who is present
   const std::size_t k =
-      std::min<std::size_t>(peers_per_announce_, pool.size());
+      std::min<std::size_t>(peers_per_announce_, pool_size);
   if (k > 0) {
-    const auto idx = rng.sample_indices(pool.size(), k);
+    const std::size_t who_rank = rank_before(who);
+    const auto idx = rng.sample_indices(pool_size, k);
     result.peers.reserve(k);
-    for (const std::size_t i : idx) result.peers.push_back(pool[i]);
+    for (const std::size_t i : idx) {
+      result.peers.push_back(select(i < who_rank ? i : i + 1));
+    }
   }
   return result;
 }
 
-std::size_t Tracker::num_seeds() const {
-  std::size_t n = 0;
-  for (const auto& [id, entry] : members_) {
-    if (entry.seed) ++n;
+void Tracker::set_member_expiry(double seconds) {
+  // Enabling expiry after members joined (no heap entries yet): give
+  // every present member a candidate so none can outlive the margin
+  // silently. Scenario runs configure expiry before any announce, so
+  // this loop is empty in practice.
+  if (seconds > 0.0 && member_expiry_ <= 0.0) {
+    for (peer::PeerId id = 1; id <= entries_.size(); ++id) {
+      const Entry& e = entries_[id - 1];
+      if (e.present) expiry_heap_.push({e.last_announce, id});
+    }
   }
-  return n;
+  member_expiry_ = seconds;
+}
+
+Tracker::Entry& Tracker::entry(peer::PeerId id) {
+  ensure_capacity(id);
+  return entries_[id - 1];
+}
+
+void Tracker::upsert(peer::PeerId who, bool seed) {
+  Entry& e = entry(who);
+  if (!e.present) {
+    e.present = true;
+    e.seed = seed;
+    ++num_members_;
+    if (seed) ++num_seeds_;
+    fenwick_add(who, +1);
+    return;
+  }
+  if (e.seed != seed) {
+    e.seed = seed;
+    seed ? ++num_seeds_ : --num_seeds_;
+  }
+}
+
+void Tracker::remove_member(peer::PeerId id) {
+  Entry& e = entry(id);
+  assert(e.present);
+  e.present = false;
+  --num_members_;
+  if (e.seed) --num_seeds_;
+  fenwick_add(id, -1);
+}
+
+void Tracker::expire_stale(double now, peer::PeerId who) {
+  while (!expiry_heap_.empty()) {
+    const ExpiryCandidate top = expiry_heap_.top();
+    if (!(now - top.last_announce > member_expiry_)) break;  // rest is fresh
+    expiry_heap_.pop();
+    if (!is_present(top.id)) continue;  // already left (Stopped/expired)
+    const Entry& e = entries_[top.id - 1];
+    if (e.last_announce != top.last_announce) continue;  // refreshed since
+    if (top.id == who) continue;  // re-announcing right now
+    ++stats_.expired;
+    remove_member(top.id);
+  }
+}
+
+void Tracker::fenwick_add(peer::PeerId id, int delta) {
+  for (std::size_t i = id; i < fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i] += delta;
+  }
+}
+
+std::size_t Tracker::rank_before(peer::PeerId id) const {
+  // Prefix sum over ids [1, id - 1].
+  std::size_t sum = 0;
+  for (std::size_t i = id - 1; i > 0; i -= i & (~i + 1)) {
+    sum += static_cast<std::size_t>(fenwick_[i]);
+  }
+  return sum;
+}
+
+peer::PeerId Tracker::select(std::size_t r) const {
+  // Binary-indexed descend: find the smallest id whose prefix sum
+  // reaches r + 1.
+  assert(r < num_members_);
+  std::size_t need = r + 1;
+  std::size_t pos = 0;
+  std::size_t mask = 1;
+  while ((mask << 1) < fenwick_.size()) mask <<= 1;
+  for (; mask > 0; mask >>= 1) {
+    const std::size_t next = pos + mask;
+    if (next < fenwick_.size() &&
+        static_cast<std::size_t>(fenwick_[next]) < need) {
+      pos = next;
+      need -= static_cast<std::size_t>(fenwick_[next]);
+    }
+  }
+  return static_cast<peer::PeerId>(pos + 1);
+}
+
+void Tracker::ensure_capacity(peer::PeerId id) {
+  if (id <= entries_.size()) return;
+  // Double so Fenwick rebuilds amortize to O(1) per new member. The
+  // tree is rebuilt from scratch: entries keep the ground truth.
+  std::size_t cap = std::max<std::size_t>(entries_.size() * 2, 64);
+  cap = std::max<std::size_t>(cap, id);
+  entries_.resize(cap);
+  fenwick_.assign(cap + 1, 0);
+  for (peer::PeerId p = 1; p <= cap; ++p) {
+    if (entries_[p - 1].present) fenwick_add(p, +1);
+  }
 }
 
 }  // namespace swarmlab::swarm

@@ -2,10 +2,19 @@
 //
 // It keeps the list of peers currently in the torrent and hands each
 // announcer a random subset (50 by default). It never touches content.
+//
+// Built for mega swarms: an announce against a 10k-member torrent costs
+// O(sample * log members + expired), not O(members). Membership lives in
+// a dense per-id table with a Fenwick (binary indexed) tree over the
+// present bits for O(log n) rank/select — the sampler draws indices into
+// the ascending-id member list exactly as the historical std::map scan
+// did, so every trajectory is byte-identical — and expiry uses a lazy
+// min-heap keyed on last-announce time instead of a full-table scan.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "peer/fabric.h"
@@ -50,26 +59,66 @@ class Tracker {
   /// gracefully behaving peers re-announce every ~30 min and never come
   /// close to the default expiry, so enabling it does not perturb
   /// fault-free runs.
-  void set_member_expiry(double seconds) { member_expiry_ = seconds; }
+  void set_member_expiry(double seconds);
   [[nodiscard]] double member_expiry() const { return member_expiry_; }
 
-  [[nodiscard]] std::size_t num_members() const { return members_.size(); }
-  [[nodiscard]] std::size_t num_seeds() const;
+  [[nodiscard]] std::size_t num_members() const { return num_members_; }
+  [[nodiscard]] std::size_t num_seeds() const { return num_seeds_; }
   [[nodiscard]] std::size_t num_leechers() const {
-    return members_.size() - num_seeds();
+    return num_members_ - num_seeds_;
   }
   [[nodiscard]] const TrackerStats& stats() const { return stats_; }
 
  private:
   struct Entry {
+    bool present = false;
     bool seed = false;
     double last_announce = 0.0;
   };
 
+  /// Oldest-first candidate for lazy expiry; entries whose member
+  /// refreshed (last_announce moved on) or left are discarded on pop.
+  struct ExpiryCandidate {
+    double last_announce = 0.0;
+    peer::PeerId id = 0;
+    bool operator>(const ExpiryCandidate& other) const {
+      return last_announce > other.last_announce ||
+             (last_announce == other.last_announce && id > other.id);
+    }
+  };
+
+  [[nodiscard]] Entry& entry(peer::PeerId id);
+  [[nodiscard]] bool is_present(peer::PeerId id) const {
+    return id >= 1 && id <= entries_.size() && entries_[id - 1].present;
+  }
+  /// Registers `who` (creating the entry on first contact) and applies
+  /// the seed flag, keeping the member/seed counters in step.
+  void upsert(peer::PeerId who, bool seed);
+  void remove_member(peer::PeerId id);
+  /// Drops every member whose last announce is older than the expiry
+  /// margin, skipping `who` (who is re-announcing right now). Cost is
+  /// O(expired + stale heap entries popped), independent of membership.
+  void expire_stale(double now, peer::PeerId who);
+
+  // --- Fenwick tree over present bits (1-based ids) ----------------------
+  void fenwick_add(peer::PeerId id, int delta);
+  /// Number of present members with id < `id`.
+  [[nodiscard]] std::size_t rank_before(peer::PeerId id) const;
+  /// The (r+1)-th present member in ascending id order (r is 0-based;
+  /// r < num_members_).
+  [[nodiscard]] peer::PeerId select(std::size_t r) const;
+  void ensure_capacity(peer::PeerId id);
+
   std::uint32_t peers_per_announce_;
   bool online_ = true;
   double member_expiry_ = 0.0;
-  std::map<peer::PeerId, Entry> members_;  // ordered: deterministic sampling
+  std::vector<Entry> entries_;     // index = PeerId - 1
+  std::vector<std::int32_t> fenwick_;  // 1-based, sized entries_.size() + 1
+  std::priority_queue<ExpiryCandidate, std::vector<ExpiryCandidate>,
+                      std::greater<ExpiryCandidate>>
+      expiry_heap_;
+  std::size_t num_members_ = 0;
+  std::size_t num_seeds_ = 0;
   TrackerStats stats_;
 };
 

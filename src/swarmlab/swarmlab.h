@@ -33,8 +33,10 @@
 #include "runner/batch_runner.h"  // parallel batch scenario runner
 #include "runner/json.h"          // machine-readable report writer
 #include "swarm/entropy.h"        // swarm-wide entropy index
+#include "swarm/interest_ledger.h" // incremental pair-interest ledger
 #include "swarm/observer_hub.h"   // per-peer observer attachment
-#include "swarm/scenario.h"       // Table-I catalog & scenario runner
+#include "swarm/scenario.h"       // Table-I rows & scenario runner
+#include "swarm/scenario_catalog.h" // named scenarios & ScenarioBuilder
 #include "swarm/swarm.h"          // the torrent fabric
 #include "swarm/tracker.h"        // the tracker
 #include "wire/bencode.h"         // metainfo encoding
